@@ -1,0 +1,129 @@
+// Ablations of WeHeY's design choices (DESIGN.md §5):
+//   1. Spearman vs Pearson in Alg. 1 (rank robustness),
+//   2. requiring (1-FP)|Sigma| interval sizes vs a single size,
+//   3. the 10-50 RTT interval band vs narrower/wider bands,
+//   4. MWU vs KS vs Welch t for the §4.1 throughput comparison.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/loss_correlation.hpp"
+#include "core/throughput_comparison.hpp"
+#include "experiments/history.hpp"
+#include "experiments/wild.hpp"
+#include "stats/hypothesis.hpp"
+
+using namespace wehey;
+using namespace wehey::experiments;
+
+namespace {
+
+struct CorrVariant {
+  const char* name;
+  core::LossCorrelationConfig cfg;
+};
+
+/// FN/FP of a loss-correlation variant over small common-bottleneck /
+/// separate-bottleneck batches.
+void eval_variant(const CorrVariant& v, int runs) {
+  int fn = 0, fn_n = 0, fp = 0, fp_n = 0;
+  for (int i = 0; i < runs; ++i) {
+    auto cfg = default_scenario("Netflix", 300 + i);
+    const auto sim = run_simultaneous_experiment(cfg);
+    if (sim.differentiation_confirmed) {
+      ++fn_n;
+      fn += !core::loss_trend_correlation(sim.original.p1.meas,
+                                          sim.original.p2.meas,
+                                          milliseconds(35), v.cfg)
+                 .common_bottleneck;
+    }
+    auto fp_cfg = default_scenario("Netflix", 400 + i);
+    fp_cfg.placement = Placement::NonCommonLinks;
+    const auto fp_sim = run_simultaneous_experiment(fp_cfg);
+    ++fp_n;
+    fp += core::loss_trend_correlation(fp_sim.original.p1.meas,
+                                       fp_sim.original.p2.meas,
+                                       milliseconds(35), v.cfg)
+              .common_bottleneck;
+  }
+  std::printf("  %-34s | FN %2d/%2d | FP %2d/%2d\n", v.name, fn, fn_n, fp,
+              fp_n);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablations", "WeHeY design choices");
+  const auto scale = run_scale();
+  const int runs = scale.full ? 12 : 4;
+
+  std::printf("(1,2,3) loss-trend correlation variants "
+              "(common-bottleneck FN / separate-limiters FP):\n");
+  std::vector<CorrVariant> variants;
+  variants.push_back({"WeHeY (Spearman, 9 sizes, 10-50RTT)", {}});
+  {
+    core::LossCorrelationConfig c;
+    c.method = core::CorrelationMethod::Pearson;
+    variants.push_back({"Pearson instead of Spearman", c});
+  }
+  {
+    core::LossCorrelationConfig c;
+    c.method = core::CorrelationMethod::Kendall;
+    variants.push_back({"Kendall tau instead of Spearman", c});
+  }
+  {
+    core::LossCorrelationConfig c;
+    c.method = core::CorrelationMethod::SpearmanPermutation;
+    variants.push_back({"Spearman, permutation p-values", c});
+  }
+  {
+    core::LossCorrelationConfig c;
+    c.interval_sizes = 2;  // (1-FP)*2 = 1.9 -> both must fire; close to
+                           // single-size behaviour
+    variants.push_back({"2 interval sizes only", c});
+  }
+  {
+    core::LossCorrelationConfig c;
+    c.min_interval_rtts = 1;
+    c.max_interval_rtts = 5;
+    variants.push_back({"narrow band (1-5 RTT)", c});
+  }
+  {
+    core::LossCorrelationConfig c;
+    c.min_interval_rtts = 100;
+    c.max_interval_rtts = 300;
+    variants.push_back({"coarse band (100-300 RTT)", c});
+  }
+  for (const auto& v : variants) eval_variant(v, runs);
+
+  std::printf("\n(4) throughput-comparison test statistic "
+              "(per-client scenario should DETECT):\n");
+  {
+    WildConfig cfg;
+    cfg.isp = default_isp_models()[0];
+    cfg.seed = 55;
+    const auto t_diff = build_wild_t_diff(cfg, 10);
+    const auto sim_orig = run_wild_phase(cfg, Phase::SimOriginal);
+    const auto single = run_wild_phase(cfg, Phase::SingleOriginal);
+    const auto x = single.p1.meas.throughput_samples(100);
+    const auto y = core::aggregate_samples(
+        sim_orig.p1.meas.throughput_samples(100),
+        sim_orig.p2.meas.throughput_samples(100));
+    Rng rng(99);
+    const auto res = core::throughput_comparison(x, y, t_diff, rng);
+    const auto ks = stats::ks_two_sample(res.o_diff, res.t_diff);
+    const auto tt =
+        stats::welch_t(res.o_diff, res.t_diff, stats::Alternative::Less);
+    std::printf("  MWU (WeHeY):   p = %-10.3g -> %s\n", res.p_value,
+                res.p_value < 0.05 ? "detect" : "miss");
+    std::printf("  KS:            p = %-10.3g (two-sided; outlier-"
+                "sensitive)\n",
+                ks.p_value);
+    std::printf("  Welch t:       p = %-10.3g (normality assumption)\n",
+                tt.p_value);
+  }
+  std::printf("\nexpected: WeHeY's configuration dominates — narrow bands "
+              "miss desynchronized losses, coarse bands starve the test of "
+              "intervals, few sizes weaken FP control\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Figure 2: CDFs of the single-replay (X) and aggregate simultaneous-
+// replay (Y) throughputs, and PDFs (with rug values) of O_diff and T_diff,
+// for (a) a per-client throttling scenario and (b) an alternative where
+// p1/p2 share the bottleneck with other traffic.
+//
+// Paper shape: in (a) the X/Y CDFs and the O_diff/T_diff peaks overlap
+// (MWU p << 0.05); in (b) they do not (p ~ 1).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/throughput_comparison.hpp"
+#include "experiments/history.hpp"
+#include "experiments/wild.hpp"
+#include "stats/empirical.hpp"
+
+using namespace wehey;
+using namespace wehey::experiments;
+
+namespace {
+
+void print_cdf(const char* name, const std::vector<double>& samples) {
+  stats::EmpiricalDistribution d(samples);
+  std::printf("  CDF of %s (Mbps -> F):", name);
+  for (double q : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    std::printf("  %.2f->%.2f", d.quantile(q) / 1e6, q);
+  }
+  std::printf("\n");
+}
+
+void print_pdf(const char* name, const std::vector<double>& values) {
+  const auto curve = stats::kde(values, 9);
+  std::printf("  PDF of %s:", name);
+  for (std::size_t i = 0; i < curve.xs.size(); ++i) {
+    std::printf("  (%.3f, %.2f)", curve.xs[i], curve.densities[i]);
+  }
+  std::printf("\n");
+}
+
+void scenario_report(const char* title, const std::vector<double>& x,
+                     const std::vector<double>& y,
+                     const std::vector<double>& t_diff, Rng& rng) {
+  std::printf("%s\n", title);
+  print_cdf("X (single replay)", x);
+  print_cdf("Y (simultaneous aggregate)", y);
+  const auto res = core::throughput_comparison(x, y, t_diff, rng);
+  print_pdf("O_diff", res.o_diff);
+  print_pdf("T_diff", res.t_diff);
+  std::printf("  MWU p-value = %.3g -> common bottleneck %s\n\n",
+              res.p_value, res.common_bottleneck ? "DETECTED" : "not found");
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Figure 2", "throughput distributions, O_diff vs T_diff");
+  Rng rng(2024);
+
+  // (a) Per-client throttling: the wild model.
+  {
+    WildConfig cfg;
+    cfg.isp = default_isp_models()[0];
+    cfg.seed = 33;
+    const auto t_diff = build_wild_t_diff(cfg, 12);
+    const auto sim_orig = run_wild_phase(cfg, Phase::SimOriginal);
+    const auto single = run_wild_phase(cfg, Phase::SingleOriginal);
+    const auto x = single.p1.meas.throughput_samples(100);
+    const auto y = core::aggregate_samples(
+        sim_orig.p1.meas.throughput_samples(100),
+        sim_orig.p2.meas.throughput_samples(100));
+    scenario_report("(a) per-client throttling", x, y, t_diff, rng);
+  }
+
+  // (b) Alternative: collective bottleneck shared with background.
+  {
+    auto cfg = default_scenario("Netflix", 33);
+    const auto t_diff = build_t_diff_history(cfg, {.replays = 12});
+    const auto sim_orig = run_phase(cfg, Phase::SimOriginal);
+    const auto single = run_phase(cfg, Phase::SingleOriginal);
+    const auto x = single.p1.meas.throughput_samples(100);
+    const auto y = core::aggregate_samples(
+        sim_orig.p1.meas.throughput_samples(100),
+        sim_orig.p2.meas.throughput_samples(100));
+    scenario_report("(b) shared with other traffic", x, y, t_diff, rng);
+  }
+
+  std::printf("paper: (a) overlapping CDFs/PDF peaks, p = 7.54e-18; "
+              "(b) disjoint, p = 0.99\n");
+  return 0;
+}

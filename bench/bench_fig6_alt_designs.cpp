@@ -1,0 +1,83 @@
+// Figure 6: false-negative rate of alternative designs on the §6.2
+// testbed grid (rate factor x queue factor, limiter on the common link).
+//
+//   (a) TCP: [modified traces] loss-trend corr vs BinLossTomoNoParams,
+//       then per-app unmodified traces under both detectors.
+//   (b) UDP apps: BinLossTomoNoParams with unmodified vs Poisson traces.
+//
+// Paper shape: WeHeY (loss-trend + modified traces) has FN = 0; classic
+// tomography adds ~66-82% FN for TCP; unmodified traces add 3-11% more;
+// tomography does better on UDP but stays non-zero.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace wehey;
+using namespace wehey::experiments;
+
+namespace {
+
+struct DesignStats {
+  bench::FnStats modified;
+  bench::FnStats unmodified;
+};
+
+DesignStats run_app_grid(const std::string& app) {
+  const auto scale = run_scale();
+  DesignStats out;
+  std::uint64_t seed = 42;
+  for (double factor : scale.input_rate_factors) {
+    for (double queue : scale.queue_burst_factors) {
+      for (std::size_t run = 0; run < scale.runs_per_config; ++run) {
+        auto cfg = default_scenario(app, seed++);
+        cfg.input_rate_factor = factor;
+        cfg.queue_burst_factor = queue;
+        cfg.modified_traces = true;
+        out.modified.add(bench::run_detectors(cfg));
+        cfg.modified_traces = false;
+        out.unmodified.add(bench::run_detectors(cfg));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Figure 6", "FN of alternative designs");
+
+  std::printf("(a) TCP trace\n");
+  const auto tcp = run_app_grid("Netflix");
+  std::printf("  %-34s | %s\n", "design", "FN rate");
+  std::printf("  -----------------------------------+--------\n");
+  std::printf("  %-34s | %6.1f%%\n", "loss-trend corr, modified (WeHeY)",
+              tcp.modified.fn_rate());
+  std::printf("  %-34s | %6.1f%%\n", "BinLossTomoNoParams, modified",
+              tcp.modified.fn_rate_tomo());
+  std::printf("  %-34s | %6.1f%%\n", "loss-trend corr, unmodified",
+              tcp.unmodified.fn_rate());
+  std::printf("  %-34s | %6.1f%%\n", "BinLossTomoNoParams, unmodified",
+              tcp.unmodified.fn_rate_tomo());
+  std::printf("  (experiments: %d modified / %d unmodified; %d skipped "
+              "where WeHe found no differentiation)\n\n",
+              tcp.modified.experiments, tcp.unmodified.experiments,
+              tcp.modified.skipped + tcp.unmodified.skipped);
+
+  std::printf("(b) UDP apps: BinLossTomoNoParams, unmodified vs Poisson "
+              "(WeHeY's loss-trend FN shown for reference)\n");
+  std::printf("  %-9s | %-14s | %-14s | %s\n", "app", "tomo unmod",
+              "tomo Poisson", "loss-trend Poisson");
+  std::printf("  ----------+----------------+----------------+-----------\n");
+  for (const auto& app : evaluation_apps()) {
+    if (app == "Netflix") continue;
+    const auto udp = run_app_grid(app);
+    std::printf("  %-9s | %13.1f%% | %13.1f%% | %9.1f%%\n", app.c_str(),
+                udp.unmodified.fn_rate_tomo(), udp.modified.fn_rate_tomo(),
+                udp.modified.fn_rate());
+  }
+  std::printf("\npaper: WeHeY FN = 0 across all 319 detected experiments; "
+              "classic tomography +66-82%% (TCP), unmodified traces add "
+              "3-11%% more\n");
+  return 0;
+}

@@ -1,0 +1,137 @@
+// google-benchmark timings of WeHeY's computational kernels: the
+// statistical tests, the loss-series construction, the detection
+// algorithms, and the packet-level simulator itself.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/loss_correlation.hpp"
+#include "core/loss_series.hpp"
+#include "core/tomography.hpp"
+#include "netsim/link.hpp"
+#include "netsim/simulator.hpp"
+#include "stats/correlation.hpp"
+#include "stats/hypothesis.hpp"
+#include "stats/resample.hpp"
+#include "transport/tcp.hpp"
+
+namespace {
+
+using namespace wehey;
+
+std::vector<double> random_series(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (auto& v : out) v = rng.uniform();
+  return out;
+}
+
+void BM_Spearman(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto xs = random_series(n, 1);
+  const auto ys = random_series(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::spearman(xs, ys));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Spearman)->Range(16, 4096)->Complexity(benchmark::oNLogN);
+
+void BM_MannWhitneyU(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto xs = random_series(n, 3);
+  const auto ys = random_series(n, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        stats::mann_whitney_u(xs, ys, stats::Alternative::Less));
+  }
+}
+BENCHMARK(BM_MannWhitneyU)->Range(16, 4096);
+
+void BM_KsTwoSample(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto xs = random_series(n, 5);
+  const auto ys = random_series(n, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::ks_two_sample(xs, ys));
+  }
+}
+BENCHMARK(BM_KsTwoSample)->Range(16, 4096);
+
+void BM_HalfSampleMonteCarlo(benchmark::State& state) {
+  const auto xs = random_series(100, 7);
+  const auto ys = random_series(100, 8);
+  Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        stats::half_sample_mean_difference(xs, ys, 100, rng));
+  }
+}
+BENCHMARK(BM_HalfSampleMonteCarlo);
+
+netsim::ReplayMeasurement synthetic_measurement(std::size_t packets,
+                                                std::uint64_t seed) {
+  Rng rng(seed);
+  netsim::ReplayMeasurement m;
+  m.start = 0;
+  m.end = seconds(45);
+  for (std::size_t i = 0; i < packets; ++i) {
+    const Time at = static_cast<Time>(to_seconds(m.end) /
+                                      static_cast<double>(packets) *
+                                      static_cast<double>(i) * kSecond);
+    m.tx_times.push_back(at);
+    if (rng.bernoulli(0.05)) m.loss_times.push_back(at);
+  }
+  return m;
+}
+
+void BM_LossTrendCorrelation(benchmark::State& state) {
+  const auto m1 = synthetic_measurement(
+      static_cast<std::size_t>(state.range(0)), 11);
+  const auto m2 = synthetic_measurement(
+      static_cast<std::size_t>(state.range(0)), 12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::loss_trend_correlation(m1, m2, milliseconds(35)));
+  }
+}
+BENCHMARK(BM_LossTrendCorrelation)->Range(1024, 65536);
+
+void BM_BinLossTomoNoParams(benchmark::State& state) {
+  const auto m1 = synthetic_measurement(
+      static_cast<std::size_t>(state.range(0)), 13);
+  const auto m2 = synthetic_measurement(
+      static_cast<std::size_t>(state.range(0)), 14);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::bin_loss_tomo_no_params(m1, m2, milliseconds(35)));
+  }
+}
+BENCHMARK(BM_BinLossTomoNoParams)->Range(1024, 65536);
+
+void BM_TcpBulkSimulation(benchmark::State& state) {
+  // Events per second of simulated TCP at 10 Mbps.
+  for (auto _ : state) {
+    netsim::Simulator sim;
+    netsim::PacketIdSource ids;
+    transport::TcpConfig cfg;
+    auto demux = std::make_unique<netsim::Demux>();
+    auto link = std::make_unique<netsim::Link>(
+        sim, mbps(10), milliseconds(15),
+        std::make_unique<netsim::FifoDisc>(125000), demux.get());
+    auto pipe = std::make_unique<netsim::Pipe>(sim, milliseconds(15));
+    transport::TcpSender snd(sim, ids, cfg, 1, 0, link.get());
+    transport::TcpReceiver rcv(sim, ids, cfg, 1, pipe.get());
+    pipe->set_next(&snd);
+    demux->add_route(1, &rcv);
+    snd.supply(1'000'000);
+    sim.run(seconds(10));
+    benchmark::DoNotOptimize(rcv.received_bytes());
+  }
+}
+BENCHMARK(BM_TcpBulkSimulation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+// Table 4: false-negative rate under severe congestion on the non-common
+// link sequences l1/l2 (input-traffic-to-bandwidth ratio 0.95/1.05/1.15),
+// with the rate-limiter still on the common link.
+//
+// Paper shape: UDP FN stays near zero (0/0.38/2.38%); TCP FN grows with
+// the congestion level (19.3/28/34.88%) as l1/l2 become the dominant
+// bottlenecks and decorrelate the two paths' losses.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace wehey;
+using namespace wehey::experiments;
+
+int main() {
+  bench::print_header("Table 4", "FN under severe congestion on l1/l2");
+  const auto scale = run_scale();
+  const std::vector<double> utils{0.95, 1.05, 1.15};
+
+  std::printf("%-10s | %-11s | %-13s | %s\n", "", "0.95 (low)",
+              "1.05 (medium)", "1.15 (high)");
+  for (const bool udp : {true, false}) {
+    std::printf("%-10s", udp ? "UDP - FN" : "TCP - FN");
+    for (double util : utils) {
+      bench::FnStats stats;
+      std::uint64_t seed = 19;
+      const std::vector<std::string> apps =
+          udp ? std::vector<std::string>{"Zoom", "MSTeams"}
+              : std::vector<std::string>{"Netflix"};
+      for (const auto& app : apps) {
+        for (double bg_fraction : {0.25, 0.5, 0.75}) {
+          for (std::size_t run = 0; run < scale.runs_per_config; ++run) {
+            auto cfg = default_scenario(app, seed++);
+            cfg.nc_utilization = util;
+            cfg.bg_diff_fraction = bg_fraction;
+            stats.add(bench::run_detectors(cfg));
+          }
+        }
+      }
+      std::printf(" | %10.1f%%", stats.fn_rate());
+    }
+    std::printf("\n");
+  }
+  std::printf("\npaper: UDP 0/0.38/2.38%%, TCP 19.3/28/34.88%%\n");
+  return 0;
+}

@@ -1,0 +1,244 @@
+// wehey_cli — a command-line front end over the library.
+//
+//   wehey_cli testbed  [--app NAME] [--seed N] [--placement common|nc|perflow]
+//                      [--factor F] [--queue Q] [--fraction P] [--rtt2 MS]
+//                      [--cc cubic|reno|bbr] [--unmodified] [--spoof]
+//   wehey_cli wild     [--isp 0..4] [--seed N] [--app NAME] [--sanity]
+//   wehey_cli session  [--seed N] [--churn] [--decline]
+//   wehey_cli topology [--clients N] [--seed N]
+//   wehey_cli sweep    [--app NAME] [--runs N] [--fp]
+//   wehey_cli trace    [--seed N] [--max-events N]   (ascii packet trace)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/loss_correlation.hpp"
+#include "core/coupling.hpp"
+#include "experiments/history.hpp"
+#include "experiments/params.hpp"
+#include "experiments/wild.hpp"
+#include "netsim/tracer.hpp"
+#include "replay/session.hpp"
+#include "topology/construction.hpp"
+#include "topology/database.hpp"
+#include "topology/synthetic.hpp"
+#include "trace/apps.hpp"
+#include "trace/background.hpp"
+
+using namespace wehey;
+using namespace wehey::experiments;
+
+namespace {
+
+/// Minimal --key value / --flag parser.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", key.c_str());
+        std::exit(2);
+      }
+      key = key.substr(2);
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";
+      }
+    }
+  }
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+  std::string get(const std::string& key, const std::string& dflt) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? dflt : it->second;
+  }
+  double num(const std::string& key, double dflt) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? dflt : std::atof(it->second.c_str());
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+ScenarioConfig scenario_from(const Args& args) {
+  auto cfg = default_scenario(args.get("app", "Netflix"),
+                              static_cast<std::uint64_t>(args.num("seed", 42)));
+  const std::string placement = args.get("placement", "common");
+  if (placement == "nc") {
+    cfg.placement = Placement::NonCommonLinks;
+  } else if (placement == "perflow") {
+    cfg.placement = Placement::PerFlowCommonLink;
+  }
+  cfg.input_rate_factor = args.num("factor", cfg.input_rate_factor);
+  cfg.queue_burst_factor = args.num("queue", cfg.queue_burst_factor);
+  cfg.bg_diff_fraction = args.num("fraction", cfg.bg_diff_fraction);
+  cfg.rtt2_ms = args.num("rtt2", cfg.rtt2_ms);
+  cfg.modified_traces = !args.has("unmodified");
+  cfg.spoof_same_flow = args.has("spoof");
+  const std::string cc = args.get("cc", "cubic");
+  if (cc == "reno") cfg.tcp_cc = transport::CongestionControl::NewReno;
+  if (cc == "bbr") cfg.tcp_cc = transport::CongestionControl::Bbr;
+  return cfg;
+}
+
+int cmd_testbed(const Args& args) {
+  const auto cfg = scenario_from(args);
+  const auto d = derive(cfg);
+  std::printf("app=%s seed=%llu trace=%.2f Mbps limiter=%.2f Mbps\n",
+              cfg.app.c_str(),
+              static_cast<unsigned long long>(cfg.seed),
+              d.trace_rate / 1e6, d.limiter_rate / 1e6);
+  const auto sim = run_simultaneous_experiment(cfg);
+  std::printf("WeHe confirmation: %s (p1 p=%.3g, p2 p=%.3g)\n",
+              sim.differentiation_confirmed ? "both paths" : "NOT confirmed",
+              sim.p1_confirmation.p_value, sim.p2_confirmation.p_value);
+  std::printf("p1: %.2f Mbps, loss %.3f | p2: %.2f Mbps, loss %.3f\n",
+              sim.original.p1.avg_throughput_bps / 1e6,
+              sim.original.p1.retx_rate,
+              sim.original.p2.avg_throughput_bps / 1e6,
+              sim.original.p2.retx_rate);
+  const auto corr = core::loss_trend_correlation(
+      sim.original.p1.meas, sim.original.p2.meas,
+      milliseconds(std::max(cfg.rtt1_ms, cfg.rtt2_ms)));
+  std::printf("loss-trend correlation: %zu/%zu sizes -> %s\n",
+              corr.sizes_correlated, corr.sizes_tested,
+              corr.common_bottleneck ? "COMMON BOTTLENECK" : "no evidence");
+  const auto coupled = core::coupled_bottleneck_test(
+      sim.original.p1.meas.throughput_samples(100),
+      sim.original.p2.meas.throughput_samples(100));
+  std::printf("coupled-bottleneck test: %s (ratio %.2f, corr %+.2f)\n",
+              coupled.coupled ? "COUPLED" : "not coupled", coupled.ratio,
+              coupled.correlation);
+  return 0;
+}
+
+int cmd_wild(const Args& args) {
+  const int isp_index = static_cast<int>(args.num("isp", 0));
+  const auto isps = default_isp_models();
+  if (isp_index < 0 || isp_index >= static_cast<int>(isps.size())) {
+    std::fprintf(stderr, "--isp must be 0..4\n");
+    return 2;
+  }
+  WildConfig cfg;
+  cfg.isp = isps[static_cast<std::size_t>(isp_index)];
+  cfg.seed = static_cast<std::uint64_t>(args.num("seed", 7));
+  cfg.app = args.get("app", "Netflix");
+  const auto t_diff = build_wild_t_diff(cfg, 12);
+  const auto out = args.has("sanity") ? run_wild_sanity_check(cfg, t_diff)
+                                      : run_wild_test(cfg, t_diff);
+  std::printf("%s %s: confirmed=%s localized=%s (throughput p=%.3g)\n",
+              cfg.isp.name.c_str(), cfg.app.c_str(),
+              out.localization.confirmation_passed ? "yes" : "no",
+              out.localized ? "YES" : "no",
+              out.localization.throughput.p_value);
+  return 0;
+}
+
+int cmd_session(const Args& args) {
+  replay::SessionConfig cfg;
+  cfg.scenario = default_scenario(
+      args.get("app", "Netflix"),
+      static_cast<std::uint64_t>(args.num("seed", 2)));
+  cfg.route_churn = args.has("churn");
+  cfg.user_consents = !args.has("decline");
+  HistoryConfig hist;
+  hist.replays = 6;
+  cfg.t_diff_history = build_t_diff_history(cfg.scenario, hist);
+  topology::TopologyDatabase db;
+  replay::seed_topology_database(cfg.scenario, db);
+  const auto result = replay::run_session(cfg, db);
+  for (const auto& ev : result.events) {
+    std::printf("[%9.3fs] %s\n", to_seconds(ev.at), ev.what.c_str());
+  }
+  std::printf("outcome: %s\n", replay::to_string(result.outcome));
+  return 0;
+}
+
+int cmd_topology(const Args& args) {
+  Rng rng(static_cast<std::uint64_t>(args.num("seed", 1)));
+  topology::SyntheticConfig cfg;
+  cfg.num_clients = static_cast<std::size_t>(args.num("clients", 500));
+  const auto ds = topology::generate_mlab_dataset(cfg, rng);
+  topology::TopologyConstructor tc;
+  const auto entries = tc.construct(ds.records);
+  std::printf("records=%zu discarded(incomplete=%zu aliased=%zu) "
+              "destinations=%zu with-topology=%zu\n",
+              tc.stats().input_records, tc.stats().discarded_incomplete,
+              tc.stats().discarded_aliased, tc.stats().destinations,
+              tc.stats().destinations_with_topology);
+  return 0;
+}
+
+int cmd_sweep(const Args& args) {
+  const auto app = args.get("app", "Netflix");
+  const auto runs = static_cast<std::size_t>(args.num("runs", 6));
+  const bool fp_mode = args.has("fp");
+  int detected = 0, confirmed = 0;
+  for (std::size_t i = 0; i < runs; ++i) {
+    auto cfg = default_scenario(app, 7000 + i);
+    if (fp_mode) cfg.placement = Placement::NonCommonLinks;
+    const auto sim = run_simultaneous_experiment(cfg);
+    if (!sim.differentiation_confirmed && !fp_mode) continue;
+    ++confirmed;
+    detected += core::loss_trend_correlation(
+                    sim.original.p1.meas, sim.original.p2.meas,
+                    milliseconds(cfg.rtt1_ms))
+                    .common_bottleneck;
+  }
+  if (fp_mode) {
+    std::printf("%s: FP %d/%d\n", app.c_str(), detected, confirmed);
+  } else {
+    std::printf("%s: detected %d/%d confirmed (FN %d)\n", app.c_str(),
+                detected, confirmed, confirmed - detected);
+  }
+  return 0;
+}
+
+int cmd_trace(const Args& args) {
+  // A short scenario with an ascii packet trace of the common link.
+  auto cfg = scenario_from(args);
+  cfg.replay_duration = seconds(3);
+  const auto derived = derive(cfg);
+  netsim::Simulator sim;
+  Rng rng(cfg.seed);
+  FigureOneNetwork net(sim, derived.net, rng);
+  netsim::PacketTracer tracer;
+  tracer.set_capacity(
+      static_cast<std::size_t>(args.num("max-events", 200)));
+  tracer.attach(net.common_link(), "l_c");
+
+  Rng trace_rng(cfg.seed * 0x9e3779b9ULL + 17);
+  auto t = trace::make_tcp_app_trace(cfg.base_trace_duration, trace_rng);
+  t = trace::extend(t, cfg.replay_duration);
+  transport::TcpConfig tcp;
+  net.start_tcp_replay(1, t, 0, tcp);
+  net.start_tcp_replay(2, t, milliseconds(5), tcp);
+  net.run(cfg.replay_duration, seconds(1));
+  tracer.dump(stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: wehey_cli <testbed|wild|session|topology|sweep|"
+                 "trace> [--flags]\n");
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const Args args(argc, argv, 2);
+  if (cmd == "testbed") return cmd_testbed(args);
+  if (cmd == "wild") return cmd_wild(args);
+  if (cmd == "session") return cmd_session(args);
+  if (cmd == "topology") return cmd_topology(args);
+  if (cmd == "sweep") return cmd_sweep(args);
+  if (cmd == "trace") return cmd_trace(args);
+  std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+  return 2;
+}

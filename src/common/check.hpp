@@ -1,0 +1,38 @@
+// Precondition / invariant checks in the spirit of the Core Guidelines'
+// Expects/Ensures. Violations are programming errors, so they abort with a
+// message rather than throwing.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace wehey::detail {
+
+[[noreturn]] inline void check_failed(const char* kind, const char* expr,
+                                      const char* file, int line) {
+  std::fprintf(stderr, "%s failed: %s at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace wehey::detail
+
+#define WEHEY_EXPECTS(cond)                                               \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::wehey::detail::check_failed("Precondition", #cond, __FILE__,      \
+                                    __LINE__);                            \
+  } while (0)
+
+#define WEHEY_ENSURES(cond)                                               \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::wehey::detail::check_failed("Postcondition", #cond, __FILE__,     \
+                                    __LINE__);                            \
+  } while (0)
+
+#define WEHEY_ASSERT(cond)                                                \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::wehey::detail::check_failed("Invariant", #cond, __FILE__,         \
+                                    __LINE__);                            \
+  } while (0)

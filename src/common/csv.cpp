@@ -1,0 +1,62 @@
+#include "common/csv.hpp"
+
+namespace wehey {
+namespace {
+
+bool needs_quoting(const std::string& cell) {
+  return cell.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string quoted(const std::string& cell) {
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "w");
+}
+
+CsvWriter::~CsvWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void CsvWriter::header(std::initializer_list<std::string> columns) {
+  write_cells(std::vector<std::string>(columns));
+}
+
+void CsvWriter::row(std::initializer_list<std::string> cells) {
+  write_cells(std::vector<std::string>(cells));
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  write_cells(cells);
+}
+
+void CsvWriter::write_cells(const std::vector<std::string>& cells) {
+  if (file_ == nullptr) return;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const std::string& cell = cells[i];
+    if (i > 0) std::fputc(',', file_);
+    if (needs_quoting(cell)) {
+      std::fputs(quoted(cell).c_str(), file_);
+    } else {
+      std::fputs(cell.c_str(), file_);
+    }
+  }
+  std::fputc('\n', file_);
+}
+
+std::string CsvWriter::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+  return buf;
+}
+
+}  // namespace wehey

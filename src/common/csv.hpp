@@ -1,0 +1,35 @@
+// A small CSV writer for plot-ready bench artifacts. Values containing
+// commas, quotes or newlines are quoted per RFC 4180.
+#pragma once
+
+#include <cstdio>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace wehey {
+
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`; ok() reports success.
+  explicit CsvWriter(const std::string& path);
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+
+  void header(std::initializer_list<std::string> columns);
+  void row(std::initializer_list<std::string> cells);
+  void row(const std::vector<std::string>& cells);
+
+  /// Format helper for numeric cells.
+  static std::string num(double v, int precision = 6);
+
+ private:
+  void write_cells(const std::vector<std::string>& cells);
+
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace wehey

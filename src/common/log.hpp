@@ -1,0 +1,36 @@
+// Minimal leveled logging to stderr. Simulations are deterministic, so the
+// default level is Warn; tests and examples bump it when tracing behaviour.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace wehey {
+
+enum class LogLevel { Trace = 0, Debug, Info, Warn, Error, Off };
+
+/// Process-wide minimum level; messages below it are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_write(LogLevel level, const std::string& msg);
+}
+
+#define WEHEY_LOG(level, expr)                                \
+  do {                                                        \
+    if (static_cast<int>(level) >=                            \
+        static_cast<int>(::wehey::log_level())) {             \
+      std::ostringstream wehey_log_oss;                       \
+      wehey_log_oss << expr;                                  \
+      ::wehey::detail::log_write(level, wehey_log_oss.str()); \
+    }                                                         \
+  } while (0)
+
+#define LOG_TRACE(expr) WEHEY_LOG(::wehey::LogLevel::Trace, expr)
+#define LOG_DEBUG(expr) WEHEY_LOG(::wehey::LogLevel::Debug, expr)
+#define LOG_INFO(expr) WEHEY_LOG(::wehey::LogLevel::Info, expr)
+#define LOG_WARN(expr) WEHEY_LOG(::wehey::LogLevel::Warn, expr)
+#define LOG_ERROR(expr) WEHEY_LOG(::wehey::LogLevel::Error, expr)
+
+}  // namespace wehey

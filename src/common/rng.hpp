@@ -1,0 +1,59 @@
+// Deterministic random-number generation for simulations.
+//
+// All stochastic components draw from an Rng handed to them explicitly, so
+// every experiment is reproducible from a single seed. The generator is
+// xoshiro256** (public-domain algorithm by Blackman & Vigna): fast, small
+// state, and good statistical quality — more than enough for packet-level
+// simulation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace wehey {
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Reset the stream from a single 64-bit seed (SplitMix64 expansion).
+  void reseed(std::uint64_t seed);
+
+  /// Raw 64 random bits.
+  std::uint64_t next();
+
+  // UniformRandomBitGenerator interface, so Rng works with <random>
+  // distributions and std::shuffle.
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next(); }
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p);
+  /// Exponential with the given mean (inter-arrival times of a Poisson
+  /// process of rate 1/mean).
+  double exponential(double mean);
+  /// Standard normal via Box-Muller (no state caching: simple & adequate).
+  double normal(double mean, double stddev);
+  /// Pareto with scale x_m > 0 and shape alpha > 0 (heavy-tailed sizes).
+  double pareto(double scale, double shape);
+  /// Log-normal parameterized by the underlying normal's mu/sigma.
+  double lognormal(double mu, double sigma);
+
+  /// Derive an independent child stream (for giving each component its own
+  /// generator without correlated draws).
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace wehey

@@ -1,0 +1,20 @@
+#include "common/time.hpp"
+
+#include <cstdio>
+
+namespace wehey {
+
+std::string format_time(Time t) {
+  char buf[64];
+  if (t >= kSecond || t <= -kSecond) {
+    std::snprintf(buf, sizeof buf, "%.6fs", to_seconds(t));
+  } else if (t >= kMillisecond || t <= -kMillisecond) {
+    std::snprintf(buf, sizeof buf, "%.3fms", to_milliseconds(t));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3fus",
+                  static_cast<double>(t) / static_cast<double>(kMicrosecond));
+  }
+  return buf;
+}
+
+}  // namespace wehey

@@ -1,0 +1,41 @@
+// Simulation time: a 64-bit signed count of nanoseconds since the start of
+// the simulation. A plain integer (rather than std::chrono) keeps event
+// ordering exact and serialization trivial, while the helpers below keep
+// call sites readable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace wehey {
+
+/// Simulation time stamp / duration in nanoseconds.
+using Time = std::int64_t;
+
+inline constexpr Time kNanosecond = 1;
+inline constexpr Time kMicrosecond = 1'000;
+inline constexpr Time kMillisecond = 1'000'000;
+inline constexpr Time kSecond = 1'000'000'000;
+
+constexpr Time nanoseconds(double n) { return static_cast<Time>(n); }
+constexpr Time microseconds(double us) {
+  return static_cast<Time>(us * static_cast<double>(kMicrosecond));
+}
+constexpr Time milliseconds(double ms) {
+  return static_cast<Time>(ms * static_cast<double>(kMillisecond));
+}
+constexpr Time seconds(double s) {
+  return static_cast<Time>(s * static_cast<double>(kSecond));
+}
+
+constexpr double to_seconds(Time t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+constexpr double to_milliseconds(Time t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+/// Render a time as e.g. "12.345ms" for logs and error messages.
+std::string format_time(Time t);
+
+}  // namespace wehey

@@ -1,0 +1,39 @@
+// Data-rate and data-size helpers. Rates are double bits-per-second; sizes
+// are integral bytes. Conversion helpers keep the bits/bytes factor of 8 in
+// one place.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.hpp"
+
+namespace wehey {
+
+/// Data rate in bits per second.
+using Rate = double;
+
+inline constexpr Rate kBitPerSec = 1.0;
+inline constexpr Rate kKbps = 1e3;
+inline constexpr Rate kMbps = 1e6;
+inline constexpr Rate kGbps = 1e9;
+
+constexpr Rate mbps(double v) { return v * kMbps; }
+constexpr Rate kbps(double v) { return v * kKbps; }
+
+/// Time to serialize `bytes` onto a link of rate `rate` (bits/sec).
+constexpr Time transmission_time(std::int64_t bytes, Rate rate) {
+  return static_cast<Time>(static_cast<double>(bytes) * 8.0 /
+                           rate * static_cast<double>(kSecond));
+}
+
+/// Bytes transferred at `rate` during `t`.
+constexpr double bytes_in(Rate rate, Time t) {
+  return rate * to_seconds(t) / 8.0;
+}
+
+/// Rate achieved by `bytes` over duration `t` (0 if t == 0).
+constexpr Rate rate_of(std::int64_t bytes, Time t) {
+  return t > 0 ? static_cast<double>(bytes) * 8.0 / to_seconds(t) : 0.0;
+}
+
+}  // namespace wehey

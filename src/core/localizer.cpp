@@ -1,0 +1,68 @@
+#include "core/localizer.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "stats/descriptive.hpp"
+
+namespace wehey::core {
+
+Time estimate_base_rtt(const netsim::ReplayMeasurement& m1,
+                       const netsim::ReplayMeasurement& m2, Time fallback) {
+  auto min_rtt = [](const netsim::ReplayMeasurement& m) -> Time {
+    if (m.rtt_ms.empty()) return 0;
+    return milliseconds(stats::min(m.rtt_ms));
+  };
+  const Time r1 = min_rtt(m1);
+  const Time r2 = min_rtt(m2);
+  const Time base = std::max(r1, r2);
+  return base > 0 ? base : fallback;
+}
+
+LocalizationResult localize(const LocalizationInput& input, Rng& rng,
+                            const LocalizerConfig& cfg) {
+  LocalizationResult res;
+
+  // Operation 3 (§3.1): differentiation confirmation on both paths, using
+  // WeHe's own throughput-based detector. Unless *both* paths
+  // differentiated, WeHeY reports no evidence.
+  res.p1_confirmation =
+      detect_differentiation(input.p1_original, input.p1_inverted, cfg.wehe);
+  res.p2_confirmation =
+      detect_differentiation(input.p2_original, input.p2_inverted, cfg.wehe);
+  res.confirmation_passed = res.p1_confirmation.differentiation &&
+                            res.p2_confirmation.differentiation;
+  if (!res.confirmation_passed) {
+    LOG_DEBUG("localizer: differentiation not confirmed on both paths");
+    return res;
+  }
+
+  // Operation 4a: throughput comparison — per-client throttling check.
+  const auto x = input.p0_original.throughput_samples(cfg.wehe.intervals);
+  const auto y1 = input.p1_original.throughput_samples(cfg.wehe.intervals);
+  const auto y2 = input.p2_original.throughput_samples(cfg.wehe.intervals);
+  const auto y = aggregate_samples(y1, y2);
+  res.throughput =
+      throughput_comparison(x, y, input.t_diff_history, rng, cfg.throughput);
+  if (res.throughput.common_bottleneck) {
+    res.verdict = Verdict::EvidenceWithinTargetArea;
+    res.mechanism = Mechanism::PerClientThrottling;
+    return res;
+  }
+
+  // Operation 4b: loss-trend correlation — collective throttling check.
+  res.base_rtt_used =
+      input.base_rtt > 0
+          ? input.base_rtt
+          : estimate_base_rtt(input.p1_original, input.p2_original,
+                              cfg.fallback_rtt);
+  res.loss = loss_trend_correlation(input.p1_original, input.p2_original,
+                                    res.base_rtt_used, cfg.loss);
+  if (res.loss.common_bottleneck) {
+    res.verdict = Verdict::EvidenceWithinTargetArea;
+    res.mechanism = Mechanism::CollectiveThrottling;
+  }
+  return res;
+}
+
+}  // namespace wehey::core

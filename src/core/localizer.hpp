@@ -1,0 +1,75 @@
+// WeHeY's end-to-end decision pipeline (§3.1, operations 3 and 4).
+//
+// Input: measurements from the p0 single replays (original and
+// bit-inverted) and from the simultaneous replays along p1/p2, plus the
+// historical T_diff data. Output: either concrete evidence that the
+// differentiation happens inside the target network area, or "no
+// evidence" (in which case WeHeY adds nothing beyond WeHe).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "core/loss_correlation.hpp"
+#include "core/throughput_comparison.hpp"
+#include "core/wehe.hpp"
+#include "netsim/measure.hpp"
+
+namespace wehey::core {
+
+enum class Verdict {
+  NoEvidence,               ///< cannot attribute beyond WeHe's detection
+  EvidenceWithinTargetArea  ///< differentiation localized to the target
+};
+
+enum class Mechanism {
+  None,
+  PerClientThrottling,   ///< detected by throughput comparison (§4.1)
+  CollectiveThrottling,  ///< detected by loss-trend correlation (§4.2)
+};
+
+struct LocalizationInput {
+  // Single replays along p0 (a standard WeHe test).
+  netsim::ReplayMeasurement p0_original;
+  netsim::ReplayMeasurement p0_inverted;
+  // Simultaneous replays along p1 and p2.
+  netsim::ReplayMeasurement p1_original;
+  netsim::ReplayMeasurement p2_original;
+  netsim::ReplayMeasurement p1_inverted;
+  netsim::ReplayMeasurement p2_inverted;
+  /// Historical relative throughput differences between back-to-back WeHe
+  /// tests (the T_diff source, §4.1).
+  std::vector<double> t_diff_history;
+  /// max_i { p_i's minimum RTT }; 0 lets the localizer estimate it from
+  /// the measurements' RTT samples.
+  Time base_rtt = 0;
+};
+
+struct LocalizerConfig {
+  WeheConfig wehe;
+  ThroughputComparisonConfig throughput;
+  LossCorrelationConfig loss;
+  Time fallback_rtt = milliseconds(35);  ///< when no RTT samples exist
+};
+
+struct LocalizationResult {
+  Verdict verdict = Verdict::NoEvidence;
+  Mechanism mechanism = Mechanism::None;
+  WeheResult p1_confirmation;
+  WeheResult p2_confirmation;
+  bool confirmation_passed = false;
+  ThroughputComparisonResult throughput;
+  LossCorrelationResult loss;
+  Time base_rtt_used = 0;
+};
+
+/// Estimate the Alg. 1 base RTT from measurement latency samples: the
+/// maximum over paths of each path's minimum RTT.
+Time estimate_base_rtt(const netsim::ReplayMeasurement& m1,
+                       const netsim::ReplayMeasurement& m2, Time fallback);
+
+LocalizationResult localize(const LocalizationInput& input, Rng& rng,
+                            const LocalizerConfig& cfg = {});
+
+}  // namespace wehey::core

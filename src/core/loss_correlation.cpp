@@ -1,0 +1,68 @@
+#include "core/loss_correlation.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace wehey::core {
+
+LossCorrelationResult loss_trend_correlation(
+    const netsim::ReplayMeasurement& m1, const netsim::ReplayMeasurement& m2,
+    Time base_rtt, const LossCorrelationConfig& cfg) {
+  WEHEY_EXPECTS(base_rtt > 0);
+  LossCorrelationResult res;
+
+  const auto sigmas =
+      interval_size_sweep(base_rtt, cfg.interval_sizes,
+                          cfg.min_interval_rtts, cfg.max_interval_rtts);
+  SeriesOptions opt;
+  opt.min_packets_per_interval = cfg.min_packets_per_interval;
+  opt.require_some_loss = true;
+
+  Rng perm_rng(cfg.permutation_seed);
+  for (Time sigma : sigmas) {
+    IntervalOutcome outcome;
+    outcome.sigma = sigma;
+    const auto series = make_loss_rate_series(m1, m2, sigma, opt);
+    outcome.retained_intervals = series.retained_intervals;
+    stats::CorrelationResult corr;
+    switch (cfg.method) {
+      case CorrelationMethod::Spearman:
+        corr = stats::spearman(series.path1, series.path2, cfg.alternative);
+        break;
+      case CorrelationMethod::Pearson:
+        corr = stats::pearson(series.path1, series.path2, cfg.alternative);
+        break;
+      case CorrelationMethod::Kendall:
+        corr = stats::kendall(series.path1, series.path2, cfg.alternative);
+        break;
+      case CorrelationMethod::SpearmanPermutation:
+        corr = stats::spearman_permutation(series.path1, series.path2,
+                                           perm_rng,
+                                           cfg.permutation_iterations,
+                                           cfg.alternative);
+        break;
+    }
+    if (corr.valid) {
+      outcome.rho = corr.coefficient;
+      outcome.p_value = corr.p_value;
+      outcome.correlated = corr.p_value < cfg.fp;
+    }
+    // An invalid test (too few retained intervals, or a constant series)
+    // counts as "not correlated": the conservative direction.
+    res.per_size.push_back(outcome);
+    if (outcome.correlated) ++res.sizes_correlated;
+  }
+  res.sizes_tested = res.per_size.size();
+  res.common_bottleneck =
+      static_cast<double>(res.sizes_correlated) >
+      (1.0 - cfg.fp) * static_cast<double>(res.sizes_tested);
+  LOG_DEBUG("loss-trend correlation: " << res.sizes_correlated << "/"
+                                       << res.sizes_tested
+                                       << " sizes correlated -> "
+                                       << res.common_bottleneck);
+  return res;
+}
+
+}  // namespace wehey::core

@@ -1,0 +1,66 @@
+// The second common-bottleneck detector: loss-trend correlation
+// (Algorithm 1, §4.2).
+//
+// For every interval size sigma in a 10-50 RTT sweep, build the aligned
+// loss-rate time series of the two paths and test the Spearman correlation
+// p-value against the acceptable false-positive rate FP. Output "common
+// bottleneck" iff more than a (1 - FP) fraction of the interval sizes show
+// significant correlation — the conservative aggregation the paper found
+// necessary to hold the target FP.
+#pragma once
+
+#include <vector>
+
+#include "common/time.hpp"
+#include "core/loss_series.hpp"
+#include "netsim/measure.hpp"
+#include "stats/correlation.hpp"
+
+namespace wehey::core {
+
+/// Correlation statistic used per interval size. The paper argues for
+/// Spearman ("normalized ... least sensitive to strong outliers", §4.2);
+/// the alternatives exist for the ablation bench.
+enum class CorrelationMethod {
+  Spearman,
+  Pearson,
+  Kendall,
+  SpearmanPermutation,  ///< Monte-Carlo permutation p (short series)
+};
+
+struct LossCorrelationConfig {
+  double fp = 0.05;  ///< acceptable false-positive rate
+  int interval_sizes = 9;
+  int min_interval_rtts = 10;
+  int max_interval_rtts = 50;
+  std::uint64_t min_packets_per_interval = 10;
+  /// Loss rates of flows over a shared bottleneck rise and fall together,
+  /// so the one-sided (positive) alternative is the appropriate test.
+  stats::Alternative alternative = stats::Alternative::Greater;
+  CorrelationMethod method = CorrelationMethod::Spearman;
+  std::size_t permutation_iterations = 2000;
+  std::uint64_t permutation_seed = 1;
+};
+
+struct IntervalOutcome {
+  Time sigma = 0;
+  std::size_t retained_intervals = 0;
+  double rho = 0.0;
+  double p_value = 1.0;
+  bool correlated = false;
+};
+
+struct LossCorrelationResult {
+  bool common_bottleneck = false;
+  std::size_t sizes_tested = 0;
+  std::size_t sizes_correlated = 0;
+  std::vector<IntervalOutcome> per_size;
+};
+
+/// `base_rtt` is max_i { p_i's min RTT } (Alg. 1 line 2) — the interval
+/// sizes sweep 10-50 multiples of it.
+LossCorrelationResult loss_trend_correlation(
+    const netsim::ReplayMeasurement& m1, const netsim::ReplayMeasurement& m2,
+    Time base_rtt, const LossCorrelationConfig& cfg = {});
+
+}  // namespace wehey::core

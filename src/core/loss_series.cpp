@@ -1,0 +1,74 @@
+#include "core/loss_series.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace wehey::core {
+
+LossRateSeries make_loss_rate_series(const netsim::ReplayMeasurement& m1,
+                                     const netsim::ReplayMeasurement& m2,
+                                     Time sigma, const SeriesOptions& opt) {
+  WEHEY_EXPECTS(sigma > 0);
+  LossRateSeries out;
+
+  // Bin both measurements over their common time span so interval t means
+  // the same wall-clock window on both paths (the replays are started
+  // back-to-back; see §3.4 "Synchronization").
+  const Time start = std::min(m1.start, m2.start);
+  const Time end = std::max(m1.end, m2.end);
+  if (end <= start) return out;
+  const auto n = static_cast<std::size_t>((end - start + sigma - 1) / sigma);
+  out.total_intervals = n;
+
+  struct Bin {
+    std::uint64_t txed = 0;
+    std::uint64_t lost = 0;
+  };
+  std::vector<Bin> b1(n), b2(n);
+  auto fill = [&](const netsim::ReplayMeasurement& m, std::vector<Bin>& bins) {
+    auto bin_of = [&](Time t) {
+      if (t < start) t = start;
+      auto idx = static_cast<std::size_t>((t - start) / sigma);
+      return std::min(idx, n - 1);
+    };
+    for (Time t : m.tx_times) ++bins[bin_of(t)].txed;
+    for (Time t : m.loss_times) ++bins[bin_of(t)].lost;
+  };
+  fill(m1, b1);
+  fill(m2, b2);
+
+  for (std::size_t t = 0; t < n; ++t) {
+    if (b1[t].txed < opt.min_packets_per_interval ||
+        b2[t].txed < opt.min_packets_per_interval) {
+      continue;
+    }
+    if (opt.require_some_loss && b1[t].lost == 0 && b2[t].lost == 0) {
+      continue;
+    }
+    out.path1.push_back(static_cast<double>(b1[t].lost) /
+                        static_cast<double>(b1[t].txed));
+    out.path2.push_back(static_cast<double>(b2[t].lost) /
+                        static_cast<double>(b2[t].txed));
+  }
+  out.retained_intervals = out.path1.size();
+  return out;
+}
+
+std::vector<Time> interval_size_sweep(Time base_rtt, int count, int min_rtts,
+                                      int max_rtts) {
+  WEHEY_EXPECTS(base_rtt > 0);
+  WEHEY_EXPECTS(count >= 2);
+  WEHEY_EXPECTS(min_rtts < max_rtts);
+  std::vector<Time> sizes;
+  sizes.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const double rtts =
+        min_rtts + (max_rtts - min_rtts) * static_cast<double>(i) /
+                       static_cast<double>(count - 1);
+    sizes.push_back(static_cast<Time>(rtts * static_cast<double>(base_rtt)));
+  }
+  return sizes;
+}
+
+}  // namespace wehey::core

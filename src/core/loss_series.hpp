@@ -1,0 +1,41 @@
+// Construction of the aligned per-path loss-rate time series that all the
+// common-bottleneck detectors (Alg. 1-4) operate on.
+//
+// "Create time series from M, sigma" (Alg. 1 line 4): divide time into
+// intervals of size sigma; per interval and per path count transmitted and
+// lost packets; discard intervals where one or both paths transmitted
+// fewer than a minimum number of packets, or where neither path lost any
+// packets.
+#pragma once
+
+#include <vector>
+
+#include "common/time.hpp"
+#include "netsim/measure.hpp"
+
+namespace wehey::core {
+
+struct LossRateSeries {
+  std::vector<double> path1;  ///< loss rate per retained interval
+  std::vector<double> path2;
+  std::size_t total_intervals = 0;     ///< before filtering
+  std::size_t retained_intervals = 0;  ///< after filtering
+};
+
+struct SeriesOptions {
+  std::uint64_t min_packets_per_interval = 10;
+  /// Drop intervals in which neither path lost anything (Alg. 1 line 4).
+  bool require_some_loss = true;
+};
+
+LossRateSeries make_loss_rate_series(const netsim::ReplayMeasurement& m1,
+                                     const netsim::ReplayMeasurement& m2,
+                                     Time sigma,
+                                     const SeriesOptions& opt = {});
+
+/// The interval-size sweep of Alg. 1 line 2: sizes sigma with
+/// 10 <= sigma / base_rtt <= 50, evenly spaced, `count` of them.
+std::vector<Time> interval_size_sweep(Time base_rtt, int count = 9,
+                                      int min_rtts = 10, int max_rtts = 50);
+
+}  // namespace wehey::core

@@ -1,0 +1,56 @@
+// The first common-bottleneck detector: throughput comparison (§4.1).
+//
+// Checks whether the aggregate throughput of the simultaneous replay along
+// p1 and p2 (Y) adds up to the single-replay throughput along p0 (X) —
+// which it should if the client's traffic traverses a queue dedicated to
+// the client that is the bottleneck (per-client throttling).
+//
+// Two empirical distributions are compared:
+//  * O_diff — Monte-Carlo distribution of the relative mean difference
+//    between random halves of X and Y;
+//  * T_diff — "normal throughput variation", from pairs of past WeHe tests
+//    of the same client/app/carrier taken < 10 minutes apart.
+//
+// Both are compared as *magnitudes* (|relative difference|): a test pair's
+// ordering is arbitrary, so the signed t_diff distribution is symmetric
+// around zero, and the meaningful question is whether |X - Y| is small
+// relative to normal variation magnitude. A one-sided Mann-Whitney U test
+// then asks whether O_diff has significantly smaller rank-sum than T_diff;
+// p < alpha declares a common bottleneck.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace wehey::core {
+
+struct ThroughputComparisonConfig {
+  double alpha = 0.05;
+};
+
+struct ThroughputComparisonResult {
+  bool common_bottleneck = false;
+  double p_value = 1.0;
+  bool valid = false;
+  std::vector<double> o_diff;  ///< Monte-Carlo |relative difference| draws
+  std::vector<double> t_diff;  ///< normal-variation magnitudes used
+};
+
+/// `x`: throughput samples of the p0 single replay; `y`: per-interval sums
+/// of the p1/p2 simultaneous replay samples; `t_diff`: signed or unsigned
+/// historical t_diff values (magnitudes are taken internally). The number
+/// of Monte-Carlo iterations equals t_diff.size(), so the two compared
+/// samples have the same size (§4.1).
+ThroughputComparisonResult throughput_comparison(
+    std::span<const double> x, std::span<const double> y,
+    std::span<const double> t_diff, Rng& rng,
+    const ThroughputComparisonConfig& cfg = {});
+
+/// Element-wise sum of the two simultaneous-replay sample vectors (the Y
+/// set construction of §4.1).
+std::vector<double> aggregate_samples(std::span<const double> a,
+                                      std::span<const double> b);
+
+}  // namespace wehey::core

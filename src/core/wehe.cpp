@@ -1,0 +1,41 @@
+#include "core/wehe.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "stats/hypothesis.hpp"
+
+namespace wehey::core {
+
+WeheResult detect_differentiation_samples(
+    const std::vector<double>& original_samples,
+    const std::vector<double>& inverted_samples, const WeheConfig& cfg) {
+  WeheResult res;
+  if (original_samples.empty() || inverted_samples.empty()) return res;
+
+  const auto ks = stats::ks_two_sample(original_samples, inverted_samples);
+  res.ks_statistic = ks.statistic;
+  res.p_value = ks.p_value;
+  res.original_mean_bps = stats::mean(original_samples);
+  res.inverted_mean_bps = stats::mean(inverted_samples);
+  res.original_slower = res.original_mean_bps < res.inverted_mean_bps;
+
+  const double hi = std::max(res.original_mean_bps, res.inverted_mean_bps);
+  const double effect =
+      hi > 0.0 ? std::fabs(res.original_mean_bps - res.inverted_mean_bps) / hi
+               : 0.0;
+  res.differentiation =
+      ks.valid && ks.p_value < cfg.alpha && effect >= cfg.min_effect;
+  return res;
+}
+
+WeheResult detect_differentiation(const netsim::ReplayMeasurement& original,
+                                  const netsim::ReplayMeasurement& inverted,
+                                  const WeheConfig& cfg) {
+  return detect_differentiation_samples(
+      original.throughput_samples(cfg.intervals),
+      inverted.throughput_samples(cfg.intervals), cfg);
+}
+
+}  // namespace wehey::core

@@ -1,0 +1,47 @@
+// WeHe's differentiation detector (§2.1), reused by WeHeY's
+// "differentiation confirmation" step (§3.1, operation 3).
+//
+// The replay duration is divided into 100 intervals; per-interval
+// throughput CDFs of the original and bit-inverted replays are compared
+// with a two-sample Kolmogorov-Smirnov test. A significant difference
+// means the path differentiates against the original trace.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netsim/measure.hpp"
+
+namespace wehey::core {
+
+struct WeheConfig {
+  std::size_t intervals = 100;  ///< throughput samples per replay
+  double alpha = 0.05;          ///< KS significance level
+  /// Minimum relative difference of mean throughputs; guards against
+  /// statistically-significant-but-negligible differences on very stable
+  /// links.
+  double min_effect = 0.05;
+};
+
+struct WeheResult {
+  bool differentiation = false;
+  double ks_statistic = 0.0;
+  double p_value = 1.0;
+  double original_mean_bps = 0.0;
+  double inverted_mean_bps = 0.0;
+  /// True when the original replay was the slower one (throttled).
+  bool original_slower = false;
+};
+
+/// Compare one path's original-trace replay against its bit-inverted
+/// control replay.
+WeheResult detect_differentiation(const netsim::ReplayMeasurement& original,
+                                  const netsim::ReplayMeasurement& inverted,
+                                  const WeheConfig& cfg = {});
+
+/// Same test on precomputed throughput samples (bits/sec).
+WeheResult detect_differentiation_samples(
+    const std::vector<double>& original_samples,
+    const std::vector<double>& inverted_samples, const WeheConfig& cfg = {});
+
+}  // namespace wehey::core

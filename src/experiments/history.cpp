@@ -1,0 +1,35 @@
+#include "experiments/history.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "stats/descriptive.hpp"
+
+namespace wehey::experiments {
+
+std::vector<double> build_t_diff_history(const ScenarioConfig& scenario,
+                                         const HistoryConfig& cfg) {
+  WEHEY_EXPECTS(cfg.replays >= 2);
+  std::vector<double> means;
+  means.reserve(cfg.replays);
+  for (std::size_t i = 0; i < cfg.replays; ++i) {
+    ScenarioConfig run = scenario;
+    run.seed = scenario.seed * 104729ULL + i * 31ULL + 7ULL;
+    const auto rep = run_phase(run, Phase::SingleInverted);
+    means.push_back(stats::mean(rep.p1.meas.throughput_samples(100)));
+  }
+  // All pair combinations, as the paper pairs every two tests of the same
+  // client/app/carrier within the time window.
+  std::vector<double> t_diff;
+  t_diff.reserve(means.size() * (means.size() - 1) / 2);
+  for (std::size_t i = 0; i < means.size(); ++i) {
+    for (std::size_t j = i + 1; j < means.size(); ++j) {
+      const double hi = std::max(means[i], means[j]);
+      t_diff.push_back(hi > 0 ? (means[i] - means[j]) / hi : 0.0);
+    }
+  }
+  return t_diff;
+}
+
+}  // namespace wehey::experiments

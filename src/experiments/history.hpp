@@ -1,0 +1,25 @@
+// Synthesis of the historical T_diff distribution (§4.1).
+//
+// The paper computes T_diff from past WeHe tests: pairs of tests of the
+// same client/app/carrier taken < 10 minutes apart, each contributing the
+// relative difference of the two bit-inverted replays' mean throughputs.
+// Without the public WeHe archive, we regenerate the same quantity the
+// same way: repeated single bit-inverted replays through the scenario's
+// network (each with a fresh background segment), paired consecutively.
+#pragma once
+
+#include <vector>
+
+#include "experiments/scenario.hpp"
+
+namespace wehey::experiments {
+
+struct HistoryConfig {
+  std::size_t replays = 16;  ///< consecutive replays; yields replays-1 pairs
+};
+
+/// Signed t_diff values, one per consecutive replay pair.
+std::vector<double> build_t_diff_history(const ScenarioConfig& scenario,
+                                         const HistoryConfig& cfg = {});
+
+}  // namespace wehey::experiments

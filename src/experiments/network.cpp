@@ -1,0 +1,419 @@
+#include "experiments/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/check.hpp"
+#include "stats/descriptive.hpp"
+
+namespace wehey::experiments {
+
+using netsim::Demux;
+using netsim::FifoDisc;
+using netsim::Link;
+using netsim::Pipe;
+using netsim::RateLimiterDisc;
+using netsim::TbfDisc;
+
+namespace {
+
+std::unique_ptr<netsim::QueueDisc> make_disc(Placement placement,
+                                             bool this_link_limited,
+                                             const LimiterParams& lp,
+                                             std::int64_t fifo_limit) {
+  auto fifo = std::make_unique<FifoDisc>(fifo_limit);
+  if (!this_link_limited) return fifo;
+  WEHEY_EXPECTS(lp.rate > 0 && lp.burst > 0);
+  if (placement == Placement::PerFlowCommonLink) {
+    return std::make_unique<netsim::PerFlowRateLimiterDisc>(
+        std::move(fifo), lp.rate, lp.burst, lp.limit);
+  }
+  auto tbf = std::make_unique<TbfDisc>(lp.rate, lp.burst, lp.limit);
+  return std::make_unique<RateLimiterDisc>(std::move(fifo), std::move(tbf));
+}
+
+std::int64_t default_fifo_limit(Rate bw) {
+  // ~50 ms of buffering, at least 64 KB — a typical router egress buffer.
+  return std::max<std::int64_t>(
+      64 * 1024, static_cast<std::int64_t>(bytes_in(bw, milliseconds(50))));
+}
+
+}  // namespace
+
+LimiterParams make_limiter(Rate rate, Time rtt, double queue_burst_factor) {
+  LimiterParams lp;
+  lp.rate = rate;
+  // Floors keep the bucket meaningful at scaled-down rates: a burst of a
+  // handful of MTUs and at least a few packets of backlog, as real tc-tbf
+  // deployments configure (Appendix C.1).
+  lp.burst = std::max<std::int64_t>(
+      6 * 1500, static_cast<std::int64_t>(bytes_in(rate, rtt)));
+  lp.limit = std::max<std::int64_t>(
+      3 * 1500, static_cast<std::int64_t>(static_cast<double>(lp.burst) *
+                                          queue_burst_factor));
+  return lp;
+}
+
+// ------------------------------------------------------------ inner types
+
+struct FigureOneNetwork::TcpReplay {
+  int path = 1;
+  Time start = 0;
+  // One entry per parallel connection of the replayed session.
+  std::vector<std::unique_ptr<Pipe>> ack_pipes;
+  std::vector<std::unique_ptr<transport::TcpSender>> senders;
+  std::vector<std::unique_ptr<transport::TcpReceiver>> receivers;
+};
+
+struct FigureOneNetwork::UdpReplay {
+  int path = 1;
+  std::unique_ptr<transport::UdpReplayReceiver> receiver;
+  std::unique_ptr<transport::UdpReplaySender> sender;
+};
+
+struct FigureOneNetwork::QuicReplay {
+  int path = 1;
+  std::unique_ptr<Pipe> ack_pipe;
+  std::unique_ptr<transport::QuicSender> sender;
+  std::unique_ptr<transport::QuicReceiver> receiver;
+};
+
+struct FigureOneNetwork::BackgroundFlowRt {
+  std::unique_ptr<Pipe> ack_pipe;
+  std::unique_ptr<transport::TcpSender> sender;
+  std::unique_ptr<transport::TcpReceiver> receiver;
+};
+
+// ------------------------------------------------------------ network
+
+FigureOneNetwork::FigureOneNetwork(netsim::Simulator& sim,
+                                   const NetworkParams& params, Rng& rng)
+    : sim_(sim), params_(params), rng_(rng) {
+  WEHEY_EXPECTS(params.rtt1 > 2 * params.common_delay);
+  WEHEY_EXPECTS(params.rtt2 > 2 * params.common_delay);
+
+  client_ = std::make_unique<Demux>();
+
+  const bool limit_common = params.placement == Placement::CommonLink ||
+                            params.placement == Placement::PerFlowCommonLink;
+  const bool limit_nc = params.placement == Placement::NonCommonLinks;
+  const std::int64_t fifo_c = params.fifo_limit_bytes > 0
+                                  ? params.fifo_limit_bytes
+                                  : default_fifo_limit(params.bw_c);
+  const std::int64_t fifo_nc1 = params.fifo_limit_bytes > 0
+                                    ? params.fifo_limit_bytes
+                                    : default_fifo_limit(params.bw_nc1);
+  const std::int64_t fifo_nc2 = params.fifo_limit_bytes > 0
+                                    ? params.fifo_limit_bytes
+                                    : default_fifo_limit(params.bw_nc2);
+
+  netsim::PacketSink* last_hop = client_.get();
+  if (params.access_rate > 0) {
+    access_ = std::make_unique<Link>(
+        sim_, params.access_rate, milliseconds(1),
+        std::make_unique<FifoDisc>(default_fifo_limit(params.access_rate)),
+        client_.get());
+    last_hop = access_.get();
+    // Time-varying capacity: a lognormal multiplicative draw around the
+    // nominal rate every update interval (cellular last-hop behaviour).
+    access_rng_ = rng.split();
+    const Rate nominal = params.access_rate;
+    const double sigma = params.access_jitter_sigma;
+    const Time step = params.access_update_interval;
+    auto* link = access_.get();
+    // A self-rescheduling capacity update, owning its own RNG stream; the
+    // scheduled closures hold shared ownership so the updater outlives
+    // any pending event.
+    struct Updater : std::enable_shared_from_this<Updater> {
+      netsim::Simulator& sim;
+      Link* link;
+      Rate nominal;
+      double sigma;
+      Time step;
+      Rng rng;
+      Updater(netsim::Simulator& s, Link* l, Rate n, double sg, Time st,
+              Rng r)
+          : sim(s), link(l), nominal(n), sigma(sg), step(st), rng(r) {}
+      void fire() {
+        const double factor =
+            std::clamp(rng.lognormal(0.0, sigma), 0.35, 3.0);
+        link->set_bandwidth(nominal * factor);
+        auto self = shared_from_this();
+        sim.schedule(step, [self] { self->fire(); });
+      }
+    };
+    auto updater = std::make_shared<Updater>(sim_, link, nominal, sigma,
+                                             step, access_rng_.split());
+    sim_.schedule(step, [updater] { updater->fire(); });
+  }
+
+  auto common_disc = params.common_disc_factory
+                         ? params.common_disc_factory()
+                         : make_disc(params.placement, limit_common,
+                                     params.limiter, fifo_c);
+  common_ = std::make_unique<Link>(sim_, params.bw_c, params.common_delay,
+                                   std::move(common_disc), last_hop);
+
+  // The forward one-way delay of path i is rtt_i / 2; l_c contributes
+  // common_delay of it, the non-common link the rest.
+  const Time d1 = params.rtt1 / 2 - params.common_delay;
+  const Time d2 = params.rtt2 / 2 - params.common_delay;
+  nc1_ = std::make_unique<Link>(sim_, params.bw_nc1, d1,
+                                make_disc(params.placement, limit_nc,
+                                          params.limiter, fifo_nc1),
+                                common_.get());
+  nc2_ = std::make_unique<Link>(sim_, params.bw_nc2, d2,
+                                make_disc(params.placement, limit_nc,
+                                          params.limiter, fifo_nc2),
+                                common_.get());
+}
+
+FigureOneNetwork::~FigureOneNetwork() = default;
+
+netsim::PacketSink* FigureOneNetwork::path_entry(int path_index) {
+  WEHEY_EXPECTS(path_index == 1 || path_index == 2);
+  return path_index == 1 ? static_cast<netsim::PacketSink*>(nc1_.get())
+                         : static_cast<netsim::PacketSink*>(nc2_.get());
+}
+
+Time FigureOneNetwork::reverse_delay(int path_index) const {
+  return (path_index == 1 ? params_.rtt1 : params_.rtt2) / 2;
+}
+
+void FigureOneNetwork::attach_background(
+    int path_index, const std::vector<trace::BackgroundFlow>& flows,
+    const transport::TcpConfig& tcp) {
+  netsim::PacketSink* entry = path_entry(path_index);
+  for (const auto& f : flows) {
+    auto rt = std::make_unique<BackgroundFlowRt>();
+    const netsim::FlowId flow = next_flow_++;
+    const std::uint8_t dscp = f.differentiated
+                                  ? netsim::kDscpDifferentiated
+                                  : netsim::kDscpDefault;
+    rt->ack_pipe = std::make_unique<Pipe>(sim_, reverse_delay(path_index));
+    rt->sender = std::make_unique<transport::TcpSender>(
+        sim_, ids_, tcp, flow, dscp, entry);
+    rt->receiver = std::make_unique<transport::TcpReceiver>(
+        sim_, ids_, tcp, flow, rt->ack_pipe.get());
+    rt->ack_pipe->set_next(rt->sender.get());
+    client_->add_route(flow, rt->receiver.get());
+
+    auto* sender = rt->sender.get();
+    const std::int64_t bytes = f.bytes;
+    sim_.schedule_at(f.start, [sender, bytes] { sender->supply(bytes); });
+    background_.push_back(std::move(rt));
+  }
+}
+
+int FigureOneNetwork::start_tcp_replay(int path_index,
+                                       const trace::AppTrace& t, Time start,
+                                       const transport::TcpConfig& tcp,
+                                       int connections,
+                                       netsim::FlowId policer_key) {
+  WEHEY_EXPECTS(t.transport == trace::Transport::Tcp);
+  WEHEY_EXPECTS(connections >= 1);
+  auto rt = std::make_unique<TcpReplay>();
+  rt->path = path_index;
+  rt->start = start;
+  const std::uint8_t dscp = t.carries_sni ? netsim::kDscpDifferentiated
+                                          : netsim::kDscpDefault;
+  for (int c = 0; c < connections; ++c) {
+    const netsim::FlowId flow = next_flow_++;
+    auto pipe = std::make_unique<Pipe>(sim_, reverse_delay(path_index));
+    auto sender = std::make_unique<transport::TcpSender>(
+        sim_, ids_, tcp, flow, dscp, path_entry(path_index));
+    if (policer_key != 0) sender->set_policer_key(policer_key);
+    auto receiver = std::make_unique<transport::TcpReceiver>(
+        sim_, ids_, tcp, flow, pipe.get());
+    pipe->set_next(sender.get());
+    client_->add_route(flow, receiver.get());
+    rt->ack_pipes.push_back(std::move(pipe));
+    rt->senders.push_back(std::move(sender));
+    rt->receivers.push_back(std::move(receiver));
+  }
+
+  // The trace is the byte-availability schedule: each recorded packet's
+  // payload becomes available at its recorded offset; TCP turns it into
+  // wire traffic at its own pace. Packets are striped across the
+  // session's connections, like a streaming client's parallel range
+  // requests.
+  std::size_t next_conn = 0;
+  for (const auto& tp : t.packets) {
+    auto* sender = rt->senders[next_conn].get();
+    next_conn = (next_conn + 1) % rt->senders.size();
+    const std::int64_t bytes = tp.size;
+    sim_.schedule_at(start + tp.offset,
+                     [sender, bytes] { sender->supply(bytes); });
+  }
+  tcp_replays_.push_back(std::move(rt));
+  // TCP ids are positive, UDP ids negative, so one report() entry point
+  // can dispatch.
+  return static_cast<int>(tcp_replays_.size());
+}
+
+int FigureOneNetwork::start_udp_replay(int path_index,
+                                       const trace::AppTrace& t, Time start,
+                                       netsim::FlowId policer_key) {
+  WEHEY_EXPECTS(t.transport == trace::Transport::Udp);
+  auto rt = std::make_unique<UdpReplay>();
+  rt->path = path_index;
+  const netsim::FlowId flow = next_flow_++;
+  const std::uint8_t dscp = t.carries_sni ? netsim::kDscpDifferentiated
+                                          : netsim::kDscpDefault;
+  rt->receiver = std::make_unique<transport::UdpReplayReceiver>(sim_);
+  client_->add_route(flow, rt->receiver.get());
+  transport::UdpConfig ucfg;
+  rt->sender = std::make_unique<transport::UdpReplaySender>(
+      sim_, ids_, ucfg, flow, dscp, path_entry(path_index), t, start,
+      policer_key);
+  udp_replays_.push_back(std::move(rt));
+  return -static_cast<int>(udp_replays_.size());
+}
+
+void FigureOneNetwork::run(Time until, Time grace) {
+  sim_.run(until + grace);
+}
+
+PathReport FigureOneNetwork::report(int id, Time start, Time duration) {
+  PathReport rep;
+  if (id > 1'000'000) {
+    auto& rt = *quic_replays_.at(static_cast<std::size_t>(id - 1'000'001));
+    rep.meas = rt.sender->measurement();
+    rep.meas.deliveries = rt.receiver->deliveries();
+    rep.meas.start = start;
+    rep.meas.end = start + duration;
+    rep.retx_rate = rep.meas.loss_rate();
+    if (!rep.meas.rtt_ms.empty()) {
+      rep.avg_queuing_delay_ms =
+          stats::mean(rep.meas.rtt_ms) - stats::min(rep.meas.rtt_ms);
+    }
+    rep.avg_throughput_bps = rep.meas.average_throughput();
+    return rep;
+  }
+  if (id > 0) {
+    auto& rt = *tcp_replays_.at(static_cast<std::size_t>(id - 1));
+    // Merge the per-connection measurements into one path measurement
+    // (the server measures the whole replayed session).
+    for (std::size_t c = 0; c < rt.senders.size(); ++c) {
+      const auto& m = rt.senders[c]->measurement();
+      rep.meas.tx_times.insert(rep.meas.tx_times.end(), m.tx_times.begin(),
+                               m.tx_times.end());
+      rep.meas.loss_times.insert(rep.meas.loss_times.end(),
+                                 m.loss_times.begin(), m.loss_times.end());
+      rep.meas.rtt_ms.insert(rep.meas.rtt_ms.end(), m.rtt_ms.begin(),
+                             m.rtt_ms.end());
+      const auto& del = rt.receivers[c]->deliveries();
+      rep.meas.deliveries.insert(rep.meas.deliveries.end(), del.begin(),
+                                 del.end());
+    }
+    std::sort(rep.meas.tx_times.begin(), rep.meas.tx_times.end());
+    std::sort(rep.meas.loss_times.begin(), rep.meas.loss_times.end());
+    std::sort(rep.meas.deliveries.begin(), rep.meas.deliveries.end(),
+              [](const netsim::Delivery& a, const netsim::Delivery& b) {
+                return a.at < b.at;
+              });
+    rep.meas.start = start;
+    rep.meas.end = start + duration;
+    rep.retx_rate = rep.meas.loss_rate();
+    if (!rep.meas.rtt_ms.empty()) {
+      rep.avg_queuing_delay_ms =
+          stats::mean(rep.meas.rtt_ms) - stats::min(rep.meas.rtt_ms);
+    }
+  } else {
+    auto& rt = *udp_replays_.at(static_cast<std::size_t>(-id - 1));
+    rt.receiver->finalize(rt.sender->packets_scheduled(), start + duration);
+    rep.meas = transport::udp_measurement(*rt.sender, *rt.receiver);
+    rep.meas.start = start;
+    rep.meas.end = start + duration;
+    rep.retx_rate = rep.meas.loss_rate();
+    if (!rep.meas.rtt_ms.empty()) {
+      // One-way-delay samples: queueing delay is delay above the minimum.
+      rep.avg_queuing_delay_ms =
+          stats::mean(rep.meas.rtt_ms) - stats::min(rep.meas.rtt_ms);
+    }
+  }
+  rep.avg_throughput_bps = rep.meas.average_throughput();
+  return rep;
+}
+
+int FigureOneNetwork::start_quic_replay(int path_index,
+                                        const trace::AppTrace& t,
+                                        Time start,
+                                        const transport::QuicConfig& quic) {
+  auto rt = std::make_unique<QuicReplay>();
+  rt->path = path_index;
+  const netsim::FlowId flow = next_flow_++;
+  const std::uint8_t dscp = t.carries_sni ? netsim::kDscpDifferentiated
+                                          : netsim::kDscpDefault;
+  rt->ack_pipe = std::make_unique<Pipe>(sim_, reverse_delay(path_index));
+  rt->sender = std::make_unique<transport::QuicSender>(
+      sim_, ids_, quic, flow, dscp, path_entry(path_index));
+  rt->receiver = std::make_unique<transport::QuicReceiver>(
+      sim_, ids_, quic, flow, rt->ack_pipe.get());
+  rt->ack_pipe->set_next(rt->sender.get());
+  client_->add_route(flow, rt->receiver.get());
+  auto* sender = rt->sender.get();
+  for (const auto& tp : t.packets) {
+    const std::int64_t bytes = tp.size;
+    sim_.schedule_at(start + tp.offset,
+                     [sender, bytes] { sender->supply(bytes); });
+  }
+  quic_replays_.push_back(std::move(rt));
+  // QUIC ids live above 1'000'000 (TCP positive, UDP negative).
+  return 1'000'000 + static_cast<int>(quic_replays_.size());
+}
+
+topology::TracerouteRecord FigureOneNetwork::traceroute(
+    int path_index) const {
+  WEHEY_EXPECTS(path_index == 1 || path_index == 2);
+  auto hop = [](std::string ip, topology::Asn asn) {
+    topology::Hop h;
+    h.reported_ips.push_back(std::move(ip));
+    h.asn = asn;
+    return h;
+  };
+  topology::TracerouteRecord rec;
+  rec.server = path_index == 1 ? "s1" : "s2";
+  rec.dst_ip = "100.0.1.77";  // the client
+  rec.dst_asn = kClientAsn;
+  // Server-side hop, then the non-common transit, then the ISP hops where
+  // the two paths converge (the downstream end of l_c), then the client.
+  rec.hops.push_back(
+      hop(path_index == 1 ? "10.1.0.254" : "10.2.0.254",
+          path_index == 1 ? 65001 : 65002));
+  if (route_churn_ && path_index == 1) {
+    // Inter-domain churn rerouted path 1 through path 2's transit: the
+    // two paths now share a node outside the client's ISP, so the
+    // topology is no longer suitable (step 4 of the replay flow discards
+    // it and updates the topology database).
+    rec.hops.push_back(hop("172.16.2.1", 65102));
+  } else {
+    rec.hops.push_back(hop(path_index == 1 ? "172.16.1.1" : "172.16.2.1",
+                           path_index == 1 ? 65101 : 65102));
+  }
+  rec.hops.push_back(hop(path_index == 1 ? "100.0.254.1" : "100.0.254.2",
+                         kClientAsn));  // per-path ISP border
+  rec.hops.push_back(hop("100.0.1.1", kClientAsn));  // convergence router
+  rec.hops.push_back(hop(rec.dst_ip, kClientAsn));
+  return rec;
+}
+
+std::uint64_t FigureOneNetwork::limiter_drops() const {
+  std::uint64_t drops = 0;
+  auto add = [&drops](const netsim::QueueDisc& disc) {
+    if (const auto* rl = dynamic_cast<const RateLimiterDisc*>(&disc)) {
+      drops += rl->throttled_drops();
+    } else if (const auto* pf =
+                   dynamic_cast<const netsim::PerFlowRateLimiterDisc*>(
+                       &disc)) {
+      drops += pf->throttled_drops();
+    }
+  };
+  add(common_->disc());
+  add(nc1_->disc());
+  add(nc2_->disc());
+  return drops;
+}
+
+}  // namespace wehey::experiments

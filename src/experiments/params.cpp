@@ -1,0 +1,54 @@
+#include "experiments/params.hpp"
+
+#include <cstdlib>
+
+#include "trace/apps.hpp"
+
+namespace wehey::experiments {
+
+std::vector<std::string> evaluation_apps() {
+  std::vector<std::string> apps{"Netflix"};
+  for (const auto& name : trace::udp_app_names()) apps.push_back(name);
+  return apps;
+}
+
+RunScale run_scale() {
+  RunScale s;
+  const char* full = std::getenv("WEHEY_FULL");
+  s.full = full != nullptr && full[0] == '1';
+  if (s.full) {
+    s.runs_per_config = 5;  // as in §6.2 (five backgrounds per config)
+    s.input_rate_factors = {1.3, 1.5, 2.0, 2.5};
+    s.queue_burst_factors = {0.25, 0.5, 1.0};
+    s.replay_duration = seconds(45);
+  } else {
+    s.runs_per_config = 2;
+    s.input_rate_factors = {1.5, 2.5};
+    s.queue_burst_factors = {0.25, 1.0};
+    // §3.4: replays shorter than ~45 s yield too few loss measurements
+    // for reliable conclusions, so even fast mode keeps the full length.
+    s.replay_duration = seconds(45);
+  }
+  if (const char* runs = std::getenv("WEHEY_RUNS_PER_CONFIG")) {
+    const long v = std::strtol(runs, nullptr, 10);
+    if (v > 0) s.runs_per_config = static_cast<std::size_t>(v);
+  }
+  return s;
+}
+
+ScenarioConfig default_scenario(const std::string& app, std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.app = app;
+  cfg.seed = seed;
+  cfg.replay_duration = run_scale().replay_duration;
+  cfg.rtt1_ms = kDefaultRtt1Ms;
+  cfg.rtt2_ms = kDefaultRtt2Ms;
+  cfg.placement = Placement::CommonLink;
+  cfg.input_rate_factor = kDefaultInputRateFactor;
+  cfg.queue_burst_factor = kDefaultQueueBurstFactor;
+  cfg.bg_diff_fraction = kDefaultBgDiffFraction;
+  cfg.nc_utilization = kDefaultNcUtilization;
+  return cfg;
+}
+
+}  // namespace wehey::experiments

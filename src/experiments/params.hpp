@@ -1,0 +1,53 @@
+// The Table-2 parameter grid of the emulation/simulation evaluation, plus
+// runtime scaling knobs.
+//
+// Benches honour two environment variables:
+//   WEHEY_FULL=1            — run the full paper-scale grid (slow);
+//   WEHEY_RUNS_PER_CONFIG=N — repetitions per configuration (default
+//                             depends on FULL).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "experiments/scenario.hpp"
+
+namespace wehey::experiments {
+
+/// Table 2, "Policer Parameters".
+struct ParameterGrid {
+  std::vector<double> input_rate_factors{1.3, 1.5, 2.0, 2.5};
+  std::vector<double> queue_burst_factors{0.25, 0.5, 1.0};
+  std::vector<double> bg_diff_fractions{0.25, 0.5, 0.75};
+  /// Table 2, "Network Parameters".
+  std::vector<double> nc_utilizations{0.2, 0.95, 1.05, 1.15};
+  std::vector<double> rtt2_ms{10, 15, 25, 35, 60, 120};
+};
+
+/// Defaults (bold values in Table 2).
+inline constexpr double kDefaultInputRateFactor = 1.5;
+inline constexpr double kDefaultQueueBurstFactor = 0.5;
+inline constexpr double kDefaultBgDiffFraction = 0.5;
+inline constexpr double kDefaultNcUtilization = 0.2;
+inline constexpr double kDefaultRtt1Ms = 35.0;
+inline constexpr double kDefaultRtt2Ms = 35.0;
+
+/// The six trace pairs of §6.1: one TCP app and the five UDP apps.
+std::vector<std::string> evaluation_apps();
+
+struct RunScale {
+  bool full = false;            ///< WEHEY_FULL
+  std::size_t runs_per_config;  ///< repetitions per grid point
+  /// Subsets of the grid used in the default (fast) mode.
+  std::vector<double> input_rate_factors;
+  std::vector<double> queue_burst_factors;
+  Time replay_duration;
+};
+
+/// Resolve the run scale from the environment.
+RunScale run_scale();
+
+/// A §6.2-style testbed scenario at the default parameters.
+ScenarioConfig default_scenario(const std::string& app, std::uint64_t seed);
+
+}  // namespace wehey::experiments

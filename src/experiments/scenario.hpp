@@ -1,0 +1,109 @@
+// One emulation/simulation experiment of §6: a Figure-1 topology with a
+// configured rate-limiter, CAIDA-like background traffic, and WeHeY's
+// replay phases:
+//
+//   SimOriginal    — the simultaneous replay of the original trace on
+//                    p1 and p2 (the measurements Alg. 1 consumes),
+//   SimInverted    — the simultaneous bit-inverted replay (for the
+//                    differentiation-confirmation step),
+//   SingleOriginal — the p0 original replay (the X set of §4.1),
+//   SingleInverted — the p0 bit-inverted replay (WeHe's control).
+//
+// Each phase rebuilds the network from the same configuration (fresh
+// queues, fresh background seed), mirroring how consecutive replays on a
+// real network see fresh-but-statistically-similar conditions.
+//
+// All Table-2 parameters appear here under their paper names.
+#pragma once
+
+#include <string>
+
+#include "core/localizer.hpp"
+#include "experiments/network.hpp"
+#include "trace/trace.hpp"
+
+namespace wehey::experiments {
+
+struct ScenarioConfig {
+  /// App whose trace pair is replayed: "Netflix" (TCP) or one of the five
+  /// UDP apps (§6.1).
+  std::string app = "Netflix";
+
+  Time replay_duration = seconds(45);  ///< §3.4: extended to >= 45 s
+  Time base_trace_duration = seconds(15);
+
+  double rtt1_ms = 35.0;  ///< Table 2: RTT_1
+  double rtt2_ms = 35.0;  ///< Table 2: RTT_2
+
+  Placement placement = Placement::CommonLink;
+  double input_rate_factor = 1.5;   ///< Table 2: input traffic / rate
+  double queue_burst_factor = 0.5;  ///< Table 2: queue (x burst)
+  double bg_diff_fraction = 0.5;    ///< Table 2: % of background
+  double nc_utilization = 0.2;      ///< Table 2: input traffic / link bw
+
+  /// Offered background load per path. Sized so that the replayed traces
+  /// are a minority of the collective bottleneck's traffic, as in §6.1
+  /// where the (scaled) CAIDA workload dominates the rate-limiter input —
+  /// the regime the loss-trend correlation argument assumes.
+  Rate bg_rate_per_path = mbps(4.0);
+
+  /// §3.4 trace modifications: Poisson re-timing for UDP, pacing for TCP.
+  /// false reproduces the "unmodified traces" ablation of Figure 6.
+  bool modified_traces = true;
+
+  /// Parallel TCP connections per replayed session (real streaming traces
+  /// contain several flows; WeHe replays them all).
+  int tcp_connections = 1;
+
+  /// Congestion control of the replayed TCP session (§7 discusses the
+  /// BBR open question; the evaluation itself uses Cubic).
+  transport::CongestionControl tcp_cc = transport::CongestionControl::Cubic;
+
+  /// §7 countermeasure against per-flow throttling: craft the two
+  /// simultaneous replays so they appear to belong to the same flow and
+  /// land in the same per-flow policer. Only meaningful with
+  /// Placement::PerFlowCommonLink.
+  bool spoof_same_flow = false;
+
+  std::uint64_t seed = 1;
+};
+
+enum class Phase { SimOriginal, SimInverted, SingleOriginal, SingleInverted };
+
+struct PhaseReport {
+  PathReport p1;
+  PathReport p2;  ///< empty for single phases
+  std::uint64_t limiter_drops = 0;
+};
+
+/// Derived quantities shared by phases and by the benches.
+struct ScenarioDerived {
+  Rate trace_rate = 0;       ///< original trace's average rate
+  Rate per_path_input = 0;   ///< trace + background offered per path
+  Rate limiter_rate = 0;     ///< configured token rate
+  NetworkParams net;         ///< link bandwidths/delays and limiter
+};
+
+ScenarioDerived derive(const ScenarioConfig& cfg);
+
+/// Run one phase of the scenario and return per-path reports.
+PhaseReport run_phase(const ScenarioConfig& cfg, Phase phase);
+
+/// A full WeHeY experiment: all four phases. `t_diff_history` is copied
+/// into the localization input (generate it with experiments::history).
+core::LocalizationInput run_full_experiment(
+    const ScenarioConfig& cfg, const std::vector<double>& t_diff_history);
+
+/// The two simultaneous phases only — enough for the FN/FP loss-trend
+/// experiments of §6.2/§6.3 (confirmation + Alg. 1).
+struct SimultaneousResult {
+  PhaseReport original;
+  PhaseReport inverted;
+  core::WeheResult p1_confirmation;
+  core::WeheResult p2_confirmation;
+  bool differentiation_confirmed = false;
+};
+
+SimultaneousResult run_simultaneous_experiment(const ScenarioConfig& cfg);
+
+}  // namespace wehey::experiments

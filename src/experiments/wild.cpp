@@ -1,0 +1,216 @@
+#include "experiments/wild.hpp"
+
+#include "experiments/delayed_tbf.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/check.hpp"
+#include "stats/descriptive.hpp"
+#include "trace/apps.hpp"
+#include "trace/background.hpp"
+
+namespace wehey::experiments {
+namespace {
+
+constexpr Time kSecondReplayOffset = milliseconds(5);
+constexpr Time kDrainGrace = seconds(3);
+
+trace::AppTrace wild_trace(const WildConfig& cfg, bool inverted) {
+  // All five wild apps are TCP streaming services, each with its own
+  // chunking profile; the seed makes each session a deterministic
+  // "recording".
+  std::uint64_t app_hash = 1469598103934665603ULL;
+  for (char ch : cfg.app) app_hash = (app_hash ^ static_cast<unsigned char>(ch)) * 1099511628211ULL;
+  Rng trace_rng(cfg.seed * 0x9e3779b9ULL ^ app_hash);
+  const auto& known = trace::tcp_app_names();
+  const std::string app =
+      std::find(known.begin(), known.end(), cfg.app) != known.end()
+          ? cfg.app
+          : "Netflix";
+  trace::AppTrace t = trace::make_tcp_app_trace(app, seconds(15), trace_rng);
+  t.app = cfg.app;
+  if (inverted) t = trace::bit_invert(t);
+  return trace::extend(t, cfg.replay_duration);
+}
+
+NetworkParams wild_network_params(const WildConfig& cfg, Rate trace_rate) {
+  NetworkParams net;
+  const Time rtt = milliseconds(cfg.rtt_ms);
+  net.rtt1 = rtt;
+  net.rtt2 = rtt;
+  net.bw_nc1 = 20.0 * trace_rate;
+  net.bw_nc2 = 20.0 * trace_rate;
+  net.bw_c = 20.0 * trace_rate;
+  net.placement = Placement::None;  // common disc installed via factory
+
+  // Cellular last mile: nominal capacity only moderately above the trace
+  // rate, with substantial jitter — the source of normal throughput
+  // variation between repeated tests.
+  net.access_rate = cfg.isp.access_rate_factor * trace_rate;
+  net.access_jitter_sigma = cfg.isp.access_jitter;
+
+  const Rate throttle_rate = cfg.isp.throttle_factor * trace_rate;
+  const auto lp =
+      make_limiter(throttle_rate, rtt, cfg.isp.queue_burst_factor);
+  const std::int64_t fifo_limit = std::max<std::int64_t>(
+      64 * 1024,
+      static_cast<std::int64_t>(bytes_in(net.bw_c, milliseconds(50))));
+  const bool delayed = cfg.isp.delayed_fixed_rate;
+  const std::int64_t trigger = static_cast<std::int64_t>(
+      cfg.isp.trigger_seconds * trace_rate / 8.0);
+  net.common_disc_factory = [lp, fifo_limit, delayed, trigger]() {
+    auto fifo = std::make_unique<netsim::FifoDisc>(fifo_limit);
+    std::unique_ptr<netsim::QueueDisc> throttled;
+    if (delayed) {
+      throttled = std::make_unique<DelayedTbfDisc>(trigger, lp.rate,
+                                                   lp.burst, lp.limit);
+    } else {
+      throttled =
+          std::make_unique<netsim::TbfDisc>(lp.rate, lp.burst, lp.limit);
+    }
+    return std::make_unique<netsim::RateLimiterDisc>(std::move(fifo),
+                                                     std::move(throttled));
+  };
+  return net;
+}
+
+std::uint64_t phase_seed(const WildConfig& cfg, Phase phase) {
+  return cfg.seed * 1000003ULL + static_cast<std::uint64_t>(phase) * 7919ULL;
+}
+
+}  // namespace
+
+std::vector<IspModel> default_isp_models() {
+  // Four unconditional per-client throttlers with mildly different
+  // parameters, and the delayed fixed-rate one (ISP5).
+  return {
+      {"ISP1", 0.60, 0.50, 1.3, 0.35, false, 0.0},
+      {"ISP2", 0.55, 0.25, 1.3, 0.30, false, 0.0},
+      {"ISP3", 0.65, 1.00, 1.4, 0.30, false, 0.0},
+      {"ISP4", 0.50, 0.50, 1.3, 0.25, false, 0.0},
+      // ISP5: delayed fixed-rate throttling; its access link is fast
+      // enough (2.6x) that the pre-trigger simultaneous replay really
+      // does run at ~2x the single replay, maximizing the X/Y mismatch
+      // the paper observed (Figure 4).
+      {"ISP5", 0.60, 0.50, 2.6, 0.30, true, 25.0},
+  };
+}
+
+PhaseReport run_wild_phase(const WildConfig& cfg, Phase phase,
+                           bool third_replay) {
+  const trace::AppTrace original = wild_trace(cfg, false);
+  const Rate trace_rate = original.average_rate();
+  Rng rng(phase_seed(cfg, phase));
+
+  netsim::Simulator sim;
+  FigureOneNetwork net(sim, wild_network_params(cfg, trace_rate), rng);
+
+  // The client's own light background (not differentiated).
+  trace::BackgroundConfig bg;
+  bg.target_rate = cfg.bg_rate_per_path;
+  bg.duration = cfg.replay_duration + kDrainGrace;
+  bg.flows_per_second = 2.0;
+  for (int path = 1; path <= 2; ++path) {
+    auto flows = trace::generate_background(bg, rng);
+    net.attach_background(path, flows);
+  }
+
+  const bool is_original =
+      phase == Phase::SimOriginal || phase == Phase::SingleOriginal;
+  const bool simultaneous =
+      phase == Phase::SimOriginal || phase == Phase::SimInverted;
+  const trace::AppTrace replay = wild_trace(cfg, !is_original);
+
+  transport::TcpConfig tcp;  // pacing on: WeHeY's modified replay
+  const int kConnections = 3;  // streaming sessions use several flows
+  const int id1 = net.start_tcp_replay(1, replay, 0, tcp, kConnections);
+  int id2 = 0;
+  if (simultaneous) {
+    id2 = net.start_tcp_replay(2, replay, kSecondReplayOffset, tcp,
+                               kConnections);
+    if (third_replay && is_original) {
+      // Sanity check (§5): a third server replays a third original trace
+      // concurrently; it shares the per-client limiter via path 1.
+      WildConfig third = cfg;
+      third.seed = cfg.seed + 9999;
+      third.app = "Twitch";
+      net.start_tcp_replay(1, wild_trace(third, false),
+                           2 * kSecondReplayOffset, tcp, kConnections);
+    }
+  }
+
+  net.run(cfg.replay_duration, kDrainGrace);
+
+  PhaseReport rep;
+  rep.p1 = net.report(id1, 0, cfg.replay_duration);
+  if (simultaneous) {
+    rep.p2 = net.report(id2, kSecondReplayOffset, cfg.replay_duration);
+  }
+  rep.limiter_drops = net.limiter_drops();
+  return rep;
+}
+
+std::vector<double> build_wild_t_diff(const WildConfig& cfg,
+                                      std::size_t replays) {
+  WEHEY_EXPECTS(replays >= 2);
+  std::vector<double> means;
+  means.reserve(replays);
+  for (std::size_t i = 0; i < replays; ++i) {
+    WildConfig run = cfg;
+    run.seed = cfg.seed * 104729ULL + i * 131ULL + 3ULL;
+    const auto rep = run_wild_phase(run, Phase::SingleInverted);
+    means.push_back(stats::mean(rep.p1.meas.throughput_samples(100)));
+  }
+  // All pair combinations (§4.1 pairs every two nearby tests).
+  std::vector<double> t_diff;
+  t_diff.reserve(means.size() * (means.size() - 1) / 2);
+  for (std::size_t i = 0; i < means.size(); ++i) {
+    for (std::size_t j = i + 1; j < means.size(); ++j) {
+      const double hi = std::max(means[i], means[j]);
+      t_diff.push_back(hi > 0 ? (means[i] - means[j]) / hi : 0.0);
+    }
+  }
+  return t_diff;
+}
+
+namespace {
+
+WildTestOutcome run_wild(const WildConfig& cfg,
+                         const std::vector<double>& t_diff,
+                         bool third_replay) {
+  core::LocalizationInput input;
+  const auto sim_orig = run_wild_phase(cfg, Phase::SimOriginal, third_replay);
+  const auto sim_inv = run_wild_phase(cfg, Phase::SimInverted, false);
+  const auto single_orig = run_wild_phase(cfg, Phase::SingleOriginal, false);
+  const auto single_inv = run_wild_phase(cfg, Phase::SingleInverted, false);
+  input.p1_original = sim_orig.p1.meas;
+  input.p2_original = sim_orig.p2.meas;
+  input.p1_inverted = sim_inv.p1.meas;
+  input.p2_inverted = sim_inv.p2.meas;
+  input.p0_original = single_orig.p1.meas;
+  input.p0_inverted = single_inv.p1.meas;
+  input.t_diff_history = t_diff;
+  input.base_rtt = milliseconds(cfg.rtt_ms);
+
+  Rng rng(cfg.seed * 2654435761ULL + 101);
+  WildTestOutcome outcome;
+  outcome.localization = core::localize(input, rng);
+  outcome.localized = outcome.localization.verdict ==
+                      core::Verdict::EvidenceWithinTargetArea;
+  return outcome;
+}
+
+}  // namespace
+
+WildTestOutcome run_wild_test(const WildConfig& cfg,
+                              const std::vector<double>& t_diff) {
+  return run_wild(cfg, t_diff, /*third_replay=*/false);
+}
+
+WildTestOutcome run_wild_sanity_check(const WildConfig& cfg,
+                                      const std::vector<double>& t_diff) {
+  return run_wild(cfg, t_diff, /*third_replay=*/true);
+}
+
+}  // namespace wehey::experiments

@@ -1,0 +1,85 @@
+#include "netsim/link.hpp"
+
+#include "common/log.hpp"
+
+namespace wehey::netsim {
+
+Link::Link(Simulator& sim, Rate bandwidth, Time delay,
+           std::unique_ptr<QueueDisc> disc, PacketSink* next)
+    : sim_(sim),
+      bandwidth_(bandwidth),
+      delay_(delay),
+      disc_(std::move(disc)),
+      next_(next) {
+  WEHEY_EXPECTS(bandwidth_ > 0.0);
+  WEHEY_EXPECTS(delay_ >= 0);
+  WEHEY_EXPECTS(disc_ != nullptr);
+}
+
+void Link::receive(Packet pkt) {
+  disc_->enqueue(std::move(pkt), sim_.now());
+  try_transmit();
+}
+
+void Link::try_transmit() {
+  if (transmitting_) return;
+  auto pkt = disc_->dequeue(sim_.now());
+  if (!pkt) {
+    // Nothing eligible now. If the disc will have an eligible packet later
+    // (token-bucket refill), arm a single wake-up for that time.
+    const Time ready = disc_->next_ready(sim_.now());
+    if (ready != kNever && ready < wakeup_at_) {
+      wakeup_at_ = ready;
+      sim_.schedule_at(ready, [this, ready] {
+        if (wakeup_at_ == ready) wakeup_at_ = kNever;
+        try_transmit();
+      });
+    }
+    return;
+  }
+  transmitting_ = true;
+  const Time tx = transmission_time(pkt->size, bandwidth_);
+  sim_.schedule(tx, [this, p = std::move(*pkt)]() mutable {
+    finish_transmit(std::move(p));
+  });
+}
+
+void Link::finish_transmit(Packet pkt) {
+  transmitting_ = false;
+  ++delivered_;
+  delivered_bytes_ += pkt.size;
+  if (on_tx_) on_tx_(pkt, sim_.now());
+  if (next_ != nullptr) {
+    if (delay_ > 0) {
+      sim_.schedule(delay_, [this, p = std::move(pkt)]() mutable {
+        next_->receive(std::move(p));
+      });
+    } else {
+      next_->receive(std::move(pkt));
+    }
+  }
+  try_transmit();
+}
+
+void Pipe::receive(Packet pkt) {
+  if (next_ == nullptr) return;
+  sim_.schedule(delay_, [this, p = std::move(pkt)]() mutable {
+    next_->receive(std::move(p));
+  });
+}
+
+void Demux::receive(Packet pkt) {
+  const auto it = routes_.find(pkt.flow);
+  if (it != routes_.end()) {
+    it->second->receive(std::move(pkt));
+    return;
+  }
+  if (default_ != nullptr) {
+    default_->receive(std::move(pkt));
+    return;
+  }
+  ++unrouted_;
+  LOG_TRACE("demux: dropping packet for unknown flow " << pkt.flow);
+}
+
+}  // namespace wehey::netsim

@@ -1,0 +1,76 @@
+#include "netsim/measure.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace wehey::netsim {
+
+std::vector<double> ReplayMeasurement::throughput_samples(
+    std::size_t intervals) const {
+  WEHEY_EXPECTS(intervals > 0);
+  std::vector<double> out(intervals, 0.0);
+  const Time d = duration();
+  if (d <= 0) return out;
+  std::vector<std::int64_t> bytes(intervals, 0);
+  for (const auto& del : deliveries) {
+    if (del.at < start || del.at > end) continue;
+    auto idx = static_cast<std::size_t>(
+        static_cast<double>(del.at - start) / static_cast<double>(d) *
+        static_cast<double>(intervals));
+    if (idx >= intervals) idx = intervals - 1;
+    bytes[idx] += del.bytes;
+  }
+  const double slot_s = to_seconds(d) / static_cast<double>(intervals);
+  for (std::size_t i = 0; i < intervals; ++i) {
+    out[i] = static_cast<double>(bytes[i]) * 8.0 / slot_s;
+  }
+  return out;
+}
+
+std::vector<double> ReplayMeasurement::throughput_over_time(
+    Time interval) const {
+  WEHEY_EXPECTS(interval > 0);
+  const Time d = duration();
+  if (d <= 0) return {};
+  const auto n = static_cast<std::size_t>((d + interval - 1) / interval);
+  std::vector<std::int64_t> bytes(n, 0);
+  for (const auto& del : deliveries) {
+    if (del.at < start || del.at > end) continue;
+    auto idx = static_cast<std::size_t>((del.at - start) / interval);
+    if (idx >= n) idx = n - 1;
+    bytes[idx] += del.bytes;
+  }
+  std::vector<double> out(n, 0.0);
+  const double slot_s = to_seconds(interval);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<double>(bytes[i]) * 8.0 / slot_s;
+  }
+  return out;
+}
+
+LossSeries bin_losses(const ReplayMeasurement& m, Time sigma) {
+  WEHEY_EXPECTS(sigma > 0);
+  LossSeries s;
+  const Time d = m.duration();
+  if (d <= 0) return s;
+  const auto n = static_cast<std::size_t>((d + sigma - 1) / sigma);
+  s.txed.assign(n, 0);
+  s.lost.assign(n, 0);
+  auto bin_of = [&](Time t) -> std::size_t {
+    if (t < m.start) return 0;
+    auto idx = static_cast<std::size_t>((t - m.start) / sigma);
+    return std::min(idx, n - 1);
+  };
+  for (Time t : m.tx_times) {
+    if (t > m.end) continue;
+    ++s.txed[bin_of(t)];
+  }
+  for (Time t : m.loss_times) {
+    if (t > m.end) continue;
+    ++s.lost[bin_of(t)];
+  }
+  return s;
+}
+
+}  // namespace wehey::netsim

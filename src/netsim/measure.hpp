@@ -1,0 +1,80 @@
+// Measurement records produced by replay endpoints and consumed by the
+// WeHeY analysis algorithms (§3.4, §4).
+//
+// The asymmetry the paper highlights is preserved here: for TCP, loss is
+// estimated at the *server* from retransmissions — over-counted and
+// time-shifted relative to the true drop; for UDP, loss is observed at the
+// *client* from sequence-number gaps.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/units.hpp"
+
+namespace wehey::netsim {
+
+/// One received data packet at the measuring endpoint.
+struct Delivery {
+  Time at = 0;
+  std::uint32_t bytes = 0;
+};
+
+/// Everything measured along one path during one replay.
+struct ReplayMeasurement {
+  Time start = 0;  ///< replay start time
+  Time end = 0;    ///< replay end time
+
+  /// Per-packet transmission events (TCP: every data transmission at the
+  /// server, retransmissions included; UDP: every trace packet sent).
+  std::vector<Time> tx_times;
+  /// Loss-event registration times (TCP: at retransmission; UDP: when the
+  /// receiver observes the sequence gap).
+  std::vector<Time> loss_times;
+  /// Data arrivals at the client (basis of throughput samples).
+  std::vector<Delivery> deliveries;
+  /// Latency samples in milliseconds (TCP: RTT; UDP: one-way delay x2).
+  std::vector<double> rtt_ms;
+
+  Time duration() const { return end - start; }
+
+  std::uint64_t transmitted_packets() const { return tx_times.size(); }
+  std::uint64_t lost_packets() const { return loss_times.size(); }
+  /// Overall loss (retransmission) rate of the replay.
+  double loss_rate() const {
+    return tx_times.empty()
+               ? 0.0
+               : static_cast<double>(loss_times.size()) /
+                     static_cast<double>(tx_times.size());
+  }
+  std::int64_t delivered_bytes() const {
+    std::int64_t sum = 0;
+    for (const auto& d : deliveries) sum += d.bytes;
+    return sum;
+  }
+  /// Average goodput over the replay (bits/sec).
+  Rate average_throughput() const {
+    return rate_of(delivered_bytes(), duration());
+  }
+
+  /// Split the replay into `intervals` equal slots and return per-slot
+  /// throughput in bits/sec — WeHe's 100-interval throughput samples.
+  std::vector<double> throughput_samples(std::size_t intervals) const;
+
+  /// Throughput time series with a fixed interval size (for the Figure 4
+  /// style throughput-vs-time plots).
+  std::vector<double> throughput_over_time(Time interval) const;
+};
+
+/// Binned loss-rate series: per interval, packets transmitted and lost.
+struct LossSeries {
+  std::vector<std::uint64_t> txed;
+  std::vector<std::uint64_t> lost;
+};
+
+/// Bin tx/loss events of a measurement into intervals of size `sigma`
+/// starting at m.start.
+LossSeries bin_losses(const ReplayMeasurement& m, Time sigma);
+
+}  // namespace wehey::netsim

@@ -1,0 +1,72 @@
+// Simulated packets and the sink interface network elements implement.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.hpp"
+
+namespace wehey::netsim {
+
+using FlowId = std::uint32_t;
+
+/// DSCP class used by the differentiation classifier (Appendix C.1):
+/// packets with dscp=1 are directed to the token-bucket filter, dscp=0
+/// traffic bypasses it.
+inline constexpr std::uint8_t kDscpDefault = 0;
+inline constexpr std::uint8_t kDscpDifferentiated = 1;
+
+enum class PacketKind : std::uint8_t { Data, Ack };
+
+/// A SACK block: received bytes in [start, end). start == end means unused.
+struct SackBlock {
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;
+  bool empty() const { return start == end; }
+};
+
+// A real TCP option carries at most 3-4 SACK blocks and relies on block
+// rotation across ACKs to cover all holes; our receiver reports a fixed
+// snapshot instead, so it needs more blocks to convey the same
+// information. 16 keeps retransmission behaviour close to a
+// rotating-3-block implementation without simulating the rotation.
+inline constexpr int kMaxSackBlocks = 16;
+
+struct Packet {
+  std::uint64_t id = 0;       ///< globally unique, for tracing
+  FlowId flow = 0;
+  /// The key a *per-flow* rate-limiter classifies on (normally the flow's
+  /// 5-tuple, i.e. == flow). WeHeY's §7 countermeasure crafts the two
+  /// simultaneous replays so they carry the same key and land in the same
+  /// per-flow policer. 0 means "use `flow`".
+  FlowId policer_key = 0;
+  PacketKind kind = PacketKind::Data;
+  std::uint32_t size = 0;     ///< wire size in bytes (headers included)
+  std::uint8_t dscp = kDscpDefault;
+
+  // Transport metadata (interpreted by the endpoints only).
+  std::uint64_t seq = 0;      ///< TCP: first payload byte; UDP: packet no.
+  std::uint64_t ack = 0;      ///< TCP cumulative ACK (next expected byte)
+  std::uint32_t payload = 0;  ///< payload bytes carried
+  bool retransmit = false;    ///< TCP: this is a retransmission
+  SackBlock sack[kMaxSackBlocks];  ///< selective-ACK blocks (ACKs only)
+
+  Time sent_at = 0;           ///< stamped by the sender (for RTT samples)
+};
+
+/// Anything that can accept a packet: links, rate-limiters, endpoints.
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void receive(Packet pkt) = 0;
+};
+
+/// Monotonic packet-id source (one per simulation).
+class PacketIdSource {
+ public:
+  std::uint64_t next() { return next_++; }
+
+ private:
+  std::uint64_t next_ = 1;
+};
+
+}  // namespace wehey::netsim

@@ -1,0 +1,206 @@
+// Queueing disciplines.
+//
+//  * FifoDisc — drop-tail FIFO with a byte limit (ns-3's default pfifo).
+//  * TbfDisc — token-bucket filter: `rate` replenishes the bucket, `burst`
+//    is the bucket size, `limit` is the backlog allowed while waiting for
+//    tokens. A small limit makes it a *policer* (drops), a large one a
+//    *shaper* (delays) — exactly the §2.1 taxonomy.
+//  * RateLimiterDisc — the full differentiation box of Appendix C.1: a
+//    DSCP classifier feeding a FIFO (dscp=0) and a TBF (dscp=1), drained
+//    round-robin by the owning link.
+//
+// Discs are passive: the owning Link drives dequeue() and uses
+// next_ready() to sleep until a token-gated packet becomes eligible.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "common/units.hpp"
+#include "netsim/packet.hpp"
+
+namespace wehey::netsim {
+
+/// Sentinel for "no packet will become ready without a new enqueue".
+inline constexpr Time kNever = std::numeric_limits<Time>::max();
+
+/// Called with every packet a disc drops (for loss accounting in tests and
+/// experiment harnesses).
+using DropListener = std::function<void(const Packet&, Time)>;
+
+class QueueDisc {
+ public:
+  virtual ~QueueDisc() = default;
+
+  /// Accept or drop `pkt` at time `now`; false means dropped.
+  virtual bool enqueue(Packet pkt, Time now) = 0;
+  /// Remove and return a packet eligible for transmission at `now`.
+  virtual std::optional<Packet> dequeue(Time now) = 0;
+  /// Earliest time >= now at which dequeue() could succeed, kNever if the
+  /// disc is empty.
+  virtual Time next_ready(Time now) const = 0;
+
+  virtual std::int64_t backlog_bytes() const = 0;
+  virtual std::size_t backlog_packets() const = 0;
+
+  void set_drop_listener(DropListener listener) {
+    on_drop_ = std::move(listener);
+  }
+  std::uint64_t drop_count() const { return drops_; }
+
+ protected:
+  void notify_drop(const Packet& pkt, Time now) {
+    ++drops_;
+    if (on_drop_) on_drop_(pkt, now);
+  }
+
+ private:
+  DropListener on_drop_;
+  std::uint64_t drops_ = 0;
+};
+
+class FifoDisc final : public QueueDisc {
+ public:
+  /// `limit_bytes` <= 0 means unlimited.
+  explicit FifoDisc(std::int64_t limit_bytes = 0) : limit_(limit_bytes) {}
+
+  bool enqueue(Packet pkt, Time now) override;
+  std::optional<Packet> dequeue(Time now) override;
+  Time next_ready(Time now) const override;
+  std::int64_t backlog_bytes() const override { return bytes_; }
+  std::size_t backlog_packets() const override { return q_.size(); }
+
+ private:
+  std::int64_t limit_;
+  std::int64_t bytes_ = 0;
+  std::deque<Packet> q_;
+};
+
+class TbfDisc final : public QueueDisc {
+ public:
+  /// `rate` in bits/sec, `burst_bytes` = bucket size, `limit_bytes` = queue
+  /// capacity for packets awaiting tokens.
+  TbfDisc(Rate rate, std::int64_t burst_bytes, std::int64_t limit_bytes);
+
+  bool enqueue(Packet pkt, Time now) override;
+  std::optional<Packet> dequeue(Time now) override;
+  Time next_ready(Time now) const override;
+  std::int64_t backlog_bytes() const override { return bytes_; }
+  std::size_t backlog_packets() const override { return q_.size(); }
+
+  Rate rate() const { return rate_; }
+  std::int64_t burst_bytes() const { return burst_; }
+  double tokens(Time now) const;
+
+ private:
+  void refill(Time now);
+
+  Rate rate_;
+  std::int64_t burst_;
+  std::int64_t limit_;
+  double tokens_bytes_;
+  Time last_refill_ = 0;
+  std::int64_t bytes_ = 0;
+  std::deque<Packet> q_;
+};
+
+/// Appendix C.1 rate-limiter: classifier + FIFO (default class) + TBF
+/// (differentiated class), drained round-robin.
+class RateLimiterDisc final : public QueueDisc {
+ public:
+  /// `throttled_q` is normally a TbfDisc; any disc works (e.g. the delayed
+  /// fixed-rate throttler modelling ISP5).
+  RateLimiterDisc(std::unique_ptr<FifoDisc> default_q,
+                  std::unique_ptr<QueueDisc> throttled_q);
+
+  bool enqueue(Packet pkt, Time now) override;
+  std::optional<Packet> dequeue(Time now) override;
+  Time next_ready(Time now) const override;
+  std::int64_t backlog_bytes() const override;
+  std::size_t backlog_packets() const override;
+
+  const QueueDisc& throttled() const { return *throttled_; }
+  QueueDisc& throttled() { return *throttled_; }
+  const FifoDisc& default_class() const { return *default_; }
+
+  /// Drops inside the throttled class only (differentiation-induced).
+  std::uint64_t throttled_drops() const { return throttled_->drop_count(); }
+
+ private:
+  std::unique_ptr<FifoDisc> default_;
+  std::unique_ptr<QueueDisc> throttled_;
+  bool serve_throttled_first_ = false;  // round-robin pointer
+};
+
+/// Random Early Detection (Floyd & Jacobson): an EWMA of the backlog
+/// drives a drop probability that ramps from 0 at `min_th` to `max_p` at
+/// `max_th`; above `max_th` every arrival is dropped. Used in ablations to
+/// study how loss-trend correlation behaves when the shared bottleneck's
+/// losses are smooth and probabilistic instead of drop-tail bursts.
+class RedDisc final : public QueueDisc {
+ public:
+  RedDisc(std::int64_t min_th_bytes, std::int64_t max_th_bytes,
+          double max_p, std::uint64_t seed = 1,
+          double ewma_weight = 0.002);
+
+  bool enqueue(Packet pkt, Time now) override;
+  std::optional<Packet> dequeue(Time now) override;
+  Time next_ready(Time now) const override;
+  std::int64_t backlog_bytes() const override { return bytes_; }
+  std::size_t backlog_packets() const override { return q_.size(); }
+
+  double average_backlog() const { return avg_; }
+
+ private:
+  std::int64_t min_th_;
+  std::int64_t max_th_;
+  double max_p_;
+  double weight_;
+  Rng rng_;
+  double avg_ = 0.0;
+  std::int64_t bytes_ = 0;
+  std::deque<Packet> q_;
+};
+
+/// Per-flow rate limiter: like RateLimiterDisc, but the differentiated
+/// class (dscp=1) gets one token-bucket filter *per flow key* instead of a
+/// collective one — the §3.2 mechanism WeHeY cannot localize without the
+/// §7 same-flow countermeasure. Flow TBFs are created on first sight with
+/// identical parameters. The key is Packet::policer_key (falling back to
+/// Packet::flow), so spoofed replays share one bucket.
+class PerFlowRateLimiterDisc final : public QueueDisc {
+ public:
+  PerFlowRateLimiterDisc(std::unique_ptr<FifoDisc> default_q, Rate rate,
+                         std::int64_t burst_bytes, std::int64_t limit_bytes);
+
+  bool enqueue(Packet pkt, Time now) override;
+  std::optional<Packet> dequeue(Time now) override;
+  Time next_ready(Time now) const override;
+  std::int64_t backlog_bytes() const override;
+  std::size_t backlog_packets() const override;
+
+  std::size_t flow_bucket_count() const { return buckets_.size(); }
+  std::uint64_t throttled_drops() const;
+
+ private:
+  FlowId key_of(const Packet& pkt) const {
+    return pkt.policer_key != 0 ? pkt.policer_key : pkt.flow;
+  }
+
+  std::unique_ptr<FifoDisc> default_;
+  Rate rate_;
+  std::int64_t burst_;
+  std::int64_t limit_;
+  // Insertion-ordered buckets for deterministic round-robin.
+  std::vector<std::pair<FlowId, std::unique_ptr<TbfDisc>>> buckets_;
+  std::size_t rr_next_ = 0;  ///< round-robin cursor over {default, buckets}
+};
+
+}  // namespace wehey::netsim

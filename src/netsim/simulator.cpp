@@ -1,0 +1,22 @@
+#include "netsim/simulator.hpp"
+
+namespace wehey::netsim {
+
+void Simulator::run(Time until) {
+  while (!queue_.empty()) {
+    if (until >= 0 && queue_.top().at > until) break;
+    // priority_queue::top() is const; move the action out via const_cast on
+    // the action member only — the event is popped immediately after.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.at;
+    ev.action();
+  }
+  if (until >= 0 && now_ < until) now_ = until;
+}
+
+void Simulator::clear() {
+  while (!queue_.empty()) queue_.pop();
+}
+
+}  // namespace wehey::netsim

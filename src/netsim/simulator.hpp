@@ -1,0 +1,64 @@
+// Discrete-event simulation core.
+//
+// A Simulator owns a time-ordered queue of closures. Components schedule
+// work with schedule()/schedule_at(); ties are broken by insertion order so
+// runs are fully deterministic. This plays the role ns-3's scheduler and
+// the wall clock of the wide-area testbed play in the paper.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/time.hpp"
+
+namespace wehey::netsim {
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  Time now() const { return now_; }
+
+  /// Run `action` `delay` from now (delay >= 0).
+  void schedule(Time delay, Action action) {
+    WEHEY_EXPECTS(delay >= 0);
+    schedule_at(now_ + delay, std::move(action));
+  }
+
+  /// Run `action` at absolute time `at` (not in the past).
+  void schedule_at(Time at, Action action) {
+    WEHEY_EXPECTS(at >= now_);
+    queue_.push(Event{at, next_seq_++, std::move(action)});
+  }
+
+  /// Process events until the queue is empty or `until` is reached; the
+  /// clock ends at `until` if given, else at the last event.
+  void run(Time until = -1);
+
+  /// Drop all pending events (used between experiment phases).
+  void clear();
+
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace wehey::netsim

@@ -1,0 +1,229 @@
+#include "replay/session.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "topology/construction.hpp"
+#include "trace/apps.hpp"
+#include "trace/background.hpp"
+
+namespace wehey::replay {
+
+using experiments::FigureOneNetwork;
+using experiments::Phase;
+
+namespace {
+
+constexpr Time kBackToBackOffset = milliseconds(5);
+
+/// The session's client address (the traceroute destination of the
+/// Figure-1 network).
+const char* kClientIp = "100.0.1.77";
+
+trace::AppTrace session_base_trace(const experiments::ScenarioConfig& cfg) {
+  Rng trace_rng(cfg.seed * 0x9e3779b9ULL + 17);
+  if (cfg.app == "Netflix") {
+    return trace::make_tcp_app_trace(cfg.base_trace_duration, trace_rng);
+  }
+  return trace::make_udp_app_trace(cfg.app, cfg.base_trace_duration,
+                                   trace_rng);
+}
+
+trace::AppTrace prepare_replay(const trace::AppTrace& t,
+                               const experiments::ScenarioConfig& cfg,
+                               bool inverted, Rng& rng) {
+  trace::AppTrace out = inverted ? trace::bit_invert(t) : t;
+  out = trace::extend(out, cfg.replay_duration);
+  if (cfg.modified_traces && out.transport == trace::Transport::Udp) {
+    out = trace::poissonize(out, rng);
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(SessionOutcome outcome) {
+  switch (outcome) {
+    case SessionOutcome::NoDifferentiationDetected:
+      return "no differentiation detected";
+    case SessionOutcome::UserDeclined: return "user declined";
+    case SessionOutcome::NoSuitableTopology: return "no suitable topology";
+    case SessionOutcome::TopologyNoLongerSuitable:
+      return "topology no longer suitable";
+    case SessionOutcome::NoEvidence: return "no evidence";
+    case SessionOutcome::LocalizedWithinIsp: return "localized within ISP";
+  }
+  return "?";
+}
+
+void seed_topology_database(const experiments::ScenarioConfig& scenario,
+                            topology::TopologyDatabase& db) {
+  // The daily TC ingest (§3.3), fed by the servers' traceroutes.
+  netsim::Simulator sim;
+  Rng rng(scenario.seed);
+  const auto derived = experiments::derive(scenario);
+  FigureOneNetwork net(sim, derived.net, rng);
+  topology::TopologyConstructor tc;
+  db.ingest(tc.construct({net.traceroute(1), net.traceroute(2)}));
+}
+
+SessionResult run_session(const SessionConfig& cfg,
+                          topology::TopologyDatabase& db) {
+  const auto& scenario = cfg.scenario;
+  const Time duration = scenario.replay_duration;
+  const Time gap = cfg.inter_replay_gap;
+  const Time rpc = cfg.control_latency;
+
+  SessionResult result;
+  auto log = [&](Time at, std::string what) {
+    result.events.push_back({at, std::move(what)});
+  };
+
+  netsim::Simulator sim;
+  Rng rng(scenario.seed * 1000003ULL + 77);
+  const auto derived = experiments::derive(scenario);
+  FigureOneNetwork net(sim, derived.net, rng);
+
+  // Background spans the whole session (all four replays plus gaps).
+  const Time horizon = 4 * (duration + gap) + 12 * rpc + seconds(10);
+  trace::BackgroundConfig bg;
+  bg.target_rate = scenario.bg_rate_per_path;
+  bg.duration = horizon;
+  bg.flows_per_second =
+      std::max(1.5, scenario.bg_rate_per_path / mbps(1.0) * 1.2);
+  for (int path = 1; path <= 2; ++path) {
+    auto flows = trace::generate_background(bg, rng);
+    trace::mark_differentiated(flows, scenario.bg_diff_fraction, rng);
+    net.attach_background(path, flows);
+  }
+
+  const auto base = session_base_trace(scenario);
+  transport::TcpConfig tcp;
+  tcp.pacing = scenario.modified_traces;
+  tcp.cc = scenario.tcp_cc;
+  auto start_replay = [&](int path, bool inverted, Time at) {
+    const auto replay = prepare_replay(base, scenario, inverted, rng);
+    if (replay.transport == trace::Transport::Tcp) {
+      return net.start_tcp_replay(path, replay, at, tcp,
+                                  scenario.tcp_connections);
+    }
+    return net.start_udp_replay(path, replay, at);
+  };
+
+  // --- Phase 1: the standard WeHe test against s0 (= path 1). ---
+  const Time t_orig = rpc;
+  log(0, "client -> s0: run WeHe test");
+  const int id_p0_orig = start_replay(1, false, t_orig);
+  const Time t_inv = t_orig + duration + gap;
+  const int id_p0_inv = start_replay(1, true, t_inv);
+  const Time t_analysis = t_inv + duration + rpc;
+  sim.run(t_analysis);
+  log(t_orig, "s0: original single replay");
+  log(t_inv, "s0: bit-inverted single replay");
+
+  const auto p0_orig = net.report(id_p0_orig, t_orig, duration);
+  const auto p0_inv = net.report(id_p0_inv, t_inv, duration);
+  result.initial_wehe =
+      core::detect_differentiation(p0_orig.meas, p0_inv.meas);
+  if (!result.initial_wehe.differentiation) {
+    log(t_analysis, "WeHe: no differentiation; session ends");
+    result.outcome = SessionOutcome::NoDifferentiationDetected;
+    result.finished_at = t_analysis;
+    return result;
+  }
+  log(t_analysis, "WeHe: differentiation detected (KS p=" +
+                      std::to_string(result.initial_wehe.p_value) + ")");
+
+  // --- User consent (§3.4: the client asks the user). ---
+  if (!cfg.user_consents) {
+    log(t_analysis, "user declined the localization test");
+    result.outcome = SessionOutcome::UserDeclined;
+    result.finished_at = t_analysis;
+    return result;
+  }
+
+  // --- Topology query (one control round-trip to the DB). ---
+  const Time t_lookup = t_analysis + 2 * rpc;
+  const auto pair = db.pick(kClientIp);
+  if (!pair.has_value()) {
+    log(t_lookup, "topology DB: no suitable server pair for this client");
+    result.outcome = SessionOutcome::NoSuitableTopology;
+    result.finished_at = t_lookup;
+    return result;
+  }
+  result.pair = *pair;
+  log(t_lookup, "topology DB: selected servers " + pair->server1 + " + " +
+                    pair->server2 + " (converge at " +
+                    pair->convergence_ip + ")");
+
+  if (cfg.route_churn) {
+    net.set_route_churn(true);
+    // The detour is silent: nothing in the control plane notices until
+    // the end-of-replay traceroutes.
+  }
+
+  // --- Phase 2: simultaneous replays, started back-to-back. ---
+  const Time t_sim_orig = t_lookup + rpc;
+  const int id_p1_orig = start_replay(1, false, t_sim_orig);
+  const int id_p2_orig =
+      start_replay(2, false, t_sim_orig + kBackToBackOffset);
+  const Time t_sim_inv = t_sim_orig + duration + gap;
+  const int id_p1_inv = start_replay(1, true, t_sim_inv);
+  const int id_p2_inv = start_replay(2, true, t_sim_inv + kBackToBackOffset);
+  const Time t_end = t_sim_inv + duration + seconds(3);
+  sim.run(t_end);
+  log(t_sim_orig, "s1+s2: original simultaneous replay");
+  log(t_sim_inv, "s1+s2: bit-inverted simultaneous replay");
+
+  // --- End-of-replay traceroutes, gathered at s1 (§3.4 steps 3-4). ---
+  const Time t_gather = t_end + 2 * rpc;
+  const auto tr1 = net.traceroute(1);
+  const auto tr2 = net.traceroute(2);
+  std::string convergence;
+  const bool still_suitable = topology::suitable_pair(
+      tr1, tr2, FigureOneNetwork::kClientAsn, &convergence);
+  if (!still_suitable) {
+    log(t_gather,
+        "end-of-replay traceroutes: paths no longer converge only inside "
+        "the ISP; measurements discarded, topology DB updated");
+    db.invalidate(kClientIp, *pair);
+    result.outcome = SessionOutcome::TopologyNoLongerSuitable;
+    result.finished_at = t_gather;
+    return result;
+  }
+  log(t_gather, "end-of-replay traceroutes: topology still suitable "
+                "(converging at " + convergence + ")");
+
+  // --- Analyses (§3.1 operations 3 and 4), run at the gathering server. ---
+  core::LocalizationInput input;
+  input.p0_original = p0_orig.meas;
+  input.p0_inverted = p0_inv.meas;
+  input.p1_original = net.report(id_p1_orig, t_sim_orig, duration).meas;
+  input.p2_original =
+      net.report(id_p2_orig, t_sim_orig + kBackToBackOffset, duration).meas;
+  input.p1_inverted = net.report(id_p1_inv, t_sim_inv, duration).meas;
+  input.p2_inverted =
+      net.report(id_p2_inv, t_sim_inv + kBackToBackOffset, duration).meas;
+  input.t_diff_history = cfg.t_diff_history;
+  input.base_rtt = std::max(milliseconds(scenario.rtt1_ms),
+                            milliseconds(scenario.rtt2_ms));
+
+  Rng analysis_rng(scenario.seed * 2654435761ULL + 9);
+  result.localization = core::localize(input, analysis_rng);
+  result.finished_at = t_gather;
+  if (result.localization.verdict ==
+      core::Verdict::EvidenceWithinTargetArea) {
+    result.outcome = SessionOutcome::LocalizedWithinIsp;
+    log(t_gather,
+        result.localization.mechanism ==
+                core::Mechanism::PerClientThrottling
+            ? "verdict: localized (per-client throttling)"
+            : "verdict: localized (collective throttling)");
+  } else {
+    result.outcome = SessionOutcome::NoEvidence;
+    log(t_gather, "verdict: no evidence beyond WeHe's detection");
+  }
+  return result;
+}
+
+}  // namespace wehey::replay

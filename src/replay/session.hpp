@@ -1,0 +1,82 @@
+// The simultaneous-replay coordination flow of §3.4, end to end, on one
+// continuous simulated timeline:
+//
+//   1. the client runs a standard WeHe test against s0 (original +
+//      bit-inverted single replays);
+//   2. on detected differentiation — and with the user's consent — the
+//      client queries the topology database for a server pair {s1, s2}
+//      whose paths converge inside its ISP;
+//   3. s1 and s2 replay the original trace simultaneously (started by
+//      back-to-back commands), then the bit-inverted trace; throughput,
+//      loss and latency are measured along each path, and at the end of
+//      each replay the servers perform traceroutes to the client;
+//   4. the gathering server verifies the topology was still suitable at
+//      the end of the replays — if not, the measurements are discarded
+//      and the topology database updated; otherwise the §3.1 analyses run.
+//
+// Control-plane exchanges (requests, measurement gathering) are modelled
+// as fixed-latency hops on the same simulated clock, and every step is
+// recorded in a timestamped session log.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/localizer.hpp"
+#include "experiments/scenario.hpp"
+#include "topology/database.hpp"
+
+namespace wehey::replay {
+
+struct SessionConfig {
+  experiments::ScenarioConfig scenario;
+  /// One-way latency of a control-plane exchange (client <-> server).
+  Time control_latency = milliseconds(40);
+  /// Quiet gap between consecutive replays.
+  Time inter_replay_gap = seconds(2);
+  /// Historical T_diff values (from experiments::build_t_diff_history or
+  /// the wild equivalent).
+  std::vector<double> t_diff_history;
+  /// §3.4: the client asks the user before running extra measurements.
+  bool user_consents = true;
+  /// Simulate inter-domain route churn between the WeHe test and the
+  /// simultaneous replays (path 1 detours through path 2's transit).
+  bool route_churn = false;
+};
+
+enum class SessionOutcome {
+  NoDifferentiationDetected,  ///< WeHe found nothing; WeHeY never starts
+  UserDeclined,               ///< differentiation found, no consent
+  NoSuitableTopology,         ///< topology DB has no pair for this client
+  TopologyNoLongerSuitable,   ///< end-of-replay traceroutes failed step 4
+  NoEvidence,                 ///< analyses found no localizable evidence
+  LocalizedWithinIsp,         ///< evidence of differentiation in the ISP
+};
+
+const char* to_string(SessionOutcome outcome);
+
+struct SessionEvent {
+  Time at = 0;
+  std::string what;
+};
+
+struct SessionResult {
+  SessionOutcome outcome = SessionOutcome::NoDifferentiationDetected;
+  core::WeheResult initial_wehe;
+  core::LocalizationResult localization;
+  topology::ServerPair pair;
+  std::vector<SessionEvent> events;
+  Time finished_at = 0;
+};
+
+/// Seed a topology database from the servers' current traceroutes to the
+/// client, exactly as the daily TC ingest would (§3.3).
+void seed_topology_database(const experiments::ScenarioConfig& scenario,
+                            topology::TopologyDatabase& db);
+
+/// Run one complete WeHe + WeHeY session. The database is read for the
+/// server pair and updated if step 4 invalidates it.
+SessionResult run_session(const SessionConfig& cfg,
+                          topology::TopologyDatabase& db);
+
+}  // namespace wehey::replay

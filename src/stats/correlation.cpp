@@ -1,0 +1,173 @@
+#include "stats/correlation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/distributions.hpp"
+#include "stats/ranks.hpp"
+
+namespace wehey::stats {
+namespace {
+
+double p_from_t(double t, double df, Alternative alt) {
+  switch (alt) {
+    case Alternative::TwoSided: return student_t_two_sided_p(t, df);
+    case Alternative::Greater: return 1.0 - student_t_cdf(t, df);
+    case Alternative::Less: return student_t_cdf(t, df);
+  }
+  return 1.0;
+}
+
+CorrelationResult correlate(std::span<const double> xs,
+                            std::span<const double> ys, Alternative alt) {
+  CorrelationResult res;
+  const std::size_t n = xs.size();
+  if (n < 3) return res;
+
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return res;  // constant series: undefined
+
+  double r = sxy / std::sqrt(sxx * syy);
+  // Clamp tiny numeric excursions outside [-1, 1].
+  if (r > 1.0) r = 1.0;
+  if (r < -1.0) r = -1.0;
+
+  res.coefficient = r;
+  res.valid = true;
+  const double df = static_cast<double>(n - 2);
+  if (std::fabs(r) == 1.0) {
+    // Perfect correlation: the t statistic diverges.
+    const bool positive = r > 0.0;
+    switch (alt) {
+      case Alternative::TwoSided: res.p_value = 0.0; break;
+      case Alternative::Greater: res.p_value = positive ? 0.0 : 1.0; break;
+      case Alternative::Less: res.p_value = positive ? 1.0 : 0.0; break;
+    }
+    return res;
+  }
+  const double t = r * std::sqrt(df / (1.0 - r * r));
+  res.p_value = p_from_t(t, df, alt);
+  return res;
+}
+
+}  // namespace
+
+CorrelationResult pearson(std::span<const double> xs,
+                          std::span<const double> ys, Alternative alt) {
+  WEHEY_EXPECTS(xs.size() == ys.size());
+  return correlate(xs, ys, alt);
+}
+
+CorrelationResult spearman(std::span<const double> xs,
+                           std::span<const double> ys, Alternative alt) {
+  WEHEY_EXPECTS(xs.size() == ys.size());
+  const auto rx = ranks(xs);
+  const auto ry = ranks(ys);
+  return correlate(rx, ry, alt);
+}
+
+CorrelationResult kendall(std::span<const double> xs,
+                          std::span<const double> ys, Alternative alt) {
+  WEHEY_EXPECTS(xs.size() == ys.size());
+  CorrelationResult res;
+  const std::size_t n = xs.size();
+  if (n < 3) return res;
+
+  std::int64_t concordant = 0, discordant = 0;
+  std::int64_t ties_x = 0, ties_y = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dx = xs[i] - xs[j];
+      const double dy = ys[i] - ys[j];
+      // tau-b: pairs tied in x count toward T_x, tied in y toward T_y
+      // (a pair tied in both counts toward both); only pairs untied in
+      // both are concordant or discordant.
+      if (dx == 0.0) ++ties_x;
+      if (dy == 0.0) ++ties_y;
+      if (dx == 0.0 || dy == 0.0) continue;
+      if ((dx > 0) == (dy > 0)) {
+        ++concordant;
+      } else {
+        ++discordant;
+      }
+    }
+  }
+  const double n0 = static_cast<double>(n) * (n - 1) / 2.0;
+  const double denom = std::sqrt((n0 - ties_x) * (n0 - ties_y));
+  if (denom <= 0.0) return res;  // a constant series
+
+  double tau = static_cast<double>(concordant - discordant) / denom;
+  tau = std::clamp(tau, -1.0, 1.0);
+  res.coefficient = tau;
+  res.valid = true;
+
+  // Normal approximation under H0 (no ties term beyond tau-b's
+  // normalization; adequate for n >= ~10, which Alg. 1's series satisfy).
+  const double var =
+      (2.0 * (2.0 * n + 5.0)) / (9.0 * n * (n - 1.0));
+  const double z = tau / std::sqrt(var);
+  switch (alt) {
+    case Alternative::TwoSided:
+      res.p_value = std::min(1.0, 2.0 * normal_sf(std::fabs(z)));
+      break;
+    case Alternative::Greater: res.p_value = normal_sf(z); break;
+    case Alternative::Less: res.p_value = normal_cdf(z); break;
+  }
+  return res;
+}
+
+CorrelationResult spearman_permutation(std::span<const double> xs,
+                                       std::span<const double> ys, Rng& rng,
+                                       std::size_t iterations,
+                                       Alternative alt) {
+  WEHEY_EXPECTS(xs.size() == ys.size());
+  WEHEY_EXPECTS(iterations > 0);
+  CorrelationResult res = spearman(xs, ys, alt);
+  if (!res.valid) return res;
+  const double observed = res.coefficient;
+
+  const auto rx = ranks(xs);
+  auto ry = ranks(ys);
+  std::size_t at_least_as_extreme = 0;
+  for (std::size_t it = 0; it < iterations; ++it) {
+    // Fisher-Yates shuffle of the y-ranks.
+    for (std::size_t i = ry.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(ry[i - 1], ry[j]);
+    }
+    const auto perm = pearson(rx, ry, Alternative::TwoSided);
+    if (!perm.valid) continue;
+    switch (alt) {
+      case Alternative::TwoSided:
+        at_least_as_extreme +=
+            std::fabs(perm.coefficient) >= std::fabs(observed);
+        break;
+      case Alternative::Greater:
+        at_least_as_extreme += perm.coefficient >= observed;
+        break;
+      case Alternative::Less:
+        at_least_as_extreme += perm.coefficient <= observed;
+        break;
+    }
+  }
+  // Add-one smoothing keeps the estimate strictly positive (the observed
+  // arrangement is itself one permutation).
+  res.p_value = (static_cast<double>(at_least_as_extreme) + 1.0) /
+                (static_cast<double>(iterations) + 1.0);
+  return res;
+}
+
+}  // namespace wehey::stats

@@ -1,0 +1,48 @@
+// Correlation tests. The loss-trend correlation algorithm (Alg. 1 in the
+// paper) uses Spearman's rank correlation because it captures trend rather
+// than absolute-value similarity and is robust to outliers.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "common/rng.hpp"
+
+namespace wehey::stats {
+
+enum class Alternative { TwoSided, Greater, Less };
+
+struct CorrelationResult {
+  double coefficient = 0.0;  ///< rho (Spearman) or r (Pearson)
+  double p_value = 1.0;      ///< under H0: no correlation
+  bool valid = false;        ///< false when the test is degenerate (n < 3 or
+                             ///< a constant series)
+};
+
+/// Pearson product-moment correlation with a t-distribution p-value.
+CorrelationResult pearson(std::span<const double> xs,
+                          std::span<const double> ys,
+                          Alternative alt = Alternative::TwoSided);
+
+/// Spearman rank correlation: Pearson correlation of the midranks, with the
+/// standard t-approximation p-value (as scipy.stats.spearmanr).
+CorrelationResult spearman(std::span<const double> xs,
+                           std::span<const double> ys,
+                           Alternative alt = Alternative::TwoSided);
+
+/// Kendall's tau-b (tie-corrected) with the normal-approximation p-value.
+/// O(n^2); fine for the series lengths WeHeY produces.
+CorrelationResult kendall(std::span<const double> xs,
+                          std::span<const double> ys,
+                          Alternative alt = Alternative::TwoSided);
+
+/// Monte-Carlo permutation p-value for Spearman's rho: the fraction of
+/// label permutations with a coefficient at least as extreme. Exact in the
+/// limit of iterations; preferable to the t-approximation for short series
+/// (the coarsest interval sizes of Alg. 1).
+CorrelationResult spearman_permutation(std::span<const double> xs,
+                                       std::span<const double> ys, Rng& rng,
+                                       std::size_t iterations = 2000,
+                                       Alternative alt = Alternative::TwoSided);
+
+}  // namespace wehey::stats

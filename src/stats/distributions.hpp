@@ -1,0 +1,30 @@
+// Probability distributions needed by the hypothesis tests: the standard
+// normal, Student's t (via the regularized incomplete beta function), and
+// the Kolmogorov distribution used for KS-test p-values.
+#pragma once
+
+namespace wehey::stats {
+
+/// Standard normal CDF Phi(x).
+double normal_cdf(double x);
+/// Standard normal survival function 1 - Phi(x), computed without
+/// cancellation for large x.
+double normal_sf(double x);
+/// Inverse of the standard normal CDF (Acklam's rational approximation,
+/// relative error < 1.15e-9).
+double normal_quantile(double p);
+
+/// Regularized incomplete beta function I_x(a, b), continued-fraction
+/// evaluation (Lentz's method).
+double incomplete_beta(double a, double b, double x);
+
+/// Student's t CDF with `df` degrees of freedom.
+double student_t_cdf(double t, double df);
+/// Two-sided p-value for a t statistic.
+double student_t_two_sided_p(double t, double df);
+
+/// Kolmogorov distribution survival function
+/// Q(lambda) = 2 * sum_{j>=1} (-1)^{j-1} exp(-2 j^2 lambda^2).
+double kolmogorov_sf(double lambda);
+
+}  // namespace wehey::stats

@@ -1,0 +1,128 @@
+#include "stats/hypothesis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/distributions.hpp"
+#include "stats/ranks.hpp"
+
+namespace wehey::stats {
+
+TestResult mann_whitney_u(std::span<const double> xs,
+                          std::span<const double> ys, Alternative alt) {
+  TestResult res;
+  const double n1 = static_cast<double>(xs.size());
+  const double n2 = static_cast<double>(ys.size());
+  if (xs.empty() || ys.empty()) return res;
+
+  std::vector<double> pooled;
+  pooled.reserve(xs.size() + ys.size());
+  pooled.insert(pooled.end(), xs.begin(), xs.end());
+  pooled.insert(pooled.end(), ys.begin(), ys.end());
+  const auto r = ranks(pooled);
+
+  double rank_sum1 = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) rank_sum1 += r[i];
+  const double u1 = rank_sum1 - n1 * (n1 + 1.0) / 2.0;
+
+  const double n = n1 + n2;
+  const double tie_term = tie_correction_term(pooled);
+  const double mu = n1 * n2 / 2.0;
+  const double sigma2 =
+      n1 * n2 / 12.0 * ((n + 1.0) - tie_term / (n * (n - 1.0)));
+  if (sigma2 <= 0.0) {
+    // All pooled values identical: no evidence either way.
+    res.statistic = u1;
+    res.p_value = 1.0;
+    res.valid = true;
+    return res;
+  }
+  const double sigma = std::sqrt(sigma2);
+
+  res.statistic = u1;
+  res.valid = true;
+  // Continuity-corrected z, direction depending on the alternative.
+  switch (alt) {
+    case Alternative::Greater: {
+      const double z = (u1 - mu - 0.5) / sigma;
+      res.p_value = normal_sf(z);
+      break;
+    }
+    case Alternative::Less: {
+      const double z = (u1 - mu + 0.5) / sigma;
+      res.p_value = normal_cdf(z);
+      break;
+    }
+    case Alternative::TwoSided: {
+      const double z = (std::fabs(u1 - mu) - 0.5) / sigma;
+      res.p_value = std::min(1.0, 2.0 * normal_sf(z));
+      break;
+    }
+  }
+  return res;
+}
+
+TestResult ks_two_sample(std::span<const double> xs,
+                         std::span<const double> ys) {
+  TestResult res;
+  if (xs.empty() || ys.empty()) return res;
+  std::vector<double> a(xs.begin(), xs.end());
+  std::vector<double> b(ys.begin(), ys.end());
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+
+  const double n1 = static_cast<double>(a.size());
+  const double n2 = static_cast<double>(b.size());
+  double d = 0.0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const double x = std::min(a[i], b[j]);
+    while (i < a.size() && a[i] <= x) ++i;
+    while (j < b.size() && b[j] <= x) ++j;
+    const double f1 = static_cast<double>(i) / n1;
+    const double f2 = static_cast<double>(j) / n2;
+    d = std::max(d, std::fabs(f1 - f2));
+  }
+
+  const double ne = n1 * n2 / (n1 + n2);
+  const double sqrt_ne = std::sqrt(ne);
+  const double lambda = (sqrt_ne + 0.12 + 0.11 / sqrt_ne) * d;
+  res.statistic = d;
+  res.p_value = kolmogorov_sf(lambda);
+  res.valid = true;
+  return res;
+}
+
+TestResult welch_t(std::span<const double> xs, std::span<const double> ys,
+                   Alternative alt) {
+  TestResult res;
+  if (xs.size() < 2 || ys.size() < 2) return res;
+  const double m1 = mean(xs), m2 = mean(ys);
+  const double v1 = variance(xs), v2 = variance(ys);
+  const double n1 = static_cast<double>(xs.size());
+  const double n2 = static_cast<double>(ys.size());
+  const double se2 = v1 / n1 + v2 / n2;
+  if (se2 <= 0.0) {
+    res.statistic = 0.0;
+    res.p_value = m1 == m2 ? 1.0 : 0.0;
+    res.valid = true;
+    return res;
+  }
+  const double t = (m1 - m2) / std::sqrt(se2);
+  const double df = se2 * se2 /
+                    (v1 * v1 / (n1 * n1 * (n1 - 1.0)) +
+                     v2 * v2 / (n2 * n2 * (n2 - 1.0)));
+  res.statistic = t;
+  res.valid = true;
+  switch (alt) {
+    case Alternative::TwoSided: res.p_value = student_t_two_sided_p(t, df); break;
+    case Alternative::Greater: res.p_value = 1.0 - student_t_cdf(t, df); break;
+    case Alternative::Less: res.p_value = student_t_cdf(t, df); break;
+  }
+  return res;
+}
+
+}  // namespace wehey::stats

@@ -1,0 +1,40 @@
+// Two-sample location / distribution tests:
+//   - Mann-Whitney U (Wilcoxon rank-sum) — used by the throughput-comparison
+//     algorithm (§4.1) with the one-sided alternative "sample 1 has smaller
+//     rank sum".
+//   - Two-sample Kolmogorov-Smirnov — used by the WeHe detector to compare
+//     throughput CDFs of the original vs bit-inverted replay.
+#pragma once
+
+#include <span>
+
+#include "stats/correlation.hpp"  // Alternative
+
+namespace wehey::stats {
+
+struct TestResult {
+  double statistic = 0.0;
+  double p_value = 1.0;
+  bool valid = false;
+};
+
+/// Mann-Whitney U test with midrank tie correction and continuity
+/// correction, normal approximation (appropriate for the sample sizes WeHeY
+/// uses, which are in the hundreds). `alt` refers to sample 1 relative to
+/// sample 2 (Less: values in xs tend to be smaller than in ys).
+TestResult mann_whitney_u(std::span<const double> xs,
+                          std::span<const double> ys,
+                          Alternative alt = Alternative::TwoSided);
+
+/// Two-sample Kolmogorov-Smirnov test; statistic is the sup-distance D
+/// between the two empirical CDFs, p-value from the asymptotic Kolmogorov
+/// distribution with the small-sample correction of Stephens.
+TestResult ks_two_sample(std::span<const double> xs,
+                         std::span<const double> ys);
+
+/// Welch's unequal-variance t-test (kept for the §4.1 ablation: the paper
+/// explains why it is *not* used).
+TestResult welch_t(std::span<const double> xs, std::span<const double> ys,
+                   Alternative alt = Alternative::TwoSided);
+
+}  // namespace wehey::stats

@@ -1,0 +1,45 @@
+#include "stats/ranks.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace wehey::stats {
+
+std::vector<double> ranks(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+
+  std::vector<double> out(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) ++j;
+    // Elements order[i..j] are tied; assign the midrank.
+    const double midrank = (static_cast<double>(i + 1) +
+                            static_cast<double>(j + 1)) / 2.0;
+    for (std::size_t k = i; k <= j; ++k) out[order[k]] = midrank;
+    i = j + 1;
+  }
+  return out;
+}
+
+double tie_correction_term(std::span<const double> xs) {
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  double sum = 0.0;
+  std::size_t i = 0;
+  const std::size_t n = sorted.size();
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && sorted[j + 1] == sorted[i]) ++j;
+    const double t = static_cast<double>(j - i + 1);
+    sum += t * t * t - t;
+    i = j + 1;
+  }
+  return sum;
+}
+
+}  // namespace wehey::stats

@@ -1,0 +1,18 @@
+// Rank transforms with midrank tie handling — shared by the Spearman and
+// Mann-Whitney tests.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace wehey::stats {
+
+/// Ranks (1-based) of each element, ties receiving the average of the ranks
+/// they span (midranks), as in scipy.stats.rankdata(method="average").
+std::vector<double> ranks(std::span<const double> xs);
+
+/// Sum over tie groups of (t^3 - t), where t is the size of each group.
+/// Used in tie corrections for rank tests.
+double tie_correction_term(std::span<const double> xs);
+
+}  // namespace wehey::stats

@@ -1,0 +1,108 @@
+#include "stats/resample.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "stats/descriptive.hpp"
+
+namespace wehey::stats {
+
+std::vector<double> random_half(std::span<const double> xs, Rng& rng) {
+  std::vector<double> pool(xs.begin(), xs.end());
+  const std::size_t take = pool.size() / 2;
+  // Partial Fisher-Yates: after i swaps, pool[0..i) is a uniform sample.
+  for (std::size_t i = 0; i < take; ++i) {
+    const auto j = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(i), static_cast<std::int64_t>(pool.size()) - 1));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(take);
+  return pool;
+}
+
+std::vector<double> bootstrap(
+    std::span<const double> xs, std::size_t iterations,
+    const std::function<double(std::span<const double>)>& statistic,
+    Rng& rng) {
+  WEHEY_EXPECTS(!xs.empty());
+  std::vector<double> out;
+  out.reserve(iterations);
+  std::vector<double> resample(xs.size());
+  for (std::size_t it = 0; it < iterations; ++it) {
+    for (auto& v : resample) {
+      const auto i = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(xs.size()) - 1));
+      v = xs[i];
+    }
+    out.push_back(statistic(resample));
+  }
+  return out;
+}
+
+double relative_mean_difference(std::span<const double> a,
+                                std::span<const double> b) {
+  const double ma = mean(a);
+  const double mb = mean(b);
+  const double denom = std::max(ma, mb);
+  if (denom == 0.0) return 0.0;
+  return (ma - mb) / denom;
+}
+
+std::vector<double> half_sample_mean_difference(std::span<const double> xs,
+                                                std::span<const double> ys,
+                                                std::size_t iterations,
+                                                Rng& rng) {
+  WEHEY_EXPECTS(xs.size() >= 2 && ys.size() >= 2);
+  std::vector<double> out;
+  out.reserve(iterations);
+  for (std::size_t it = 0; it < iterations; ++it) {
+    const auto xh = random_half(xs, rng);
+    const auto yh = random_half(ys, rng);
+    out.push_back(relative_mean_difference(xh, yh));
+  }
+  return out;
+}
+
+std::vector<double> jackknife(
+    std::span<const double> xs,
+    const std::function<double(std::span<const double>)>& statistic) {
+  WEHEY_EXPECTS(xs.size() >= 2);
+  std::vector<double> out;
+  out.reserve(xs.size());
+  std::vector<double> rest(xs.size() - 1);
+  for (std::size_t leave = 0; leave < xs.size(); ++leave) {
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      if (i != leave) rest[w++] = xs[i];
+    }
+    out.push_back(statistic(rest));
+  }
+  return out;
+}
+
+double jackknife_stderr(
+    std::span<const double> xs,
+    const std::function<double(std::span<const double>)>& statistic) {
+  const auto reps = jackknife(xs, statistic);
+  const double n = static_cast<double>(reps.size());
+  const double m = mean(reps);
+  double ss = 0.0;
+  for (double r : reps) ss += (r - m) * (r - m);
+  return std::sqrt((n - 1.0) / n * ss);
+}
+
+Interval wilson_interval(std::size_t successes, std::size_t trials,
+                         double z) {
+  if (trials == 0) return {0.0, 1.0};
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double margin =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  return {std::max(0.0, center - margin), std::min(1.0, center + margin)};
+}
+
+}  // namespace wehey::stats

@@ -1,0 +1,55 @@
+#include "topology/alias.hpp"
+
+namespace wehey::topology {
+
+std::string AliasResolver::find(const std::string& ip) const {
+  // Walk to the root (alias sets are tiny; no path compression needed).
+  std::string current = ip;
+  while (true) {
+    const auto next = parent_.find(current);
+    if (next == parent_.end() || next->second == current) return current;
+    current = next->second;
+  }
+}
+
+void AliasResolver::learn(const std::vector<TracerouteRecord>& records) {
+  for (const auto& rec : records) {
+    for (const auto& hop : rec.hops) {
+      if (hop.reported_ips.size() < 2) continue;
+      // Union all reported addresses under the first one's root.
+      const std::string root = find(hop.reported_ips.front());
+      parent_.emplace(root, root);
+      bool merged_new = false;
+      for (const auto& ip : hop.reported_ips) {
+        const std::string r = find(ip);
+        if (r != root) {
+          parent_[r] = root;
+          merged_new = true;
+        }
+        parent_.emplace(ip, root);
+      }
+      if (merged_new) ++sets_;
+    }
+  }
+}
+
+std::string AliasResolver::canonical(const std::string& ip) const {
+  return find(ip);
+}
+
+std::vector<TracerouteRecord> AliasResolver::resolve(
+    const std::vector<TracerouteRecord>& records) const {
+  std::vector<TracerouteRecord> out;
+  out.reserve(records.size());
+  for (const auto& rec : records) {
+    TracerouteRecord r = rec;
+    for (auto& hop : r.hops) {
+      const std::string canon = canonical(hop.reported_ips.front());
+      hop.reported_ips.assign(1, canon);
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace wehey::topology

@@ -1,0 +1,44 @@
+// IP alias resolution — the improvement §3.3 sketches but leaves
+// unimplemented ("We could reduce the number of discarded traceroutes by
+// leveraging IP alias resolution techniques as in [MIDAR]").
+//
+// Hops that report several IP addresses across probes are aliases of one
+// router. The resolver builds alias sets (union-find over co-reported
+// addresses), rewrites every hop to a canonical address, and thereby
+// rescues records that condition (b) of the TC filter would discard.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "topology/traceroute.hpp"
+
+namespace wehey::topology {
+
+class AliasResolver {
+ public:
+  /// Learn alias sets from a batch of records: addresses reported by the
+  /// same hop of the same traceroute are aliases of one router.
+  void learn(const std::vector<TracerouteRecord>& records);
+
+  /// Canonical address of `ip` (the representative of its alias set; the
+  /// ip itself if never seen aliased).
+  std::string canonical(const std::string& ip) const;
+
+  /// Copy of `records` with every hop rewritten to one canonical address —
+  /// all rewritten records pass the alias-consistency filter.
+  std::vector<TracerouteRecord> resolve(
+      const std::vector<TracerouteRecord>& records) const;
+
+  std::size_t alias_set_count() const { return sets_; }
+
+ private:
+  std::string find(const std::string& ip) const;
+
+  // Union-find over addresses (path compression applied lazily in learn).
+  mutable std::unordered_map<std::string, std::string> parent_;
+  std::size_t sets_ = 0;
+};
+
+}  // namespace wehey::topology

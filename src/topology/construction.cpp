@@ -1,0 +1,120 @@
+#include "topology/construction.hpp"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/log.hpp"
+
+namespace wehey::topology {
+
+bool suitable_pair(const TracerouteRecord& a, const TracerouteRecord& b,
+                   Asn dst_asn, std::string* convergence_ip) {
+  if (a.server == b.server) return false;
+
+  // Index b's hops by IP. TC compares raw IPs (no alias resolution, §3.3);
+  // filtered records have exactly one IP per hop.
+  std::unordered_map<std::string, Asn> b_hops;
+  for (const auto& hop : b.hops) {
+    if (hop.responded) b_hops.emplace(hop.ip(), hop.asn);
+  }
+
+  bool common_inside = false;
+  std::string first_convergence;
+  for (const auto& hop : a.hops) {
+    if (!hop.responded) continue;
+    const auto it = b_hops.find(hop.ip());
+    if (it == b_hops.end()) continue;
+    // The destination address itself is where all paths trivially meet;
+    // a *candidate intermediate node* is a common hop before it.
+    const bool is_destination = hop.ip() == a.dst_ip;
+    if (hop.asn == dst_asn && it->second == dst_asn) {
+      if (!is_destination && !common_inside) {
+        common_inside = true;
+        first_convergence = hop.ip();
+      }
+    } else {
+      // Any common node outside the destination ISP disqualifies the pair
+      // (the paths would converge before entering the target area).
+      return false;
+    }
+  }
+  if (common_inside && convergence_ip != nullptr) {
+    *convergence_ip = first_convergence;
+  }
+  return common_inside;
+}
+
+std::vector<TopologyEntry> TopologyConstructor::construct(
+    const std::vector<TracerouteRecord>& records) {
+  stats_ = {};
+  stats_.input_records = records.size();
+
+  // Filter (conditions (a) and (b) of §3.3).
+  std::vector<const TracerouteRecord*> kept;
+  for (const auto& r : records) {
+    if (!r.last_hop_matches_dst_asn()) {
+      ++stats_.discarded_incomplete;
+      continue;
+    }
+    if (!r.alias_consistent()) {
+      ++stats_.discarded_aliased;
+      continue;
+    }
+    kept.push_back(&r);
+  }
+
+  // Group by destination, and by ASN for the step-1 fallback.
+  std::map<std::string, std::vector<const TracerouteRecord*>> by_dst;
+  std::unordered_map<Asn, std::vector<const TracerouteRecord*>> by_asn;
+  for (const auto* r : kept) {
+    by_dst[r->dst_ip].push_back(r);
+    by_asn[r->dst_asn].push_back(r);
+  }
+  stats_.destinations = by_dst.size();
+
+  std::vector<TopologyEntry> out;
+  for (const auto& [dst, direct] : by_dst) {
+    const Asn dst_asn = direct.front()->dst_asn;
+    // Step 1: traceroutes to d itself; only if none exist does TC widen
+    // to traceroutes toward the same ASN (§3.3). Since this loop iterates
+    // over destinations found in the records, the fallback arms only for
+    // externally supplied destinations (kept for API parity).
+    std::vector<const TracerouteRecord*> candidates = direct;
+    if (candidates.empty()) {
+      for (const auto* r : by_asn[dst_asn]) candidates.push_back(r);
+    }
+    if (candidates.size() < 2) continue;
+
+    // Steps 2+3: all pair combinations, checked for exactly-once
+    // convergence inside d's ISP.
+    TopologyEntry entry;
+    entry.dst_prefix = client_prefix(dst);
+    entry.dst_asn = dst_asn;
+    std::set<std::pair<std::string, std::string>> seen;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      for (std::size_t j = i + 1; j < candidates.size(); ++j) {
+        std::string convergence;
+        if (!suitable_pair(*candidates[i], *candidates[j], dst_asn,
+                           &convergence)) {
+          continue;
+        }
+        auto key = std::minmax(candidates[i]->server, candidates[j]->server);
+        if (!seen.insert(key).second) continue;
+        entry.pairs.push_back(
+            {key.first, key.second, std::move(convergence)});
+      }
+    }
+    if (!entry.pairs.empty()) {
+      ++stats_.destinations_with_topology;
+      out.push_back(std::move(entry));
+    }
+  }
+  LOG_DEBUG("TC: " << stats_.destinations_with_topology << "/"
+                   << stats_.destinations
+                   << " destinations have a suitable topology");
+  return out;
+}
+
+}  // namespace wehey::topology

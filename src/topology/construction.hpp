@@ -1,0 +1,62 @@
+// The topology-construction (TC) module of §3.3.
+//
+// TC ingests annotated traceroute records, discards those failing the two
+// filter conditions, and — per traceroute destination — finds pairs of
+// M-Lab servers whose paths to that destination (i) share at least one
+// candidate intermediate node inside the destination's ISP and (ii) share
+// no node outside it. Such a pair forms a "suitable topology": two paths
+// that converge exactly once, inside the target network area.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "topology/traceroute.hpp"
+
+namespace wehey::topology {
+
+/// One usable {destination, server pair} tuple (TC step 4).
+struct ServerPair {
+  std::string server1;
+  std::string server2;
+  /// A common candidate intermediate node (inside the destination's ISP)
+  /// where the two paths converge — the downstream end of l_c.
+  std::string convergence_ip;
+};
+
+/// TC output row for one destination.
+struct TopologyEntry {
+  std::string dst_prefix;  ///< /24 of the destination
+  Asn dst_asn = 0;
+  std::vector<ServerPair> pairs;
+};
+
+struct ConstructionStats {
+  std::size_t input_records = 0;
+  std::size_t discarded_incomplete = 0;  ///< failed condition (a)
+  std::size_t discarded_aliased = 0;     ///< failed condition (b)
+  std::size_t destinations = 0;
+  std::size_t destinations_with_topology = 0;
+};
+
+class TopologyConstructor {
+ public:
+  /// Run the full §3.3 pipeline over one batch of traceroute records.
+  std::vector<TopologyEntry> construct(
+      const std::vector<TracerouteRecord>& records);
+
+  const ConstructionStats& stats() const { return stats_; }
+
+ private:
+  ConstructionStats stats_;
+};
+
+/// Step-3 pair check, exposed for testing: do the two traceroutes share at
+/// least one candidate intermediate node (same-ISP hop, matched by exact
+/// IP) and no common node outside the destination's ISP?
+bool suitable_pair(const TracerouteRecord& a, const TracerouteRecord& b,
+                   Asn dst_asn, std::string* convergence_ip = nullptr);
+
+}  // namespace wehey::topology

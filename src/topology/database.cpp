@@ -1,0 +1,45 @@
+#include "topology/database.hpp"
+
+#include <algorithm>
+
+namespace wehey::topology {
+
+void TopologyDatabase::ingest(const std::vector<TopologyEntry>& entries) {
+  for (const auto& e : entries) entries_[e.dst_prefix] = e;
+}
+
+std::vector<ServerPair> TopologyDatabase::lookup(
+    const std::string& client_ip) const {
+  const auto it = entries_.find(client_prefix(client_ip));
+  if (it == entries_.end()) return {};
+  return it->second.pairs;
+}
+
+std::optional<ServerPair> TopologyDatabase::pick(
+    const std::string& client_ip) const {
+  const auto pairs = lookup(client_ip);
+  if (pairs.empty()) return std::nullopt;
+  return pairs.front();
+}
+
+void TopologyDatabase::invalidate(const std::string& client_ip,
+                                  const ServerPair& pair) {
+  const auto it = entries_.find(client_prefix(client_ip));
+  if (it == entries_.end()) return;
+  auto& pairs = it->second.pairs;
+  pairs.erase(std::remove_if(pairs.begin(), pairs.end(),
+                             [&](const ServerPair& p) {
+                               return p.server1 == pair.server1 &&
+                                      p.server2 == pair.server2;
+                             }),
+              pairs.end());
+  if (pairs.empty()) entries_.erase(it);
+}
+
+std::size_t TopologyDatabase::pair_count() const {
+  std::size_t n = 0;
+  for (const auto& [prefix, entry] : entries_) n += entry.pairs.size();
+  return n;
+}
+
+}  // namespace wehey::topology

@@ -1,0 +1,40 @@
+// The topology database of §3.3/§3.4: the client queries it (by its own
+// address) for a pair of servers forming a suitable topology; the replay
+// coordinator invalidates entries whose end-of-replay traceroutes no
+// longer match.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "topology/construction.hpp"
+
+namespace wehey::topology {
+
+class TopologyDatabase {
+ public:
+  /// Replace/refresh entries from a TC run (TC runs once per day, as often
+  /// as the M-Lab traceroute tables update).
+  void ingest(const std::vector<TopologyEntry>& entries);
+
+  /// All server pairs usable by a client at `client_ip` (matched on the
+  /// /24 prefix, like TC's output keys).
+  std::vector<ServerPair> lookup(const std::string& client_ip) const;
+
+  /// First usable pair, if any.
+  std::optional<ServerPair> pick(const std::string& client_ip) const;
+
+  /// Remove one pair after a failed end-of-replay suitability re-check
+  /// (§3.4 step 4).
+  void invalidate(const std::string& client_ip, const ServerPair& pair);
+
+  std::size_t prefix_count() const { return entries_.size(); }
+  std::size_t pair_count() const;
+
+ private:
+  std::map<std::string, TopologyEntry> entries_;  // keyed by /24 prefix
+};
+
+}  // namespace wehey::topology

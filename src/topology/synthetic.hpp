@@ -1,0 +1,48 @@
+// Synthetic stand-in for M-Lab's traceroute BigQuery tables (§3.3).
+//
+// Generates annotated traceroute records with controlled imperfections —
+// ICMP-blocking ISPs (incomplete traceroutes), IP aliasing, and server
+// pairs that share transit infrastructure (and therefore converge *before*
+// the client's ISP) — together with the ground truth of which pairs are
+// genuinely suitable. Tests validate the TC pipeline against this ground
+// truth, and the §3.3-coverage bench reproduces the paper's 52 % / 74 %
+// style statistics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "topology/traceroute.hpp"
+
+namespace wehey::topology {
+
+struct SyntheticConfig {
+  std::size_t num_clients = 200;
+  std::size_t num_servers = 8;
+  std::size_t num_isps = 10;
+  std::size_t num_transit_chains = 4;  ///< fewer chains => more sharing
+  double p_client_has_traceroutes = 0.75;  ///< else: no records at all
+  double p_icmp_blocked = 0.28;            ///< ISP hides hops near client
+  double p_hop_alias = 0.04;               ///< per-hop extra reported IP
+  double p_shared_transit = 0.42;          ///< server reuses another's chain
+  std::size_t min_servers_per_client = 1;
+  std::size_t max_servers_per_client = 5;
+};
+
+struct ClientTruth {
+  std::string ip;
+  Asn isp_asn = 0;
+  bool has_any_record = false;
+  bool has_complete_record = false;  ///< >= 1 record passing both filters
+  bool has_suitable_topology = false;
+};
+
+struct SyntheticDataset {
+  std::vector<TracerouteRecord> records;
+  std::vector<ClientTruth> truth;
+};
+
+SyntheticDataset generate_mlab_dataset(const SyntheticConfig& cfg, Rng& rng);
+
+}  // namespace wehey::topology

@@ -1,0 +1,64 @@
+#include "topology/traceroute.hpp"
+
+#include <vector>
+
+namespace wehey::topology {
+
+bool TracerouteRecord::last_hop_matches_dst_asn() const {
+  for (auto it = hops.rbegin(); it != hops.rend(); ++it) {
+    if (it->responded) return it->asn == dst_asn;
+  }
+  return false;
+}
+
+bool TracerouteRecord::alias_consistent() const {
+  for (const auto& hop : hops) {
+    if (hop.reported_ips.size() != 1) return false;
+  }
+  return true;
+}
+
+std::string ipv4_prefix24(const std::string& ip) {
+  // Strip the final ".x" octet and append ".0/24".
+  const auto last_dot = ip.rfind('.');
+  if (last_dot == std::string::npos) return ip + "/24";
+  return ip.substr(0, last_dot) + ".0/24";
+}
+
+std::string ipv6_prefix48(const std::string& ip) {
+  // Expand "::" so the address has all eight hextets, then keep the first
+  // three (48 bits).
+  std::vector<std::string> hextets;
+  const auto dbl = ip.find("::");
+  auto split = [](const std::string& s, std::vector<std::string>& out) {
+    std::size_t start = 0;
+    while (start <= s.size()) {
+      const auto colon = s.find(':', start);
+      if (colon == std::string::npos) {
+        if (start < s.size()) out.push_back(s.substr(start));
+        break;
+      }
+      if (colon > start) out.push_back(s.substr(start, colon - start));
+      start = colon + 1;
+    }
+  };
+  if (dbl == std::string::npos) {
+    split(ip, hextets);
+  } else {
+    std::vector<std::string> head, tail;
+    split(ip.substr(0, dbl), head);
+    split(ip.substr(dbl + 2), tail);
+    hextets = head;
+    while (hextets.size() + tail.size() < 8) hextets.push_back("0");
+    hextets.insert(hextets.end(), tail.begin(), tail.end());
+  }
+  while (hextets.size() < 3) hextets.push_back("0");
+  return hextets[0] + ":" + hextets[1] + ":" + hextets[2] + "::/48";
+}
+
+std::string client_prefix(const std::string& ip) {
+  return ip.find(':') != std::string::npos ? ipv6_prefix48(ip)
+                                           : ipv4_prefix24(ip);
+}
+
+}  // namespace wehey::topology

@@ -1,0 +1,51 @@
+// Traceroute records as WeHeY's topology-construction module consumes
+// them: M-Lab scamper traceroutes joined with per-hop ASN/geolocation
+// annotations (§3.3).
+//
+// A hop may report several IP addresses for the same router position (IP
+// aliasing across probes); condition (b) of the paper's filter requires
+// that "two subsequent links always meet at the same IP address", i.e.
+// every hop reported exactly one address.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wehey::topology {
+
+using Asn = std::uint32_t;
+
+struct Hop {
+  std::vector<std::string> reported_ips;  ///< usually one; >1 under aliasing
+  Asn asn = 0;
+  bool responded = true;  ///< false when the router dropped the ICMP probe
+
+  const std::string& ip() const { return reported_ips.front(); }
+};
+
+struct TracerouteRecord {
+  std::string server;   ///< measuring M-Lab server (source)
+  std::string dst_ip;   ///< traceroute destination (the client)
+  Asn dst_asn = 0;
+  std::vector<Hop> hops;  ///< in path order, server side first
+
+  /// Condition (a): the last *responding* hop has the destination's ASN
+  /// (fails when the client ISP blocks ICMP near the client).
+  bool last_hop_matches_dst_asn() const;
+  /// Condition (b): every hop reported a single IP address.
+  bool alias_consistent() const;
+};
+
+/// IPv4 /24 prefix of an address in dotted-quad text form ("a.b.c.0/24").
+std::string ipv4_prefix24(const std::string& ip);
+
+/// IPv6 /48 prefix of an address in colon-hex text form
+/// ("2001:db8:1::/48"). Handles "::" compression by expanding first.
+std::string ipv6_prefix48(const std::string& ip);
+
+/// TC's per-destination key (§3.3): /24 for IPv4, /48 for IPv6, chosen by
+/// the address family.
+std::string client_prefix(const std::string& ip);
+
+}  // namespace wehey::topology

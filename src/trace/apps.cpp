@@ -1,0 +1,177 @@
+#include "trace/apps.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace wehey::trace {
+namespace {
+
+struct UdpAppModel {
+  const char* name;
+  const char* service;
+  double frame_interval_ms;  ///< media frame period
+  double frame_bytes_mean;   ///< bytes per frame (split into packets)
+  double frame_bytes_jitter; ///< multiplicative jitter stddev
+  double keyframe_every_s;   ///< large-frame period (0: none)
+  double keyframe_factor;    ///< keyframe size multiplier
+  std::uint32_t max_packet;  ///< MTU-ish packet split size
+};
+
+// Rates: Skype ~0.7 Mbps, WhatsApp voice ~0.045 Mbps, Teams ~1.2 Mbps,
+// Zoom ~1.0 Mbps, Webex ~0.8 Mbps — in line with the medium-quality video /
+// voice settings of WeHe's recorded traces.
+constexpr UdpAppModel kUdpApps[] = {
+    {"Skype", "skype.com", 33.3, 2900.0, 0.25, 2.0, 2.5, 1200},
+    {"WhatsApp", "whatsapp.net", 30.0, 170.0, 0.15, 0.0, 1.0, 1200},
+    {"MSTeams", "teams.microsoft.com", 33.3, 5000.0, 0.25, 2.5, 2.0, 1200},
+    {"Zoom", "zoom.us", 33.3, 4200.0, 0.20, 2.0, 2.2, 1150},
+    {"Webex", "webex.com", 33.3, 3300.0, 0.22, 3.0, 2.0, 1200},
+};
+
+const UdpAppModel* find_udp_app(const std::string& app) {
+  for (const auto& m : kUdpApps) {
+    if (app == m.name) return &m;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const std::vector<std::string>& udp_app_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> v;
+    for (const auto& m : kUdpApps) v.emplace_back(m.name);
+    return v;
+  }();
+  return names;
+}
+
+AppTrace make_udp_app_trace(const std::string& app, Time duration, Rng& rng) {
+  const UdpAppModel* m = find_udp_app(app);
+  WEHEY_EXPECTS(m != nullptr);
+
+  AppTrace t;
+  t.app = m->name;
+  t.service = m->service;
+  t.transport = Transport::Udp;
+
+  const Time frame_interval = milliseconds(m->frame_interval_ms);
+  const Time keyframe_every =
+      m->keyframe_every_s > 0 ? seconds(m->keyframe_every_s) : 0;
+  Time next_keyframe = keyframe_every;
+  for (Time at = 0; at <= duration; at += frame_interval) {
+    double bytes = m->frame_bytes_mean *
+                   std::max(0.2, rng.normal(1.0, m->frame_bytes_jitter));
+    if (keyframe_every > 0 && at >= next_keyframe) {
+      bytes *= m->keyframe_factor;
+      next_keyframe += keyframe_every;
+    }
+    // Split the frame into MTU-sized packets sent back-to-back with a tiny
+    // serialization spacing, like a real video encoder's output burst.
+    auto remaining = static_cast<std::int64_t>(bytes);
+    Time pkt_at = at;
+    while (remaining > 0) {
+      const auto size = static_cast<std::uint32_t>(
+          std::min<std::int64_t>(remaining, m->max_packet));
+      t.packets.push_back({pkt_at, size});
+      remaining -= size;
+      pkt_at += microseconds(100);
+    }
+  }
+  return t;
+}
+
+struct TcpAppModel {
+  const char* name;
+  const char* service;
+  double segment_period_s;   ///< media segment fetch period
+  double segment_bytes_mean; ///< bytes per segment
+  double segment_jitter;     ///< relative stddev of segment sizes
+  int startup_segments;      ///< segments buffered at startup (burst)
+};
+
+// All five stream at roughly 3.5-4.5 Mbps on average but with different
+// chunking: Netflix/Prime fetch ~4 s DASH segments, YouTube shorter ones,
+// Disney+ longer, Twitch (live HLS) arrives in steady 2 s chunks with no
+// startup burst.
+constexpr TcpAppModel kTcpApps[] = {
+    {"Netflix", "nflxvideo.net", 4.0, 2.0e6, 0.25, 3},
+    {"YouTube", "googlevideo.com", 2.5, 1.3e6, 0.30, 4},
+    {"Disney+", "dssott.com", 6.0, 3.0e6, 0.20, 2},
+    {"AmazonPrime", "aiv-cdn.net", 4.0, 1.9e6, 0.25, 3},
+    {"Twitch", "ttvnw.net", 2.0, 1.1e6, 0.15, 1},
+};
+
+const TcpAppModel* find_tcp_app(const std::string& app) {
+  for (const auto& m : kTcpApps) {
+    if (app == m.name) return &m;
+  }
+  return nullptr;
+}
+
+const std::vector<std::string>& tcp_app_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> v;
+    for (const auto& m : kTcpApps) v.emplace_back(m.name);
+    return v;
+  }();
+  return names;
+}
+
+AppTrace make_tcp_app_trace(const std::string& app, Time duration,
+                            Rng& rng) {
+  const TcpAppModel* m = find_tcp_app(app);
+  WEHEY_EXPECTS(m != nullptr);
+  AppTrace t;
+  t.app = m->name;
+  t.service = m->service;
+  t.transport = Transport::Tcp;
+
+  // Chunked adaptive streaming: one segment per period; the schedule below
+  // is the byte-availability schedule, not the wire timing — the TCP
+  // replay's congestion control sets the wire timing (§3.4). The first
+  // `startup_segments` segments are requested back-to-back (buffering).
+  const Time segment_period = seconds(m->segment_period_s);
+  int segment_index = 0;
+  for (Time at = 0; at <= duration; at += segment_period, ++segment_index) {
+    const double segment_bytes = std::max(
+        0.1 * m->segment_bytes_mean,
+        rng.normal(m->segment_bytes_mean,
+                   m->segment_jitter * m->segment_bytes_mean));
+    // Startup burst: early segments become available immediately.
+    const Time base =
+        segment_index < m->startup_segments ? Time{0} : at;
+    auto remaining = static_cast<std::int64_t>(segment_bytes);
+    Time pkt_at = base;
+    while (remaining > 0) {
+      const auto size = static_cast<std::uint32_t>(
+          std::min<std::int64_t>(remaining, 1448));
+      t.packets.push_back({pkt_at, size});
+      remaining -= size;
+      // Spacing within a segment is nominal; TCP replay ignores it.
+      pkt_at += microseconds(50);
+    }
+  }
+  std::sort(t.packets.begin(), t.packets.end(),
+            [](const TracePacket& a, const TracePacket& b) {
+              return a.offset < b.offset;
+            });
+  return t;
+}
+
+AppTrace make_tcp_app_trace(Time duration, Rng& rng) {
+  return make_tcp_app_trace("Netflix", duration, rng);
+}
+
+std::vector<AppTrace> all_app_traces(Time duration, Rng& rng) {
+  std::vector<AppTrace> traces;
+  traces.push_back(make_tcp_app_trace(duration, rng));
+  for (const auto& name : udp_app_names()) {
+    traces.push_back(make_udp_app_trace(name, duration, rng));
+  }
+  return traces;
+}
+
+}  // namespace wehey::trace

@@ -1,0 +1,45 @@
+// Synthetic models of the application traces WeHe replays (§6.1): one TCP
+// streaming trace and five UDP real-time apps (Skype, WhatsApp, MS Teams,
+// Zoom, Webex).
+//
+// The paper's evaluation only depends on the traces' packet sizes, timings
+// and average rates (content matters solely as the DPI key, which we model
+// with `carries_sni`), so each generator reproduces the app's
+// characteristic traffic *shape*: frame-periodic video with size jitter,
+// low-rate CBR voice, or chunked TCP streaming.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "trace/trace.hpp"
+
+namespace wehey::trace {
+
+/// Names of the five UDP apps evaluated in the paper, in paper order.
+const std::vector<std::string>& udp_app_names();
+
+/// A UDP app trace of roughly `duration` (video-conference style: periodic
+/// frames split into MTU-sized packets, size jitter, occasional keyframes).
+AppTrace make_udp_app_trace(const std::string& app, Time duration, Rng& rng);
+
+/// The names of the TCP streaming services modelled (the five the wild
+/// evaluation replays: Netflix, YouTube, Disney+, Amazon Prime, Twitch).
+const std::vector<std::string>& tcp_app_names();
+
+/// A TCP streaming trace: the byte schedule of a chunked video stream.
+/// For TCP replays only the payload amount and chunking matter;
+/// transmission times come from congestion control (§3.4). Each service
+/// has its own segment length, bitrate and startup-burst profile.
+AppTrace make_tcp_app_trace(const std::string& app, Time duration, Rng& rng);
+
+/// Netflix-profile shorthand (the §6 testbed's TCP trace).
+AppTrace make_tcp_app_trace(Time duration, Rng& rng);
+
+/// All six (original) trace models at the default duration used in our
+/// experiments.
+std::vector<AppTrace> all_app_traces(Time duration, Rng& rng);
+
+}  // namespace wehey::trace

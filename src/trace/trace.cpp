@@ -1,0 +1,58 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace wehey::trace {
+
+std::int64_t AppTrace::total_bytes() const {
+  std::int64_t sum = 0;
+  for (const auto& p : packets) sum += p.size;
+  return sum;
+}
+
+Rate AppTrace::average_rate() const {
+  const Time d = duration();
+  if (d <= 0) return 0.0;
+  return rate_of(total_bytes(), d);
+}
+
+AppTrace bit_invert(const AppTrace& t) {
+  AppTrace inv = t;
+  inv.carries_sni = false;
+  return inv;
+}
+
+AppTrace poissonize(const AppTrace& t, Rng& rng) {
+  AppTrace out = t;
+  out.timing = Timing::Poisson;
+  if (t.packets.size() < 2) return out;
+  const double mean_gap =
+      to_seconds(t.duration()) / static_cast<double>(t.packets.size() - 1);
+  Time at = 0;
+  for (std::size_t i = 0; i < out.packets.size(); ++i) {
+    out.packets[i].offset = at;
+    at += seconds(rng.exponential(mean_gap));
+  }
+  return out;
+}
+
+AppTrace extend(const AppTrace& t, Time min_duration) {
+  WEHEY_EXPECTS(!t.packets.empty());
+  AppTrace out = t;
+  const Time period = std::max<Time>(t.duration(), kMillisecond);
+  // Leave one average inter-packet gap between repetitions so the repeat
+  // boundary does not create an artificial back-to-back burst.
+  const Time gap = period / static_cast<Time>(t.packets.size());
+  Time base = period + gap;
+  while (out.duration() < min_duration) {
+    for (const auto& p : t.packets) {
+      out.packets.push_back({base + p.offset, p.size});
+    }
+    base += period + gap;
+  }
+  return out;
+}
+
+}  // namespace wehey::trace

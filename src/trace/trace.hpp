@@ -1,0 +1,65 @@
+// Application traces, modelled after WeHe's pre-recorded replay traces.
+//
+// A trace is the server-to-client packet schedule of one application
+// session: packet sizes and transmit-time offsets. Two properties of the
+// real traces matter to WeHeY and are modelled explicitly:
+//
+//  * whether the payload still carries the service identifier a DPI box
+//    keys on (the SNI) — captured by `carries_sni`. The "bit-inverted"
+//    transform clears it, exactly like WeHe's control replays.
+//  * the timing discipline — as recorded, or re-timed to a Poisson process
+//    (for UDP replays, to benefit from the PASTA property, §3.4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "common/units.hpp"
+
+namespace wehey::trace {
+
+enum class Transport { Tcp, Udp };
+
+enum class Timing {
+  AsRecorded,  ///< original inter-arrival times
+  Poisson,     ///< exponential inter-arrivals with the original mean rate
+};
+
+struct TracePacket {
+  Time offset = 0;          ///< transmit time relative to trace start
+  std::uint32_t size = 0;   ///< payload bytes
+};
+
+/// One replayable application trace.
+struct AppTrace {
+  std::string app;          ///< e.g. "Netflix", "Skype"
+  std::string service;      ///< SNI-visible service name
+  Transport transport = Transport::Udp;
+  bool carries_sni = true;  ///< false after bit inversion
+  Timing timing = Timing::AsRecorded;
+  std::vector<TracePacket> packets;
+
+  Time duration() const {
+    return packets.empty() ? 0 : packets.back().offset;
+  }
+  std::int64_t total_bytes() const;
+  /// Average rate over the trace duration (bits/sec).
+  Rate average_rate() const;
+};
+
+/// WeHe's control transform: identical sizes and timings, payload bits
+/// inverted so no DPI signature survives.
+AppTrace bit_invert(const AppTrace& t);
+
+/// Re-time the packets as a Poisson process with the trace's original
+/// average packet rate, keeping sizes and total count (§3.4, UDP replay).
+AppTrace poissonize(const AppTrace& t, Rng& rng);
+
+/// Repeat the trace back-to-back until it lasts at least `min_duration`
+/// (§3.4: replays are extended to >= 45 s to yield enough loss samples).
+AppTrace extend(const AppTrace& t, Time min_duration);
+
+}  // namespace wehey::trace

@@ -1,0 +1,80 @@
+#include "transport/udp.hpp"
+
+#include "common/check.hpp"
+
+namespace wehey::transport {
+
+using netsim::Packet;
+using netsim::PacketKind;
+
+UdpReplaySender::UdpReplaySender(netsim::Simulator& sim,
+                                 netsim::PacketIdSource& ids, UdpConfig cfg,
+                                 netsim::FlowId flow, std::uint8_t dscp,
+                                 netsim::PacketSink* out,
+                                 const trace::AppTrace& t, Time start,
+                                 netsim::FlowId policer_key)
+    : start_(start) {
+  WEHEY_EXPECTS(out != nullptr);
+  tx_times_.reserve(t.packets.size());
+  std::uint64_t seq = 0;
+  end_ = start;
+  for (const auto& tp : t.packets) {
+    const Time at = start + tp.offset;
+    Packet pkt;
+    pkt.id = ids.next();
+    pkt.flow = flow;
+    pkt.policer_key = policer_key;
+    pkt.kind = PacketKind::Data;
+    pkt.size = tp.size + cfg.header_bytes;
+    pkt.dscp = dscp;
+    pkt.seq = seq++;
+    pkt.payload = tp.size;
+    sim.schedule_at(at, [&sim, out, pkt]() mutable {
+      pkt.sent_at = sim.now();
+      out->receive(std::move(pkt));
+    });
+    tx_times_.push_back(at);
+    end_ = at;
+  }
+  scheduled_ = seq;
+}
+
+void UdpReplayReceiver::receive(Packet pkt) {
+  if (pkt.kind != PacketKind::Data) return;
+  const Time now = sim_.now();
+  deliveries_.push_back({now, pkt.payload});
+  owd_ms_.push_back(to_milliseconds(now - pkt.sent_at));
+
+  if (pkt.seq >= expected_seq_) {
+    // Every skipped sequence number is a loss, registered at the moment
+    // the gap becomes observable (the arrival of this later packet).
+    for (std::uint64_t missing = expected_seq_; missing < pkt.seq;
+         ++missing) {
+      loss_times_.push_back(now);
+    }
+    expected_seq_ = pkt.seq + 1;
+  }
+  // pkt.seq < expected_seq_ would be reordering; the simulator's FIFO
+  // paths never reorder, so such packets are simply counted as deliveries.
+}
+
+void UdpReplayReceiver::finalize(std::uint64_t packets_sent, Time at) {
+  while (expected_seq_ < packets_sent) {
+    loss_times_.push_back(at);
+    ++expected_seq_;
+  }
+}
+
+netsim::ReplayMeasurement udp_measurement(const UdpReplaySender& sender,
+                                          const UdpReplayReceiver& receiver) {
+  netsim::ReplayMeasurement m;
+  m.start = sender.start();
+  m.end = sender.end();
+  m.tx_times = sender.tx_times();
+  m.loss_times = receiver.loss_times();
+  m.deliveries = receiver.deliveries();
+  m.rtt_ms = receiver.delay_samples_ms();
+  return m;
+}
+
+}  // namespace wehey::transport

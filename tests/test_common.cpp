@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "common/units.hpp"
+
+namespace wehey {
+namespace {
+
+TEST(Time, ConversionRoundTrips) {
+  EXPECT_EQ(seconds(1.0), kSecond);
+  EXPECT_EQ(milliseconds(1.0), kMillisecond);
+  EXPECT_EQ(microseconds(1.0), kMicrosecond);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(2.5)), 2.5);
+  EXPECT_DOUBLE_EQ(to_milliseconds(milliseconds(35.0)), 35.0);
+}
+
+TEST(Time, FormatPicksUnit) {
+  EXPECT_EQ(format_time(seconds(1.5)), "1.500000s");
+  EXPECT_EQ(format_time(milliseconds(2.25)), "2.250ms");
+  EXPECT_EQ(format_time(microseconds(12.0)), "12.000us");
+}
+
+TEST(Units, TransmissionTime) {
+  // 1500 bytes at 12 Mbps = 1 ms.
+  EXPECT_EQ(transmission_time(1500, mbps(12)), kMillisecond);
+  // 1 Gbps moves 125 MB per second.
+  EXPECT_DOUBLE_EQ(bytes_in(kGbps, kSecond), 125e6);
+}
+
+TEST(Units, RateOf) {
+  EXPECT_DOUBLE_EQ(rate_of(1'250'000, kSecond), mbps(10));
+  EXPECT_DOUBLE_EQ(rate_of(100, 0), 0.0);
+}
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  double sum = 0, ss = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    sum += x;
+    ss += x * x;
+  }
+  const double mean = sum / n;
+  const double var = ss / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.03);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Rng, ParetoAboveScale) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.pareto(100.0, 1.5), 100.0);
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, SplitStreamsIndependent) {
+  Rng parent(23);
+  Rng child = parent.split();
+  // Child and parent produce different streams.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.next() == child.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, WorksWithStdShuffleConcept) {
+  static_assert(Rng::min() == 0);
+  static_assert(Rng::max() == ~0ULL);
+  Rng rng(29);
+  EXPECT_NE(rng(), rng());
+}
+
+}  // namespace
+}  // namespace wehey

@@ -1,0 +1,116 @@
+// Configuration-knob coverage: detector thresholds, alternatives and
+// sweep bounds behave as documented.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/loss_correlation.hpp"
+#include "core/throughput_comparison.hpp"
+#include "core/wehe.hpp"
+
+namespace wehey::core {
+namespace {
+
+std::vector<double> samples(double mean, double jitter, int n, Rng& rng) {
+  std::vector<double> out;
+  for (int i = 0; i < n; ++i) out.push_back(rng.normal(mean, jitter));
+  return out;
+}
+
+TEST(WeheConfig, AlphaControlsSensitivity) {
+  Rng rng(3);
+  // A moderate difference: significant at alpha 0.05, not at 1e-30.
+  const auto a = samples(4.0e6, 6e5, 100, rng);
+  const auto b = samples(4.6e6, 6e5, 100, rng);
+  WeheConfig loose;
+  WeheConfig strict;
+  strict.alpha = 1e-30;
+  EXPECT_TRUE(detect_differentiation_samples(a, b, loose).differentiation);
+  EXPECT_FALSE(detect_differentiation_samples(a, b, strict).differentiation);
+}
+
+TEST(WeheConfig, IntervalCountChangesSampleGranularity) {
+  netsim::ReplayMeasurement m;
+  m.start = 0;
+  m.end = seconds(10);
+  m.deliveries = {{seconds(1), 1000}, {seconds(9), 1000}};
+  EXPECT_EQ(m.throughput_samples(10).size(), 10u);
+  EXPECT_EQ(m.throughput_samples(100).size(), 100u);
+}
+
+TEST(ThroughputComparisonConfig, AlphaRespected) {
+  Rng rng(5);
+  const auto x = samples(2.0e6, 5e4, 100, rng);
+  const auto y = samples(2.0e6, 5e4, 100, rng);
+  std::vector<double> t_diff;
+  for (int i = 0; i < 30; ++i) t_diff.push_back(rng.normal(0.0, 0.06));
+  ThroughputComparisonConfig strict;
+  strict.alpha = 1e-40;
+  const auto res = throughput_comparison(x, y, t_diff, rng, strict);
+  ASSERT_TRUE(res.valid);
+  EXPECT_FALSE(res.common_bottleneck);  // nothing passes alpha = 1e-40
+}
+
+netsim::ReplayMeasurement correlated_measurement(std::uint64_t seed) {
+  Rng rng(seed);
+  netsim::ReplayMeasurement m;
+  m.start = 0;
+  m.end = seconds(45);
+  const Time slot = milliseconds(100);
+  for (int s = 0; s < 450; ++s) {
+    const double p = 0.05 + 0.04 * std::sin(s / 8.0);
+    for (int i = 0; i < 30; ++i) {
+      const Time at = s * slot + i * slot / 30;
+      m.tx_times.push_back(at);
+      if (rng.bernoulli(p)) m.loss_times.push_back(at);
+    }
+  }
+  return m;
+}
+
+TEST(LossCorrelationConfig, FpDrivesBothThresholdAndQuorum) {
+  const auto m1 = correlated_measurement(7);
+  const auto m2 = correlated_measurement(8);
+  // Absurdly strict FP: per-size p-values cannot pass, so no detection.
+  LossCorrelationConfig strict;
+  strict.fp = 1e-12;
+  const auto res = loss_trend_correlation(m1, m2, milliseconds(35), strict);
+  EXPECT_FALSE(res.common_bottleneck);
+  // The default configuration detects the same data.
+  EXPECT_TRUE(loss_trend_correlation(m1, m2, milliseconds(35))
+                  .common_bottleneck);
+}
+
+TEST(LossCorrelationConfig, IntervalCountControlsSweepSize) {
+  const auto m1 = correlated_measurement(9);
+  const auto m2 = correlated_measurement(10);
+  LossCorrelationConfig cfg;
+  cfg.interval_sizes = 5;
+  const auto res = loss_trend_correlation(m1, m2, milliseconds(35), cfg);
+  EXPECT_EQ(res.sizes_tested, 5u);
+  EXPECT_EQ(res.per_size.size(), 5u);
+}
+
+TEST(LossCorrelationConfig, MinPacketFloorFiltersSparsePaths) {
+  const auto m1 = correlated_measurement(11);
+  const auto m2 = correlated_measurement(12);
+  LossCorrelationConfig cfg;
+  cfg.min_packets_per_interval = 100000;  // nothing qualifies
+  const auto res = loss_trend_correlation(m1, m2, milliseconds(35), cfg);
+  EXPECT_FALSE(res.common_bottleneck);
+  for (const auto& o : res.per_size) EXPECT_EQ(o.retained_intervals, 0u);
+}
+
+TEST(LossCorrelationConfig, PermutationMethodAgreesOnStrongSignal) {
+  const auto m1 = correlated_measurement(13);
+  const auto m2 = correlated_measurement(14);
+  LossCorrelationConfig cfg;
+  cfg.method = CorrelationMethod::SpearmanPermutation;
+  cfg.permutation_iterations = 500;
+  EXPECT_TRUE(
+      loss_trend_correlation(m1, m2, milliseconds(35), cfg).common_bottleneck);
+}
+
+}  // namespace
+}  // namespace wehey::core

@@ -1,0 +1,184 @@
+// Algorithm 1 (loss-trend correlation) and the loss-series construction,
+// on synthetic measurements with known correlation structure.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/loss_correlation.hpp"
+#include "core/loss_series.hpp"
+
+namespace wehey::core {
+namespace {
+
+/// Synthesize a measurement: per 100 ms slot, `tx_per_slot` transmissions
+/// and a loss count driven by `loss_prob(t_slot)`.
+netsim::ReplayMeasurement synth_measurement(
+    Time duration, int tx_per_slot,
+    const std::function<double(int)>& loss_prob, Rng& rng) {
+  netsim::ReplayMeasurement m;
+  m.start = 0;
+  m.end = duration;
+  const Time slot = milliseconds(100);
+  const int slots = static_cast<int>(duration / slot);
+  for (int s = 0; s < slots; ++s) {
+    const double p = loss_prob(s);
+    for (int i = 0; i < tx_per_slot; ++i) {
+      const Time at = s * slot + i * slot / tx_per_slot;
+      m.tx_times.push_back(at);
+      if (rng.bernoulli(p)) m.loss_times.push_back(at);
+    }
+  }
+  return m;
+}
+
+/// A shared time-varying loss environment (the "arrival rate at the
+/// common bottleneck"): a slow sinusoid.
+double shared_env(int slot) {
+  return 0.05 + 0.04 * std::sin(slot / 8.0);
+}
+
+TEST(LossSeries, BinsAndFilters) {
+  netsim::ReplayMeasurement m1, m2;
+  m1.start = m2.start = 0;
+  m1.end = m2.end = seconds(4);
+  // Path 1: 20 tx per second, 1 loss in second 0 and 2 in second 2.
+  for (int s = 0; s < 4; ++s) {
+    for (int i = 0; i < 20; ++i) {
+      m1.tx_times.push_back(seconds(s) + i * milliseconds(50));
+      m2.tx_times.push_back(seconds(s) + i * milliseconds(50));
+    }
+  }
+  m1.loss_times = {milliseconds(500), seconds(2), seconds(2) + 1};
+  m2.loss_times = {milliseconds(600)};
+  SeriesOptions opt;
+  const auto series = make_loss_rate_series(m1, m2, seconds(1), opt);
+  EXPECT_EQ(series.total_intervals, 4u);
+  // Seconds 1 and 3 have no loss on either path: filtered out.
+  ASSERT_EQ(series.retained_intervals, 2u);
+  EXPECT_DOUBLE_EQ(series.path1[0], 1.0 / 20);
+  EXPECT_DOUBLE_EQ(series.path2[0], 1.0 / 20);
+  EXPECT_DOUBLE_EQ(series.path1[1], 2.0 / 20);
+  EXPECT_DOUBLE_EQ(series.path2[1], 0.0);
+}
+
+TEST(LossSeries, MinPacketFilter) {
+  netsim::ReplayMeasurement m1, m2;
+  m1.start = m2.start = 0;
+  m1.end = m2.end = seconds(2);
+  // Only 5 packets per interval on path 2: everything filtered.
+  for (int s = 0; s < 2; ++s) {
+    for (int i = 0; i < 20; ++i) m1.tx_times.push_back(seconds(s) + i);
+    for (int i = 0; i < 5; ++i) m2.tx_times.push_back(seconds(s) + i);
+  }
+  m1.loss_times = {1};
+  const auto series = make_loss_rate_series(m1, m2, seconds(1), {});
+  EXPECT_EQ(series.retained_intervals, 0u);
+}
+
+TEST(IntervalSweep, CoversTenToFiftyRtts) {
+  const auto sizes = interval_size_sweep(milliseconds(35), 9);
+  ASSERT_EQ(sizes.size(), 9u);
+  EXPECT_EQ(sizes.front(), milliseconds(350));
+  EXPECT_EQ(sizes.back(), milliseconds(1750));
+  for (std::size_t i = 1; i < sizes.size(); ++i) {
+    EXPECT_GT(sizes[i], sizes[i - 1]);
+  }
+}
+
+TEST(LossTrendCorrelation, DetectsSharedBottleneck) {
+  Rng rng(3);
+  // Both paths' loss follows the same environment (plus sampling noise).
+  const auto m1 = synth_measurement(seconds(45), 30, shared_env, rng);
+  const auto m2 = synth_measurement(seconds(45), 30, shared_env, rng);
+  const auto res = loss_trend_correlation(m1, m2, milliseconds(35));
+  EXPECT_TRUE(res.common_bottleneck);
+  EXPECT_EQ(res.sizes_correlated, res.sizes_tested);
+}
+
+TEST(LossTrendCorrelation, RejectsIndependentBottlenecks) {
+  Rng rng(5);
+  // Independent environments with the SAME average loss rate: this is the
+  // Table-5 adversarial case (identically configured separate limiters).
+  const auto m1 = synth_measurement(
+      seconds(45), 30, [](int s) { return 0.05 + 0.04 * std::sin(s / 8.0); },
+      rng);
+  const auto m2 = synth_measurement(
+      seconds(45), 30,
+      [](int s) { return 0.05 + 0.04 * std::sin(s / 5.0 + 2.1); }, rng);
+  const auto res = loss_trend_correlation(m1, m2, milliseconds(35));
+  EXPECT_FALSE(res.common_bottleneck);
+}
+
+TEST(LossTrendCorrelation, RejectsConstantIndependentLoss) {
+  Rng rng(7);
+  const auto flat = [](int) { return 0.05; };
+  const auto m1 = synth_measurement(seconds(45), 30, flat, rng);
+  const auto m2 = synth_measurement(seconds(45), 30, flat, rng);
+  // Pure sampling noise: correlation should not be declared.
+  const auto res = loss_trend_correlation(m1, m2, milliseconds(35));
+  EXPECT_FALSE(res.common_bottleneck);
+}
+
+TEST(LossTrendCorrelation, NoLossNoDetection) {
+  Rng rng(9);
+  const auto none = [](int) { return 0.0; };
+  const auto m1 = synth_measurement(seconds(45), 30, none, rng);
+  const auto m2 = synth_measurement(seconds(45), 30, none, rng);
+  const auto res = loss_trend_correlation(m1, m2, milliseconds(35));
+  EXPECT_FALSE(res.common_bottleneck);
+  for (const auto& o : res.per_size) EXPECT_EQ(o.retained_intervals, 0u);
+}
+
+TEST(LossTrendCorrelation, RequiresNearlyAllSizes) {
+  LossCorrelationConfig cfg;
+  cfg.fp = 0.05;
+  // 9 sizes: (1-0.05)*9 = 8.55, so all 9 must correlate.
+  Rng rng(11);
+  const auto m1 = synth_measurement(seconds(45), 30, shared_env, rng);
+  const auto m2 = synth_measurement(seconds(45), 30, shared_env, rng);
+  const auto res = loss_trend_correlation(m1, m2, milliseconds(35), cfg);
+  if (res.common_bottleneck) {
+    EXPECT_GT(static_cast<double>(res.sizes_correlated),
+              0.95 * static_cast<double>(res.sizes_tested));
+  }
+}
+
+TEST(LossTrendCorrelation, DesynchronizationToleratedByLargeIntervals) {
+  Rng rng(13);
+  const auto m1 = synth_measurement(seconds(45), 30, shared_env, rng);
+  // Path 2 registers each loss ~150 ms later (TCP retransmission delay).
+  auto m2 = synth_measurement(seconds(45), 30, shared_env, rng);
+  for (auto& t : m2.loss_times) t += milliseconds(150);
+  const auto res = loss_trend_correlation(m1, m2, milliseconds(35));
+  // Intervals are 350-1750 ms, an order of magnitude above the shift.
+  EXPECT_TRUE(res.common_bottleneck);
+}
+
+// FP-rate property sweep: across seeds, independent same-rate paths must
+// rarely be declared a common bottleneck.
+class IndependentPathsSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(IndependentPathsSweep, FalsePositiveRateIsLow) {
+  int fp = 0;
+  const int trials = 10;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(100 * GetParam() + t);
+    const double phase = rng.uniform(0, 6.28);
+    const auto m1 = synth_measurement(
+        seconds(45), 30,
+        [](int s) { return 0.05 + 0.04 * std::sin(s / 8.0); }, rng);
+    const auto m2 = synth_measurement(
+        seconds(45), 30,
+        [phase](int s) { return 0.05 + 0.04 * std::sin(s / 6.0 + phase); },
+        rng);
+    fp += loss_trend_correlation(m1, m2, milliseconds(35)).common_bottleneck;
+  }
+  EXPECT_LE(fp, 1);  // at most 10% in a batch of 10 (target 5%)
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndependentPathsSweep,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace wehey::core

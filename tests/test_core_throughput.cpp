@@ -1,0 +1,115 @@
+// The §4.1 throughput-comparison algorithm on controlled inputs.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/throughput_comparison.hpp"
+
+namespace wehey::core {
+namespace {
+
+std::vector<double> samples(double mean, double jitter, int n, Rng& rng) {
+  std::vector<double> out;
+  for (int i = 0; i < n; ++i) out.push_back(rng.normal(mean, jitter));
+  return out;
+}
+
+/// Historical t_diff values with relative spread `sigma` (signed).
+std::vector<double> history(double sigma, int n, Rng& rng) {
+  std::vector<double> out;
+  for (int i = 0; i < n; ++i) out.push_back(rng.normal(0.0, sigma));
+  return out;
+}
+
+TEST(ThroughputComparison, AggregateSamplesSums) {
+  const std::vector<double> a{1, 2, 3};
+  const std::vector<double> b{10, 20, 30, 40};
+  EXPECT_EQ(aggregate_samples(a, b), (std::vector<double>{11, 22, 33}));
+}
+
+TEST(ThroughputComparison, DetectsPerClientBottleneck) {
+  // X and Y both pinned at the same per-client limiter rate; historical
+  // variation is an order of magnitude wider.
+  Rng rng(3);
+  const auto x = samples(2.0e6, 4e4, 100, rng);
+  const auto y = samples(2.0e6, 4e4, 100, rng);
+  const auto t_diff = history(0.08, 30, rng);
+  const auto res = throughput_comparison(x, y, t_diff, rng);
+  ASSERT_TRUE(res.valid);
+  EXPECT_TRUE(res.common_bottleneck);
+  EXPECT_LT(res.p_value, 0.05);
+  EXPECT_EQ(res.o_diff.size(), t_diff.size());
+}
+
+TEST(ThroughputComparison, RejectsWhenAggregateFallsShort) {
+  // Y clearly below X (paths share the bottleneck with other traffic).
+  Rng rng(5);
+  const auto x = samples(4.0e6, 2e5, 100, rng);
+  const auto y = samples(2.5e6, 2e5, 100, rng);
+  const auto t_diff = history(0.08, 30, rng);
+  const auto res = throughput_comparison(x, y, t_diff, rng);
+  ASSERT_TRUE(res.valid);
+  EXPECT_FALSE(res.common_bottleneck);
+}
+
+TEST(ThroughputComparison, RejectsWhenAggregateExceeds) {
+  // Y well above X is equally inconsistent with a shared dedicated queue.
+  Rng rng(7);
+  const auto x = samples(2.0e6, 1e5, 100, rng);
+  const auto y = samples(3.5e6, 1e5, 100, rng);
+  const auto t_diff = history(0.08, 30, rng);
+  EXPECT_FALSE(throughput_comparison(x, y, t_diff, rng).common_bottleneck);
+}
+
+TEST(ThroughputComparison, ConservativeWhenHistoryTight) {
+  // If normal variation is as small as the X/Y difference, the evidence
+  // is inconclusive: no detection.
+  Rng rng(9);
+  const auto x = samples(2.0e6, 1e5, 100, rng);
+  const auto y = samples(1.9e6, 1e5, 100, rng);
+  const auto t_diff = history(0.01, 30, rng);
+  EXPECT_FALSE(throughput_comparison(x, y, t_diff, rng).common_bottleneck);
+}
+
+TEST(ThroughputComparison, InvalidOnTinyInputs) {
+  Rng rng(11);
+  const std::vector<double> tiny{1.0, 2.0};
+  const auto t_diff = history(0.1, 30, rng);
+  EXPECT_FALSE(throughput_comparison(tiny, tiny, t_diff, rng).valid);
+  const auto x = samples(1e6, 1e5, 50, rng);
+  EXPECT_FALSE(
+      throughput_comparison(x, x, std::vector<double>{0.1}, rng).valid);
+}
+
+TEST(ThroughputComparison, ODiffUsesMagnitudes) {
+  Rng rng(13);
+  const auto x = samples(2e6, 5e4, 100, rng);
+  const auto y = samples(2e6, 5e4, 100, rng);
+  const auto t_diff = history(0.1, 40, rng);
+  const auto res = throughput_comparison(x, y, t_diff, rng);
+  for (double v : res.o_diff) EXPECT_GE(v, 0.0);
+  for (double v : res.t_diff) EXPECT_GE(v, 0.0);
+}
+
+// Property sweep: detection is monotone in the history spread — wider
+// normal variation makes the same X/Y pair easier to justify.
+class HistorySpreadSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(HistorySpreadSweep, MonotoneDetection) {
+  Rng rng(17);
+  const auto x = samples(2.0e6, 6e4, 100, rng);
+  const auto y = samples(1.95e6, 6e4, 100, rng);
+  const auto t_diff = history(GetParam(), 30, rng);
+  const auto res = throughput_comparison(x, y, t_diff, rng);
+  if (GetParam() >= 0.15) {
+    EXPECT_TRUE(res.common_bottleneck) << "sigma=" << GetParam();
+  }
+  if (GetParam() <= 0.005) {
+    EXPECT_FALSE(res.common_bottleneck) << "sigma=" << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, HistorySpreadSweep,
+                         ::testing::Values(0.002, 0.005, 0.15, 0.3));
+
+}  // namespace
+}  // namespace wehey::core

@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.hpp"
+
+namespace wehey {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "wehey_csv_test1.csv";
+  {
+    CsvWriter csv(path);
+    ASSERT_TRUE(csv.ok());
+    csv.header({"a", "b", "c"});
+    csv.row({"1", "2", "3"});
+    csv.row({CsvWriter::num(0.5), CsvWriter::num(1.25), "x"});
+  }
+  EXPECT_EQ(slurp(path), "a,b,c\n1,2,3\n0.5,1.25,x\n");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, QuotesSpecialCharacters) {
+  const std::string path = ::testing::TempDir() + "wehey_csv_test2.csv";
+  {
+    CsvWriter csv(path);
+    csv.row({"plain", "with,comma", "with\"quote", "with\nnewline"});
+  }
+  EXPECT_EQ(slurp(path),
+            "plain,\"with,comma\",\"with\"\"quote\",\"with\nnewline\"\n");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, InvalidPathReportsNotOk) {
+  CsvWriter csv("/nonexistent-dir-zzz/file.csv");
+  EXPECT_FALSE(csv.ok());
+  csv.row({"ignored"});  // must not crash
+}
+
+TEST(Csv, NumFormatting) {
+  EXPECT_EQ(CsvWriter::num(0.125), "0.125");
+  EXPECT_EQ(CsvWriter::num(1e6, 3), "1e+06");
+}
+
+}  // namespace
+}  // namespace wehey

@@ -1,0 +1,72 @@
+// ISP5's delayed fixed-rate throttler, exercised directly.
+#include <gtest/gtest.h>
+
+#include "experiments/delayed_tbf.hpp"
+
+namespace wehey::experiments {
+namespace {
+
+netsim::Packet pkt(std::uint32_t size) {
+  netsim::Packet p;
+  p.size = size;
+  p.payload = size;
+  p.dscp = netsim::kDscpDifferentiated;
+  return p;
+}
+
+TEST(DelayedTbf, PassThroughBeforeTrigger) {
+  // Trigger at 100 kB; a tiny 1 kbps post-trigger rate would block
+  // everything if it were active.
+  DelayedTbfDisc disc(100'000, kbps(1), 1500, 4500);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(disc.enqueue(pkt(1000), i));
+    ASSERT_TRUE(disc.dequeue(i).has_value());
+  }
+  EXPECT_FALSE(disc.throttling_active());
+  EXPECT_EQ(disc.drop_count(), 0u);
+}
+
+TEST(DelayedTbf, ActivatesAtTriggerBytes) {
+  DelayedTbfDisc disc(10'000, mbps(1), 3000, 3000);
+  Time now = 0;
+  std::int64_t through = 0;
+  while (through < 9'000) {
+    disc.enqueue(pkt(1000), now);
+    auto out = disc.dequeue(now);
+    ASSERT_TRUE(out.has_value());
+    through += out->size;
+    now += kMillisecond;
+  }
+  EXPECT_FALSE(disc.throttling_active());
+  // The next enqueue crosses the 10 kB criterion.
+  disc.enqueue(pkt(1000), now);
+  EXPECT_TRUE(disc.throttling_active());
+}
+
+TEST(DelayedTbf, ThrottlesAtFixedRateAfterTrigger) {
+  // Immediate trigger: behaves like a plain TBF from the first packet.
+  DelayedTbfDisc disc(0, mbps(1), 2000, 2000);
+  disc.enqueue(pkt(1000), 0);
+  disc.enqueue(pkt(1000), 0);
+  EXPECT_TRUE(disc.throttling_active());
+  EXPECT_TRUE(disc.dequeue(0).has_value());
+  EXPECT_TRUE(disc.dequeue(0).has_value());  // burst covers 2000 B
+  disc.enqueue(pkt(1000), 0);
+  EXPECT_FALSE(disc.dequeue(0).has_value());  // tokens exhausted
+  // 1000 B at 1 Mbps = 8 ms to refill.
+  const Time ready = disc.next_ready(0);
+  EXPECT_NEAR(to_seconds(ready), 0.008, 1e-5);
+  EXPECT_TRUE(disc.dequeue(ready).has_value());
+}
+
+TEST(DelayedTbf, PolicesQueueOverflowOnlyWhenActive) {
+  DelayedTbfDisc disc(0, kbps(100), 1500, 3000);
+  // Burst 1500 admitted; backlog cap 3000: two more queue, then drops.
+  EXPECT_TRUE(disc.enqueue(pkt(1400), 0));
+  EXPECT_TRUE(disc.enqueue(pkt(1400), 0));
+  EXPECT_FALSE(disc.enqueue(pkt(1400), 0));
+  EXPECT_EQ(disc.drop_count(), 1u);
+}
+
+}  // namespace
+}  // namespace wehey::experiments

@@ -1,0 +1,322 @@
+// Simulator event queue, queue disciplines, links, demux.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "netsim/link.hpp"
+#include "netsim/measure.hpp"
+#include "netsim/queue.hpp"
+#include "netsim/simulator.hpp"
+
+namespace wehey::netsim {
+namespace {
+
+Packet make_packet(std::uint32_t size, std::uint8_t dscp = 0,
+                   FlowId flow = 1) {
+  Packet p;
+  p.flow = flow;
+  p.size = size;
+  p.payload = size;
+  p.dscp = dscp;
+  return p;
+}
+
+TEST(Simulator, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(milliseconds(3), [&] { order.push_back(3); });
+  sim.schedule(milliseconds(1), [&] { order.push_back(1); });
+  sim.schedule(milliseconds(2), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), milliseconds(3));
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(milliseconds(1), [&] { order.push_back(1); });
+  sim.schedule(milliseconds(1), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, RunUntilStopsClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(seconds(10), [&] { ++fired; });
+  sim.run(seconds(5));
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.now(), seconds(5));
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule(milliseconds(1), [&] {
+    ++count;
+    sim.schedule(milliseconds(1), [&] { ++count; });
+  });
+  sim.run();
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.now(), milliseconds(2));
+}
+
+TEST(Simulator, ClearDropsPending) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(milliseconds(1), [&] { ++fired; });
+  sim.clear();
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Fifo, DropsWhenFull) {
+  FifoDisc q(250);
+  EXPECT_TRUE(q.enqueue(make_packet(100), 0));
+  EXPECT_TRUE(q.enqueue(make_packet(100), 0));
+  EXPECT_FALSE(q.enqueue(make_packet(100), 0));  // 300 > 250
+  EXPECT_EQ(q.drop_count(), 1u);
+  EXPECT_EQ(q.backlog_bytes(), 200);
+  EXPECT_EQ(q.backlog_packets(), 2u);
+}
+
+TEST(Fifo, FifoOrder) {
+  FifoDisc q(0);  // unlimited
+  auto a = make_packet(100);
+  a.seq = 1;
+  auto b = make_packet(100);
+  b.seq = 2;
+  q.enqueue(a, 0);
+  q.enqueue(b, 0);
+  EXPECT_EQ(q.dequeue(0)->seq, 1u);
+  EXPECT_EQ(q.dequeue(0)->seq, 2u);
+  EXPECT_FALSE(q.dequeue(0).has_value());
+}
+
+TEST(Fifo, NextReady) {
+  FifoDisc q(0);
+  EXPECT_EQ(q.next_ready(5), kNever);
+  q.enqueue(make_packet(10), 5);
+  EXPECT_EQ(q.next_ready(5), 5);
+}
+
+TEST(Tbf, PassesWithinBurst) {
+  // 1 Mbps, 10 kB bucket: two 4 kB packets pass immediately.
+  TbfDisc q(1e6, 10000, 100000);
+  q.enqueue(make_packet(4000), 0);
+  q.enqueue(make_packet(4000), 0);
+  EXPECT_TRUE(q.dequeue(0).has_value());
+  EXPECT_TRUE(q.dequeue(0).has_value());
+}
+
+TEST(Tbf, GatesWhenTokensExhausted) {
+  TbfDisc q(1e6, 10000, 100000);
+  q.enqueue(make_packet(8000), 0);
+  q.enqueue(make_packet(8000), 0);
+  EXPECT_TRUE(q.dequeue(0).has_value());
+  // 2000 tokens left, need 8000: 6000 bytes at 1 Mbps = 48 ms.
+  EXPECT_FALSE(q.dequeue(0).has_value());
+  const Time ready = q.next_ready(0);
+  EXPECT_NEAR(to_seconds(ready), 0.048, 1e-6);
+  EXPECT_FALSE(q.dequeue(ready - kMillisecond).has_value());
+  EXPECT_TRUE(q.dequeue(ready).has_value());
+}
+
+TEST(Tbf, TokensCappedAtBurst) {
+  TbfDisc q(1e6, 10000, 100000);
+  EXPECT_DOUBLE_EQ(q.tokens(seconds(100)), 10000.0);
+}
+
+TEST(Tbf, PolicesWhenQueueFull) {
+  TbfDisc q(1e6, 1500, 3000);
+  EXPECT_TRUE(q.enqueue(make_packet(1500), 0));
+  EXPECT_TRUE(q.enqueue(make_packet(1500), 0));
+  EXPECT_FALSE(q.enqueue(make_packet(1500), 0));
+  EXPECT_EQ(q.drop_count(), 1u);
+}
+
+TEST(Tbf, LongRunRateMatchesConfig) {
+  // Offer 2x the rate for 10 simulated seconds; delivered bytes must
+  // approach rate * time (property of the token bucket).
+  const Rate rate = 2e6;
+  TbfDisc q(rate, 25000, 50000);
+  Time now = 0;
+  std::int64_t delivered = 0;
+  const Time step = microseconds(500);  // 1000 B / 0.5 ms = 16 Mbps offered
+  for (int i = 0; i < 20000; ++i) {
+    q.enqueue(make_packet(1000), now);
+    while (auto p = q.dequeue(now)) delivered += p->size;
+    now += step;
+  }
+  const double achieved = static_cast<double>(delivered) * 8 / to_seconds(now);
+  EXPECT_NEAR(achieved / rate, 1.0, 0.05);
+}
+
+TEST(RateLimiter, ClassifiesByDscp) {
+  auto fifo = std::make_unique<FifoDisc>(0);
+  auto tbf = std::make_unique<TbfDisc>(1e6, 3000, 3000);
+  RateLimiterDisc rl(std::move(fifo), std::move(tbf));
+  // Default-class traffic is never token-gated.
+  for (int i = 0; i < 10; ++i) {
+    rl.enqueue(make_packet(1500, kDscpDefault), 0);
+  }
+  int forwarded = 0;
+  while (rl.dequeue(0)) ++forwarded;
+  EXPECT_EQ(forwarded, 10);
+
+  // Differentiated traffic is policed: burst 3000, queue 3000.
+  int accepted = 0;
+  for (int i = 0; i < 10; ++i) {
+    accepted += rl.enqueue(make_packet(1500, kDscpDifferentiated), 0);
+  }
+  EXPECT_EQ(accepted, 2);
+  EXPECT_EQ(rl.throttled_drops(), 8u);
+}
+
+TEST(RateLimiter, RoundRobinAlternates) {
+  auto fifo = std::make_unique<FifoDisc>(0);
+  auto tbf = std::make_unique<TbfDisc>(1e9, 100000, 100000);
+  RateLimiterDisc rl(std::move(fifo), std::move(tbf));
+  for (int i = 0; i < 3; ++i) {
+    auto d = make_packet(100, kDscpDefault);
+    d.seq = 10 + i;
+    rl.enqueue(d, 0);
+    auto t = make_packet(100, kDscpDifferentiated);
+    t.seq = 20 + i;
+    rl.enqueue(t, 0);
+  }
+  // With both classes backlogged, consecutive dequeues alternate classes.
+  std::vector<std::uint64_t> seqs;
+  while (auto p = rl.dequeue(0)) seqs.push_back(p->seq);
+  ASSERT_EQ(seqs.size(), 6u);
+  for (std::size_t i = 1; i < seqs.size(); ++i) {
+    const bool prev_throttled = seqs[i - 1] >= 20;
+    const bool cur_throttled = seqs[i] >= 20;
+    EXPECT_NE(prev_throttled, cur_throttled);
+  }
+}
+
+TEST(Link, SerializationAndPropagation) {
+  Simulator sim;
+  struct Recorder final : PacketSink {
+    std::vector<Time> arrivals;
+    Simulator* sim = nullptr;
+    void receive(Packet) override { arrivals.push_back(sim->now()); }
+  } rec;
+  rec.sim = &sim;
+  // 1500 B at 12 Mbps = 1 ms serialization; 5 ms propagation.
+  Link link(sim, mbps(12), milliseconds(5), std::make_unique<FifoDisc>(0),
+            &rec);
+  link.receive(make_packet(1500));
+  link.receive(make_packet(1500));
+  sim.run();
+  ASSERT_EQ(rec.arrivals.size(), 2u);
+  EXPECT_EQ(rec.arrivals[0], milliseconds(6));
+  EXPECT_EQ(rec.arrivals[1], milliseconds(7));  // queued behind the first
+  EXPECT_EQ(link.delivered_packets(), 2u);
+}
+
+TEST(Link, TokenGatedWakeup) {
+  Simulator sim;
+  NullSink sink;
+  // TBF allows 1000 B immediately, then 1000 B per 8 ms (1 Mbps).
+  Link link(sim, kGbps, 0,
+            std::make_unique<TbfDisc>(1e6, 1000, 100000), &sink);
+  for (int i = 0; i < 3; ++i) link.receive(make_packet(1000));
+  sim.run();
+  EXPECT_EQ(sink.packets(), 3u);
+  // Third packet waits two refill periods: ~16 ms.
+  EXPECT_NEAR(to_seconds(sim.now()), 0.016, 0.001);
+}
+
+TEST(Link, BandwidthChangeAffectsLaterPackets) {
+  Simulator sim;
+  struct Recorder final : PacketSink {
+    std::vector<Time> arrivals;
+    Simulator* sim = nullptr;
+    void receive(Packet) override { arrivals.push_back(sim->now()); }
+  } rec;
+  rec.sim = &sim;
+  Link link(sim, mbps(12), 0, std::make_unique<FifoDisc>(0), &rec);
+  link.receive(make_packet(1500));  // 1 ms at 12 Mbps
+  sim.run();
+  link.set_bandwidth(mbps(6));
+  sim.schedule(0, [&] { link.receive(make_packet(1500)); });  // 2 ms at 6 Mbps
+  sim.run();
+  ASSERT_EQ(rec.arrivals.size(), 2u);
+  EXPECT_EQ(rec.arrivals[0], milliseconds(1));
+  EXPECT_EQ(rec.arrivals[1], milliseconds(3));
+}
+
+TEST(Pipe, FixedDelay) {
+  Simulator sim;
+  struct Recorder final : PacketSink {
+    Time arrival = -1;
+    Simulator* sim = nullptr;
+    void receive(Packet) override { arrival = sim->now(); }
+  } rec;
+  rec.sim = &sim;
+  Pipe pipe(sim, milliseconds(17), &rec);
+  pipe.receive(make_packet(52));
+  sim.run();
+  EXPECT_EQ(rec.arrival, milliseconds(17));
+}
+
+TEST(Demux, RoutesByFlow) {
+  Demux demux;
+  NullSink a, b;
+  demux.add_route(1, &a);
+  demux.add_route(2, &b);
+  demux.receive(make_packet(100, 0, 1));
+  demux.receive(make_packet(100, 0, 2));
+  demux.receive(make_packet(100, 0, 2));
+  demux.receive(make_packet(100, 0, 99));  // unrouted
+  EXPECT_EQ(a.packets(), 1u);
+  EXPECT_EQ(b.packets(), 2u);
+  EXPECT_EQ(demux.unrouted_packets(), 1u);
+}
+
+TEST(Measure, ThroughputSamples) {
+  ReplayMeasurement m;
+  m.start = 0;
+  m.end = seconds(10);
+  // 1000 bytes at t=0.5 s and 2000 bytes at t=9.5 s.
+  m.deliveries = {{milliseconds(500), 1000}, {milliseconds(9500), 2000}};
+  const auto samples = m.throughput_samples(10);
+  ASSERT_EQ(samples.size(), 10u);
+  EXPECT_DOUBLE_EQ(samples[0], 1000 * 8.0 / 1.0);
+  EXPECT_DOUBLE_EQ(samples[9], 2000 * 8.0 / 1.0);
+  for (int i = 1; i < 9; ++i) EXPECT_DOUBLE_EQ(samples[i], 0.0);
+}
+
+TEST(Measure, LossBinning) {
+  ReplayMeasurement m;
+  m.start = 0;
+  m.end = seconds(2);
+  m.tx_times = {milliseconds(100), milliseconds(200), milliseconds(1100)};
+  m.loss_times = {milliseconds(150), milliseconds(1900)};
+  const auto s = bin_losses(m, seconds(1));
+  ASSERT_EQ(s.txed.size(), 2u);
+  EXPECT_EQ(s.txed[0], 2u);
+  EXPECT_EQ(s.txed[1], 1u);
+  EXPECT_EQ(s.lost[0], 1u);
+  EXPECT_EQ(s.lost[1], 1u);
+}
+
+TEST(Measure, LossRateAndAverages) {
+  ReplayMeasurement m;
+  m.start = 0;
+  m.end = seconds(1);
+  m.tx_times = {1, 2, 3, 4};
+  m.loss_times = {5};
+  m.deliveries = {{milliseconds(100), 125000}};
+  EXPECT_DOUBLE_EQ(m.loss_rate(), 0.25);
+  EXPECT_DOUBLE_EQ(m.average_throughput(), mbps(1));
+}
+
+}  // namespace
+}  // namespace wehey::netsim

@@ -1,0 +1,80 @@
+// The RED AQM discipline.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "netsim/link.hpp"
+#include "netsim/queue.hpp"
+#include "netsim/simulator.hpp"
+
+namespace wehey::netsim {
+namespace {
+
+Packet pkt(std::uint32_t size) {
+  Packet p;
+  p.size = size;
+  p.payload = size;
+  return p;
+}
+
+TEST(Red, NoDropsBelowMinThreshold) {
+  RedDisc red(50'000, 100'000, 0.1);
+  // Offer and immediately drain: the average backlog stays ~0.
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_TRUE(red.enqueue(pkt(1000), i));
+    EXPECT_TRUE(red.dequeue(i).has_value());
+  }
+  EXPECT_EQ(red.drop_count(), 0u);
+}
+
+TEST(Red, ForceDropsAboveMaxThreshold) {
+  RedDisc red(1'000, 10'000, 0.5, /*seed=*/3, /*ewma_weight=*/1.0);
+  // Fill without draining: once the (instant, weight=1) average passes
+  // max_th, every arrival drops.
+  int accepted = 0;
+  for (int i = 0; i < 40; ++i) accepted += red.enqueue(pkt(1000), 0);
+  EXPECT_LE(accepted, 12);  // ~10 packets to reach max_th, then drops
+  EXPECT_GT(red.drop_count(), 20u);
+}
+
+TEST(Red, ProbabilisticRegionDropsSomeFraction) {
+  // Hold the backlog between the thresholds and count marks.
+  RedDisc red(10'000, 100'000, 0.2, /*seed=*/7, /*ewma_weight=*/1.0);
+  // Pre-fill to ~50 kB (midpoint -> p ~ 0.09).
+  for (int i = 0; i < 50; ++i) red.enqueue(pkt(1000), 0);
+  const auto base_drops = red.drop_count();
+  int dropped = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    if (!red.enqueue(pkt(1000), 1)) {
+      ++dropped;
+    } else {
+      red.dequeue(1);  // keep the backlog level
+    }
+  }
+  (void)base_drops;
+  const double rate = static_cast<double>(dropped) / trials;
+  EXPECT_GT(rate, 0.02);
+  EXPECT_LT(rate, 0.25);
+}
+
+TEST(Red, WorksAsLinkDisc) {
+  Simulator sim;
+  NullSink sink;
+  Link link(sim, mbps(8), milliseconds(1),
+            std::make_unique<RedDisc>(20'000, 60'000, 0.1, 11), &sink);
+  // Offer 2x the link rate for 2 seconds: RED sheds load without
+  // collapsing.
+  for (int i = 0; i < 2000; ++i) {
+    sim.schedule_at(i * kMillisecond, [&link] {
+      link.receive(pkt(1000));
+      link.receive(pkt(1000));
+    });
+  }
+  sim.run(seconds(4));
+  EXPECT_GT(sink.packets(), 1800u);
+  EXPECT_GT(link.disc().drop_count(), 0u);
+}
+
+}  // namespace
+}  // namespace wehey::netsim

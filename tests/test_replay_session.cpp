@@ -1,0 +1,102 @@
+// The §3.4 session coordinator: full WeHe + WeHeY sessions on one
+// simulated timeline, including the topology re-validation of step 4.
+#include <gtest/gtest.h>
+
+#include "experiments/history.hpp"
+#include "experiments/params.hpp"
+#include "replay/session.hpp"
+
+namespace wehey::replay {
+namespace {
+
+SessionConfig base_config(std::uint64_t seed) {
+  SessionConfig cfg;
+  cfg.scenario = experiments::default_scenario("Netflix", seed);
+  cfg.scenario.replay_duration = seconds(30);
+  // A plausible historical T_diff (the full pipeline tests elsewhere
+  // build it from replays; here a fixed spread keeps the test fast).
+  cfg.t_diff_history = {0.06, -0.09, 0.12, -0.04, 0.08, -0.11,
+                        0.05, -0.07, 0.10, -0.03, 0.09, -0.06};
+  return cfg;
+}
+
+TEST(Session, SeededDatabaseContainsThePair) {
+  topology::TopologyDatabase db;
+  seed_topology_database(base_config(1).scenario, db);
+  EXPECT_EQ(db.prefix_count(), 1u);
+  const auto pair = db.pick("100.0.1.77");
+  ASSERT_TRUE(pair.has_value());
+  EXPECT_EQ(pair->server1, "s1");
+  EXPECT_EQ(pair->server2, "s2");
+  EXPECT_EQ(pair->convergence_ip, "100.0.1.1");
+}
+
+TEST(Session, CollectiveThrottlingLocalized) {
+  auto cfg = base_config(2);
+  topology::TopologyDatabase db;
+  seed_topology_database(cfg.scenario, db);
+  const auto result = run_session(cfg, db);
+  EXPECT_TRUE(result.initial_wehe.differentiation);
+  EXPECT_EQ(result.outcome, SessionOutcome::LocalizedWithinIsp);
+  EXPECT_EQ(result.localization.mechanism,
+            core::Mechanism::CollectiveThrottling);
+  // The timeline is coherent: events are ordered and the session spans
+  // all four replays.
+  ASSERT_GE(result.events.size(), 6u);
+  for (std::size_t i = 1; i < result.events.size(); ++i) {
+    EXPECT_GE(result.events[i].at, result.events[i - 1].at);
+  }
+  EXPECT_GT(result.finished_at, 4 * cfg.scenario.replay_duration);
+}
+
+TEST(Session, NoDifferentiationEndsEarly) {
+  auto cfg = base_config(3);
+  cfg.scenario.placement = experiments::Placement::None;
+  topology::TopologyDatabase db;
+  seed_topology_database(cfg.scenario, db);
+  const auto result = run_session(cfg, db);
+  EXPECT_EQ(result.outcome, SessionOutcome::NoDifferentiationDetected);
+  // Only the two single replays ran.
+  EXPECT_LT(result.finished_at, 3 * cfg.scenario.replay_duration);
+}
+
+TEST(Session, UserDeclineStopsAfterWehe) {
+  auto cfg = base_config(4);
+  cfg.user_consents = false;
+  topology::TopologyDatabase db;
+  seed_topology_database(cfg.scenario, db);
+  const auto result = run_session(cfg, db);
+  EXPECT_TRUE(result.initial_wehe.differentiation);
+  EXPECT_EQ(result.outcome, SessionOutcome::UserDeclined);
+}
+
+TEST(Session, EmptyDatabaseMeansNoTopology) {
+  auto cfg = base_config(4);
+  topology::TopologyDatabase db;  // never seeded
+  const auto result = run_session(cfg, db);
+  EXPECT_TRUE(result.initial_wehe.differentiation);
+  EXPECT_EQ(result.outcome, SessionOutcome::NoSuitableTopology);
+}
+
+TEST(Session, RouteChurnDiscardsAndUpdatesDatabase) {
+  auto cfg = base_config(9);
+  cfg.route_churn = true;
+  topology::TopologyDatabase db;
+  seed_topology_database(cfg.scenario, db);
+  ASSERT_EQ(db.pair_count(), 1u);
+  const auto result = run_session(cfg, db);
+  EXPECT_EQ(result.outcome, SessionOutcome::TopologyNoLongerSuitable);
+  // Step 4 removed the stale pair.
+  EXPECT_EQ(db.pair_count(), 0u);
+  EXPECT_FALSE(db.pick("100.0.1.77").has_value());
+}
+
+TEST(Session, OutcomeStrings) {
+  EXPECT_STREQ(to_string(SessionOutcome::LocalizedWithinIsp),
+               "localized within ISP");
+  EXPECT_STREQ(to_string(SessionOutcome::NoSuitableTopology),
+               "no suitable topology");
+}
+
+}  // namespace
+}  // namespace wehey::replay

@@ -1,0 +1,114 @@
+// Kendall's tau and the permutation-based Spearman p-value.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "stats/correlation.hpp"
+
+namespace wehey::stats {
+namespace {
+
+TEST(Kendall, PerfectMonotone) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const std::vector<double> ys{10, 20, 25, 40, 400};
+  const auto r = kendall(xs, ys);
+  ASSERT_TRUE(r.valid);
+  EXPECT_DOUBLE_EQ(r.coefficient, 1.0);
+  EXPECT_LT(r.p_value, 0.05);
+}
+
+TEST(Kendall, PerfectReverse) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const std::vector<double> ys{5, 4, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(kendall(xs, ys).coefficient, -1.0);
+}
+
+TEST(Kendall, ScipyCrossCheck) {
+  // scipy.stats.kendalltau([12,2,1,12,2],[1,4,7,1,0])
+  //   tau-b = -0.4714045, p ~ 0.2827 (scipy uses the exact/перm method for
+  //   tiny n; the normal approximation lands in the same region).
+  const std::vector<double> xs{12, 2, 1, 12, 2};
+  const std::vector<double> ys{1, 4, 7, 1, 0};
+  const auto r = kendall(xs, ys);
+  ASSERT_TRUE(r.valid);
+  EXPECT_NEAR(r.coefficient, -0.4714045, 1e-6);
+  EXPECT_GT(r.p_value, 0.1);
+}
+
+TEST(Kendall, InvalidOnConstantSeries) {
+  const std::vector<double> xs{3, 3, 3, 3};
+  const std::vector<double> ys{1, 2, 3, 4};
+  EXPECT_FALSE(kendall(xs, ys).valid);
+}
+
+TEST(Kendall, AgreesWithSpearmanInSign) {
+  Rng rng(3);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 40; ++i) {
+    xs.push_back(rng.uniform());
+    ys.push_back(0.8 * xs.back() + 0.2 * rng.uniform());
+  }
+  const auto k = kendall(xs, ys);
+  const auto s = spearman(xs, ys);
+  EXPECT_GT(k.coefficient, 0.0);
+  EXPECT_GT(s.coefficient, 0.0);
+  // |tau| <= |rho| holds for most monotone-dependent data.
+  EXPECT_LT(k.coefficient, s.coefficient + 0.05);
+}
+
+TEST(SpearmanPermutation, MatchesAsymptoticOnLongSeries) {
+  Rng rng(5);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 60; ++i) {
+    xs.push_back(rng.uniform());
+    ys.push_back(0.5 * xs.back() + 0.5 * rng.uniform());
+  }
+  Rng perm_rng(7);
+  const auto asym = spearman(xs, ys, Alternative::Greater);
+  const auto perm = spearman_permutation(xs, ys, perm_rng, 4000,
+                                         Alternative::Greater);
+  ASSERT_TRUE(perm.valid);
+  EXPECT_DOUBLE_EQ(perm.coefficient, asym.coefficient);
+  EXPECT_NEAR(perm.p_value, asym.p_value, 0.02);
+}
+
+TEST(SpearmanPermutation, UncorrelatedGivesLargeP) {
+  Rng rng(9);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 30; ++i) {
+    xs.push_back(rng.uniform());
+    ys.push_back(rng.uniform());
+  }
+  Rng perm_rng(11);
+  const auto perm =
+      spearman_permutation(xs, ys, perm_rng, 2000, Alternative::TwoSided);
+  EXPECT_GT(perm.p_value, 0.05);
+}
+
+TEST(SpearmanPermutation, NeverExactlyZero) {
+  // Add-one smoothing: even a perfect correlation has p >= 1/(iters+1).
+  const std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<double> ys{1, 2, 3, 4, 5, 6, 7, 8};
+  Rng rng(13);
+  const auto perm =
+      spearman_permutation(xs, ys, rng, 1000, Alternative::Greater);
+  EXPECT_GT(perm.p_value, 0.0);
+  EXPECT_LT(perm.p_value, 0.01);
+}
+
+TEST(SpearmanPermutation, ShortSeriesUsable) {
+  // n = 5 — too short for the t-approximation to be trustworthy; the
+  // permutation test still yields a calibrated p-value.
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const std::vector<double> ys{2, 1, 4, 3, 5};
+  Rng rng(17);
+  const auto perm =
+      spearman_permutation(xs, ys, rng, 5000, Alternative::Greater);
+  ASSERT_TRUE(perm.valid);
+  // rho = 0.7; exact one-sided p for n=5 is 0.0667.
+  EXPECT_NEAR(perm.p_value, 0.0667, 0.02);
+}
+
+}  // namespace
+}  // namespace wehey::stats

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/descriptive.hpp"
+
+namespace wehey::stats {
+namespace {
+
+TEST(Descriptive, MeanBasic) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Descriptive, VarianceUnbiased) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  // Population variance is 4; sample (n-1) variance is 32/7.
+  EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{1.0}), 0.0);
+}
+
+TEST(Descriptive, MinMax) {
+  const std::vector<double> xs{3, -1, 7, 0};
+  EXPECT_DOUBLE_EQ(min(xs), -1);
+  EXPECT_DOUBLE_EQ(max(xs), 7);
+}
+
+TEST(Descriptive, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4, 1, 2, 3}), 2.5);
+}
+
+TEST(Descriptive, QuantileInterpolates) {
+  const std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 10);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 40);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 25);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 17.5);
+}
+
+TEST(Descriptive, QuantileSingleElement) {
+  EXPECT_DOUBLE_EQ(quantile(std::vector<double>{42.0}, 0.7), 42.0);
+}
+
+TEST(Descriptive, SummaryFields) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const auto s = summarize(xs);
+  EXPECT_EQ(s.n, 5u);
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.median, 3);
+  EXPECT_DOUBLE_EQ(s.max, 5);
+  EXPECT_DOUBLE_EQ(s.mean, 3);
+  EXPECT_DOUBLE_EQ(s.q1, 2);
+  EXPECT_DOUBLE_EQ(s.q3, 4);
+}
+
+TEST(Descriptive, SummaryEmpty) {
+  const auto s = summarize(std::vector<double>{});
+  EXPECT_EQ(s.n, 0u);
+}
+
+// Property: quantile is monotone in q.
+class QuantileMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileMonotone, NonDecreasing) {
+  const std::vector<double> xs{5, 1, 9, 3, 7, 2, 8};
+  const double q = GetParam();
+  EXPECT_LE(quantile(xs, q), quantile(xs, std::min(1.0, q + 0.1)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, QuantileMonotone,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.4, 0.5, 0.6,
+                                           0.75, 0.9));
+
+}  // namespace
+}  // namespace wehey::stats

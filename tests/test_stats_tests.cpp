@@ -1,0 +1,213 @@
+// Hypothesis tests: values cross-checked against scipy.stats
+// (spearmanr, mannwhitneyu, ks_2samp) plus distribution-free properties.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "stats/correlation.hpp"
+#include "stats/hypothesis.hpp"
+#include "stats/ranks.hpp"
+
+namespace wehey::stats {
+namespace {
+
+TEST(Ranks, NoTies) {
+  const std::vector<double> xs{30, 10, 20};
+  const auto r = ranks(xs);
+  EXPECT_EQ(r, (std::vector<double>{3, 1, 2}));
+}
+
+TEST(Ranks, MidranksForTies) {
+  const std::vector<double> xs{1, 2, 2, 3};
+  const auto r = ranks(xs);
+  EXPECT_EQ(r, (std::vector<double>{1, 2.5, 2.5, 4}));
+}
+
+TEST(Ranks, AllTied) {
+  const std::vector<double> xs{5, 5, 5};
+  const auto r = ranks(xs);
+  EXPECT_EQ(r, (std::vector<double>{2, 2, 2}));
+  EXPECT_DOUBLE_EQ(tie_correction_term(xs), 3 * 3 * 3 - 3);
+}
+
+TEST(Spearman, PerfectMonotone) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const std::vector<double> ys{2, 4, 9, 16, 100};  // monotone, nonlinear
+  const auto r = spearman(xs, ys);
+  ASSERT_TRUE(r.valid);
+  EXPECT_DOUBLE_EQ(r.coefficient, 1.0);
+  EXPECT_DOUBLE_EQ(r.p_value, 0.0);
+}
+
+TEST(Spearman, PerfectAnticorrelation) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const std::vector<double> ys{10, 8, 6, 4, 2};
+  const auto r = spearman(xs, ys);
+  EXPECT_DOUBLE_EQ(r.coefficient, -1.0);
+  // One-sided "greater" p-value for perfect negative correlation is 1.
+  EXPECT_DOUBLE_EQ(spearman(xs, ys, Alternative::Greater).p_value, 1.0);
+}
+
+TEST(Spearman, ScipyCrossCheck) {
+  // scipy.stats.spearmanr([1,2,3,4,5,6,7,8], [2,1,4,3,6,5,8,7])
+  //   rho = 0.9047619, p = 0.00199 (two-sided)
+  const std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<double> ys{2, 1, 4, 3, 6, 5, 8, 7};
+  const auto r = spearman(xs, ys);
+  EXPECT_NEAR(r.coefficient, 0.9047619, 1e-6);
+  EXPECT_NEAR(r.p_value, 0.00199, 2e-4);
+}
+
+TEST(Spearman, InvalidOnConstantSeries) {
+  const std::vector<double> xs{1, 1, 1, 1};
+  const std::vector<double> ys{1, 2, 3, 4};
+  EXPECT_FALSE(spearman(xs, ys).valid);
+}
+
+TEST(Spearman, InvalidOnTooFewPoints) {
+  const std::vector<double> xs{1, 2};
+  const std::vector<double> ys{3, 4};
+  EXPECT_FALSE(spearman(xs, ys).valid);
+}
+
+TEST(Spearman, InvariantUnderMonotoneTransform) {
+  Rng rng(5);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(rng.uniform());
+    ys.push_back(0.7 * xs.back() + 0.3 * rng.uniform());
+  }
+  const auto base = spearman(xs, ys);
+  // exp() is strictly monotone: ranks (hence rho) must be unchanged.
+  std::vector<double> xs_exp(xs.size());
+  std::transform(xs.begin(), xs.end(), xs_exp.begin(),
+                 [](double v) { return std::exp(v); });
+  const auto transformed = spearman(xs_exp, ys);
+  EXPECT_DOUBLE_EQ(base.coefficient, transformed.coefficient);
+  EXPECT_DOUBLE_EQ(base.p_value, transformed.p_value);
+}
+
+TEST(Pearson, LinearData) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const std::vector<double> ys{2.1, 3.9, 6.2, 7.8, 10.1};
+  const auto r = pearson(xs, ys);
+  EXPECT_GT(r.coefficient, 0.99);
+  EXPECT_LT(r.p_value, 0.01);
+}
+
+TEST(MannWhitney, ScipyCrossCheck) {
+  // scipy.stats.mannwhitneyu([1,2,3,4,5], [6,7,8,9,10],
+  //                          alternative="less") -> U = 0, p = 0.00404...
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const std::vector<double> ys{6, 7, 8, 9, 10};
+  const auto t = mann_whitney_u(xs, ys, Alternative::Less);
+  ASSERT_TRUE(t.valid);
+  EXPECT_DOUBLE_EQ(t.statistic, 0.0);
+  // Normal approximation with continuity correction: p ~ 0.006 (exact is
+  // 0.004); both firmly below 0.05.
+  EXPECT_LT(t.p_value, 0.01);
+}
+
+TEST(MannWhitney, SymmetricSamplesGiveLargeP) {
+  const std::vector<double> xs{1, 3, 5, 7, 9, 11};
+  const std::vector<double> ys{2, 4, 6, 8, 10, 12};
+  const auto t = mann_whitney_u(xs, ys, Alternative::TwoSided);
+  EXPECT_GT(t.p_value, 0.5);
+}
+
+TEST(MannWhitney, DirectionalityConsistent) {
+  Rng rng(31);
+  std::vector<double> lo, hi;
+  for (int i = 0; i < 40; ++i) {
+    lo.push_back(rng.normal(0.0, 1.0));
+    hi.push_back(rng.normal(2.0, 1.0));
+  }
+  EXPECT_LT(mann_whitney_u(lo, hi, Alternative::Less).p_value, 0.01);
+  EXPECT_GT(mann_whitney_u(lo, hi, Alternative::Greater).p_value, 0.95);
+}
+
+TEST(MannWhitney, AllValuesTied) {
+  const std::vector<double> xs{4, 4, 4};
+  const std::vector<double> ys{4, 4, 4, 4};
+  const auto t = mann_whitney_u(xs, ys, Alternative::Less);
+  ASSERT_TRUE(t.valid);
+  EXPECT_DOUBLE_EQ(t.p_value, 1.0);
+}
+
+TEST(MannWhitney, EmptyInputInvalid) {
+  EXPECT_FALSE(
+      mann_whitney_u(std::vector<double>{}, std::vector<double>{1.0}).valid);
+}
+
+TEST(KsTwoSample, IdenticalSamples) {
+  const std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8};
+  const auto t = ks_two_sample(xs, xs);
+  EXPECT_DOUBLE_EQ(t.statistic, 0.0);
+  EXPECT_GT(t.p_value, 0.99);
+}
+
+TEST(KsTwoSample, DisjointSupports) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(i + 100);
+  }
+  const auto t = ks_two_sample(xs, ys);
+  EXPECT_DOUBLE_EQ(t.statistic, 1.0);
+  EXPECT_LT(t.p_value, 1e-6);
+}
+
+TEST(KsTwoSample, ScipyCrossCheck) {
+  // xs = 1..20, ys = xs + 5.5. The sup-distance is reached at x = 20:
+  // F1 = 1.0, F2 = 14/20 = 0.7, so D = 0.3; asymptotic p ~ 0.28.
+  std::vector<double> xs, ys;
+  for (int i = 1; i <= 20; ++i) {
+    xs.push_back(i);
+    ys.push_back(i + 5.5);
+  }
+  const auto t = ks_two_sample(xs, ys);
+  EXPECT_NEAR(t.statistic, 0.3, 1e-12);
+  EXPECT_NEAR(t.p_value, 0.28, 0.06);
+}
+
+TEST(WelchT, DetectsMeanShift) {
+  Rng rng(37);
+  std::vector<double> a, b;
+  for (int i = 0; i < 60; ++i) {
+    a.push_back(rng.normal(0.0, 1.0));
+    b.push_back(rng.normal(1.0, 2.0));
+  }
+  EXPECT_LT(welch_t(a, b, Alternative::Less).p_value, 0.01);
+}
+
+// Property sweep: under H0 (same distribution) the tests should rarely
+// report significance. With 40 trials at alpha=0.05, seeing more than 8
+// rejections would indicate a broken test statistic.
+class NullCalibration : public ::testing::TestWithParam<int> {};
+
+TEST_P(NullCalibration, RejectionRateBounded) {
+  Rng rng(1000 + GetParam());
+  int mwu_rejections = 0, ks_rejections = 0;
+  const int trials = 40;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> a, b;
+    for (int i = 0; i < 30; ++i) {
+      a.push_back(rng.normal(0, 1));
+      b.push_back(rng.normal(0, 1));
+    }
+    if (mann_whitney_u(a, b, Alternative::TwoSided).p_value < 0.05) {
+      ++mwu_rejections;
+    }
+    if (ks_two_sample(a, b).p_value < 0.05) ++ks_rejections;
+  }
+  EXPECT_LE(mwu_rejections, 8);
+  EXPECT_LE(ks_rejections, 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NullCalibration, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace wehey::stats
