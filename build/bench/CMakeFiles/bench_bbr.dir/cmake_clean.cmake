@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bbr.dir/bench_bbr.cpp.o"
+  "CMakeFiles/bench_bbr.dir/bench_bbr.cpp.o.d"
+  "bench_bbr"
+  "bench_bbr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bbr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

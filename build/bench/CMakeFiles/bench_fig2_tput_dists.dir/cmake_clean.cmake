@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_tput_dists.dir/bench_fig2_tput_dists.cpp.o"
+  "CMakeFiles/bench_fig2_tput_dists.dir/bench_fig2_tput_dists.cpp.o.d"
+  "bench_fig2_tput_dists"
+  "bench_fig2_tput_dists.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_tput_dists.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

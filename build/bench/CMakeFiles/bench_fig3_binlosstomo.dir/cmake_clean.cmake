@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_binlosstomo.dir/bench_fig3_binlosstomo.cpp.o"
+  "CMakeFiles/bench_fig3_binlosstomo.dir/bench_fig3_binlosstomo.cpp.o.d"
+  "bench_fig3_binlosstomo"
+  "bench_fig3_binlosstomo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_binlosstomo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

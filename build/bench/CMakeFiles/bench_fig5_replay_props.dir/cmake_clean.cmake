@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_replay_props.dir/bench_fig5_replay_props.cpp.o"
+  "CMakeFiles/bench_fig5_replay_props.dir/bench_fig5_replay_props.cpp.o.d"
+  "bench_fig5_replay_props"
+  "bench_fig5_replay_props.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_replay_props.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

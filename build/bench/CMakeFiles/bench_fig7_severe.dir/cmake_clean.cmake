@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_severe.dir/bench_fig7_severe.cpp.o"
+  "CMakeFiles/bench_fig7_severe.dir/bench_fig7_severe.cpp.o.d"
+  "bench_fig7_severe"
+  "bench_fig7_severe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_severe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

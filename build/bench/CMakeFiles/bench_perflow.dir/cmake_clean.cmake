@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perflow.dir/bench_perflow.cpp.o"
+  "CMakeFiles/bench_perflow.dir/bench_perflow.cpp.o.d"
+  "bench_perflow"
+  "bench_perflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

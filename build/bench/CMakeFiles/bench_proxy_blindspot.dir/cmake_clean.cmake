@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_proxy_blindspot.dir/bench_proxy_blindspot.cpp.o"
+  "CMakeFiles/bench_proxy_blindspot.dir/bench_proxy_blindspot.cpp.o.d"
+  "bench_proxy_blindspot"
+  "bench_proxy_blindspot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_proxy_blindspot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

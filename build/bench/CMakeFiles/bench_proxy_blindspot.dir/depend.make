@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_proxy_blindspot.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shaper_limitation.dir/bench_shaper_limitation.cpp.o"
+  "CMakeFiles/bench_shaper_limitation.dir/bench_shaper_limitation.cpp.o.d"
+  "bench_shaper_limitation"
+  "bench_shaper_limitation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shaper_limitation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_wild.dir/bench_table1_wild.cpp.o"
+  "CMakeFiles/bench_table1_wild.dir/bench_table1_wild.cpp.o.d"
+  "bench_table1_wild"
+  "bench_table1_wild.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_wild.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

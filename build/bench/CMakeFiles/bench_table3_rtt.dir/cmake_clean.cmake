@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_rtt.dir/bench_table3_rtt.cpp.o"
+  "CMakeFiles/bench_table3_rtt.dir/bench_table3_rtt.cpp.o.d"
+  "bench_table3_rtt"
+  "bench_table3_rtt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_rtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_congestion.dir/bench_table4_congestion.cpp.o"
+  "CMakeFiles/bench_table4_congestion.dir/bench_table4_congestion.cpp.o.d"
+  "bench_table4_congestion"
+  "bench_table4_congestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_congestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_fp.dir/bench_table5_fp.cpp.o"
+  "CMakeFiles/bench_table5_fp.dir/bench_table5_fp.cpp.o.d"
+  "bench_table5_fp"
+  "bench_table5_fp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_fp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

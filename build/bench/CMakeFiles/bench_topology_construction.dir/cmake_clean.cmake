@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_topology_construction.dir/bench_topology_construction.cpp.o"
+  "CMakeFiles/bench_topology_construction.dir/bench_topology_construction.cpp.o.d"
+  "bench_topology_construction"
+  "bench_topology_construction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_topology_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/localize_wild.dir/localize_wild.cpp.o"
+  "CMakeFiles/localize_wild.dir/localize_wild.cpp.o.d"
+  "localize_wild"
+  "localize_wild.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/localize_wild.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

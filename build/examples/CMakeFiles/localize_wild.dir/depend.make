@@ -1,0 +1,2 @@
+# Empty dependencies file for localize_wild.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_timeline.dir/session_timeline.cpp.o"
+  "CMakeFiles/session_timeline.dir/session_timeline.cpp.o.d"
+  "session_timeline"
+  "session_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tomography_pitfalls.dir/tomography_pitfalls.cpp.o"
+  "CMakeFiles/tomography_pitfalls.dir/tomography_pitfalls.cpp.o.d"
+  "tomography_pitfalls"
+  "tomography_pitfalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tomography_pitfalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

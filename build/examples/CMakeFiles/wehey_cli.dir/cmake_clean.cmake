@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wehey_cli.dir/wehey_cli.cpp.o"
+  "CMakeFiles/wehey_cli.dir/wehey_cli.cpp.o.d"
+  "wehey_cli"
+  "wehey_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wehey_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

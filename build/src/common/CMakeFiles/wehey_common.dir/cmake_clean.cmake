@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wehey_common.dir/csv.cpp.o"
+  "CMakeFiles/wehey_common.dir/csv.cpp.o.d"
+  "CMakeFiles/wehey_common.dir/log.cpp.o"
+  "CMakeFiles/wehey_common.dir/log.cpp.o.d"
+  "CMakeFiles/wehey_common.dir/rng.cpp.o"
+  "CMakeFiles/wehey_common.dir/rng.cpp.o.d"
+  "CMakeFiles/wehey_common.dir/time.cpp.o"
+  "CMakeFiles/wehey_common.dir/time.cpp.o.d"
+  "libwehey_common.a"
+  "libwehey_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wehey_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

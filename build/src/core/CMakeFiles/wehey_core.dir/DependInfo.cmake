@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/coupling.cpp" "src/core/CMakeFiles/wehey_core.dir/coupling.cpp.o" "gcc" "src/core/CMakeFiles/wehey_core.dir/coupling.cpp.o.d"
+  "/root/repo/src/core/localizer.cpp" "src/core/CMakeFiles/wehey_core.dir/localizer.cpp.o" "gcc" "src/core/CMakeFiles/wehey_core.dir/localizer.cpp.o.d"
+  "/root/repo/src/core/loss_correlation.cpp" "src/core/CMakeFiles/wehey_core.dir/loss_correlation.cpp.o" "gcc" "src/core/CMakeFiles/wehey_core.dir/loss_correlation.cpp.o.d"
+  "/root/repo/src/core/loss_series.cpp" "src/core/CMakeFiles/wehey_core.dir/loss_series.cpp.o" "gcc" "src/core/CMakeFiles/wehey_core.dir/loss_series.cpp.o.d"
+  "/root/repo/src/core/throughput_comparison.cpp" "src/core/CMakeFiles/wehey_core.dir/throughput_comparison.cpp.o" "gcc" "src/core/CMakeFiles/wehey_core.dir/throughput_comparison.cpp.o.d"
+  "/root/repo/src/core/tomography.cpp" "src/core/CMakeFiles/wehey_core.dir/tomography.cpp.o" "gcc" "src/core/CMakeFiles/wehey_core.dir/tomography.cpp.o.d"
+  "/root/repo/src/core/wehe.cpp" "src/core/CMakeFiles/wehey_core.dir/wehe.cpp.o" "gcc" "src/core/CMakeFiles/wehey_core.dir/wehe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/wehey_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/wehey_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wehey_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wehey_core.dir/coupling.cpp.o"
+  "CMakeFiles/wehey_core.dir/coupling.cpp.o.d"
+  "CMakeFiles/wehey_core.dir/localizer.cpp.o"
+  "CMakeFiles/wehey_core.dir/localizer.cpp.o.d"
+  "CMakeFiles/wehey_core.dir/loss_correlation.cpp.o"
+  "CMakeFiles/wehey_core.dir/loss_correlation.cpp.o.d"
+  "CMakeFiles/wehey_core.dir/loss_series.cpp.o"
+  "CMakeFiles/wehey_core.dir/loss_series.cpp.o.d"
+  "CMakeFiles/wehey_core.dir/throughput_comparison.cpp.o"
+  "CMakeFiles/wehey_core.dir/throughput_comparison.cpp.o.d"
+  "CMakeFiles/wehey_core.dir/tomography.cpp.o"
+  "CMakeFiles/wehey_core.dir/tomography.cpp.o.d"
+  "CMakeFiles/wehey_core.dir/wehe.cpp.o"
+  "CMakeFiles/wehey_core.dir/wehe.cpp.o.d"
+  "libwehey_core.a"
+  "libwehey_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wehey_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

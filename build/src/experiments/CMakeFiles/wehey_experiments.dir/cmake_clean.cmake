@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wehey_experiments.dir/history.cpp.o"
+  "CMakeFiles/wehey_experiments.dir/history.cpp.o.d"
+  "CMakeFiles/wehey_experiments.dir/network.cpp.o"
+  "CMakeFiles/wehey_experiments.dir/network.cpp.o.d"
+  "CMakeFiles/wehey_experiments.dir/params.cpp.o"
+  "CMakeFiles/wehey_experiments.dir/params.cpp.o.d"
+  "CMakeFiles/wehey_experiments.dir/scenario.cpp.o"
+  "CMakeFiles/wehey_experiments.dir/scenario.cpp.o.d"
+  "CMakeFiles/wehey_experiments.dir/wild.cpp.o"
+  "CMakeFiles/wehey_experiments.dir/wild.cpp.o.d"
+  "libwehey_experiments.a"
+  "libwehey_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wehey_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/link.cpp" "src/netsim/CMakeFiles/wehey_netsim.dir/link.cpp.o" "gcc" "src/netsim/CMakeFiles/wehey_netsim.dir/link.cpp.o.d"
+  "/root/repo/src/netsim/measure.cpp" "src/netsim/CMakeFiles/wehey_netsim.dir/measure.cpp.o" "gcc" "src/netsim/CMakeFiles/wehey_netsim.dir/measure.cpp.o.d"
+  "/root/repo/src/netsim/queue.cpp" "src/netsim/CMakeFiles/wehey_netsim.dir/queue.cpp.o" "gcc" "src/netsim/CMakeFiles/wehey_netsim.dir/queue.cpp.o.d"
+  "/root/repo/src/netsim/simulator.cpp" "src/netsim/CMakeFiles/wehey_netsim.dir/simulator.cpp.o" "gcc" "src/netsim/CMakeFiles/wehey_netsim.dir/simulator.cpp.o.d"
+  "/root/repo/src/netsim/tracer.cpp" "src/netsim/CMakeFiles/wehey_netsim.dir/tracer.cpp.o" "gcc" "src/netsim/CMakeFiles/wehey_netsim.dir/tracer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wehey_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wehey_netsim.dir/link.cpp.o"
+  "CMakeFiles/wehey_netsim.dir/link.cpp.o.d"
+  "CMakeFiles/wehey_netsim.dir/measure.cpp.o"
+  "CMakeFiles/wehey_netsim.dir/measure.cpp.o.d"
+  "CMakeFiles/wehey_netsim.dir/queue.cpp.o"
+  "CMakeFiles/wehey_netsim.dir/queue.cpp.o.d"
+  "CMakeFiles/wehey_netsim.dir/simulator.cpp.o"
+  "CMakeFiles/wehey_netsim.dir/simulator.cpp.o.d"
+  "CMakeFiles/wehey_netsim.dir/tracer.cpp.o"
+  "CMakeFiles/wehey_netsim.dir/tracer.cpp.o.d"
+  "libwehey_netsim.a"
+  "libwehey_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wehey_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wehey_replay.dir/session.cpp.o"
+  "CMakeFiles/wehey_replay.dir/session.cpp.o.d"
+  "libwehey_replay.a"
+  "libwehey_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wehey_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/correlation.cpp" "src/stats/CMakeFiles/wehey_stats.dir/correlation.cpp.o" "gcc" "src/stats/CMakeFiles/wehey_stats.dir/correlation.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/wehey_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/wehey_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/distributions.cpp" "src/stats/CMakeFiles/wehey_stats.dir/distributions.cpp.o" "gcc" "src/stats/CMakeFiles/wehey_stats.dir/distributions.cpp.o.d"
+  "/root/repo/src/stats/empirical.cpp" "src/stats/CMakeFiles/wehey_stats.dir/empirical.cpp.o" "gcc" "src/stats/CMakeFiles/wehey_stats.dir/empirical.cpp.o.d"
+  "/root/repo/src/stats/hypothesis.cpp" "src/stats/CMakeFiles/wehey_stats.dir/hypothesis.cpp.o" "gcc" "src/stats/CMakeFiles/wehey_stats.dir/hypothesis.cpp.o.d"
+  "/root/repo/src/stats/ranks.cpp" "src/stats/CMakeFiles/wehey_stats.dir/ranks.cpp.o" "gcc" "src/stats/CMakeFiles/wehey_stats.dir/ranks.cpp.o.d"
+  "/root/repo/src/stats/resample.cpp" "src/stats/CMakeFiles/wehey_stats.dir/resample.cpp.o" "gcc" "src/stats/CMakeFiles/wehey_stats.dir/resample.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wehey_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

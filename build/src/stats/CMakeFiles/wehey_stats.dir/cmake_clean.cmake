@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wehey_stats.dir/correlation.cpp.o"
+  "CMakeFiles/wehey_stats.dir/correlation.cpp.o.d"
+  "CMakeFiles/wehey_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/wehey_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/wehey_stats.dir/distributions.cpp.o"
+  "CMakeFiles/wehey_stats.dir/distributions.cpp.o.d"
+  "CMakeFiles/wehey_stats.dir/empirical.cpp.o"
+  "CMakeFiles/wehey_stats.dir/empirical.cpp.o.d"
+  "CMakeFiles/wehey_stats.dir/hypothesis.cpp.o"
+  "CMakeFiles/wehey_stats.dir/hypothesis.cpp.o.d"
+  "CMakeFiles/wehey_stats.dir/ranks.cpp.o"
+  "CMakeFiles/wehey_stats.dir/ranks.cpp.o.d"
+  "CMakeFiles/wehey_stats.dir/resample.cpp.o"
+  "CMakeFiles/wehey_stats.dir/resample.cpp.o.d"
+  "libwehey_stats.a"
+  "libwehey_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wehey_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

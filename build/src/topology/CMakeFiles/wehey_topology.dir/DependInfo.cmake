@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/alias.cpp" "src/topology/CMakeFiles/wehey_topology.dir/alias.cpp.o" "gcc" "src/topology/CMakeFiles/wehey_topology.dir/alias.cpp.o.d"
+  "/root/repo/src/topology/construction.cpp" "src/topology/CMakeFiles/wehey_topology.dir/construction.cpp.o" "gcc" "src/topology/CMakeFiles/wehey_topology.dir/construction.cpp.o.d"
+  "/root/repo/src/topology/database.cpp" "src/topology/CMakeFiles/wehey_topology.dir/database.cpp.o" "gcc" "src/topology/CMakeFiles/wehey_topology.dir/database.cpp.o.d"
+  "/root/repo/src/topology/synthetic.cpp" "src/topology/CMakeFiles/wehey_topology.dir/synthetic.cpp.o" "gcc" "src/topology/CMakeFiles/wehey_topology.dir/synthetic.cpp.o.d"
+  "/root/repo/src/topology/traceroute.cpp" "src/topology/CMakeFiles/wehey_topology.dir/traceroute.cpp.o" "gcc" "src/topology/CMakeFiles/wehey_topology.dir/traceroute.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wehey_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wehey_topology.dir/alias.cpp.o"
+  "CMakeFiles/wehey_topology.dir/alias.cpp.o.d"
+  "CMakeFiles/wehey_topology.dir/construction.cpp.o"
+  "CMakeFiles/wehey_topology.dir/construction.cpp.o.d"
+  "CMakeFiles/wehey_topology.dir/database.cpp.o"
+  "CMakeFiles/wehey_topology.dir/database.cpp.o.d"
+  "CMakeFiles/wehey_topology.dir/synthetic.cpp.o"
+  "CMakeFiles/wehey_topology.dir/synthetic.cpp.o.d"
+  "CMakeFiles/wehey_topology.dir/traceroute.cpp.o"
+  "CMakeFiles/wehey_topology.dir/traceroute.cpp.o.d"
+  "libwehey_topology.a"
+  "libwehey_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wehey_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

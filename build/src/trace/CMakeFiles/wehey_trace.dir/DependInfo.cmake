@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/apps.cpp" "src/trace/CMakeFiles/wehey_trace.dir/apps.cpp.o" "gcc" "src/trace/CMakeFiles/wehey_trace.dir/apps.cpp.o.d"
+  "/root/repo/src/trace/background.cpp" "src/trace/CMakeFiles/wehey_trace.dir/background.cpp.o" "gcc" "src/trace/CMakeFiles/wehey_trace.dir/background.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/trace/CMakeFiles/wehey_trace.dir/trace.cpp.o" "gcc" "src/trace/CMakeFiles/wehey_trace.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wehey_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wehey_trace.dir/apps.cpp.o"
+  "CMakeFiles/wehey_trace.dir/apps.cpp.o.d"
+  "CMakeFiles/wehey_trace.dir/background.cpp.o"
+  "CMakeFiles/wehey_trace.dir/background.cpp.o.d"
+  "CMakeFiles/wehey_trace.dir/trace.cpp.o"
+  "CMakeFiles/wehey_trace.dir/trace.cpp.o.d"
+  "libwehey_trace.a"
+  "libwehey_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wehey_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

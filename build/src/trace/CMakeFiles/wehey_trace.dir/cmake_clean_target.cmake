@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwehey_trace.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/proxy.cpp" "src/transport/CMakeFiles/wehey_transport.dir/proxy.cpp.o" "gcc" "src/transport/CMakeFiles/wehey_transport.dir/proxy.cpp.o.d"
+  "/root/repo/src/transport/quic.cpp" "src/transport/CMakeFiles/wehey_transport.dir/quic.cpp.o" "gcc" "src/transport/CMakeFiles/wehey_transport.dir/quic.cpp.o.d"
+  "/root/repo/src/transport/tcp.cpp" "src/transport/CMakeFiles/wehey_transport.dir/tcp.cpp.o" "gcc" "src/transport/CMakeFiles/wehey_transport.dir/tcp.cpp.o.d"
+  "/root/repo/src/transport/udp.cpp" "src/transport/CMakeFiles/wehey_transport.dir/udp.cpp.o" "gcc" "src/transport/CMakeFiles/wehey_transport.dir/udp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netsim/CMakeFiles/wehey_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/wehey_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wehey_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

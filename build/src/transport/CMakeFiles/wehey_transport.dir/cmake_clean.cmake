@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wehey_transport.dir/proxy.cpp.o"
+  "CMakeFiles/wehey_transport.dir/proxy.cpp.o.d"
+  "CMakeFiles/wehey_transport.dir/quic.cpp.o"
+  "CMakeFiles/wehey_transport.dir/quic.cpp.o.d"
+  "CMakeFiles/wehey_transport.dir/tcp.cpp.o"
+  "CMakeFiles/wehey_transport.dir/tcp.cpp.o.d"
+  "CMakeFiles/wehey_transport.dir/udp.cpp.o"
+  "CMakeFiles/wehey_transport.dir/udp.cpp.o.d"
+  "libwehey_transport.a"
+  "libwehey_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wehey_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

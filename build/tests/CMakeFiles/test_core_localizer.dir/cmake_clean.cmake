@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_localizer.dir/test_core_localizer.cpp.o"
+  "CMakeFiles/test_core_localizer.dir/test_core_localizer.cpp.o.d"
+  "test_core_localizer"
+  "test_core_localizer.pdb"
+  "test_core_localizer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_localizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_losscorr.dir/test_core_losscorr.cpp.o"
+  "CMakeFiles/test_core_losscorr.dir/test_core_losscorr.cpp.o.d"
+  "test_core_losscorr"
+  "test_core_losscorr.pdb"
+  "test_core_losscorr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_losscorr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_throughput.dir/test_core_throughput.cpp.o"
+  "CMakeFiles/test_core_throughput.dir/test_core_throughput.cpp.o.d"
+  "test_core_throughput"
+  "test_core_throughput.pdb"
+  "test_core_throughput[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_tomography.dir/test_core_tomography.cpp.o"
+  "CMakeFiles/test_core_tomography.dir/test_core_tomography.cpp.o.d"
+  "test_core_tomography"
+  "test_core_tomography.pdb"
+  "test_core_tomography[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_tomography.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_wehe.dir/test_core_wehe.cpp.o"
+  "CMakeFiles/test_core_wehe.dir/test_core_wehe.cpp.o.d"
+  "test_core_wehe"
+  "test_core_wehe.pdb"
+  "test_core_wehe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_wehe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

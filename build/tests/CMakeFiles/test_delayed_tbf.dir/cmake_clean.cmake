@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_delayed_tbf.dir/test_delayed_tbf.cpp.o"
+  "CMakeFiles/test_delayed_tbf.dir/test_delayed_tbf.cpp.o.d"
+  "test_delayed_tbf"
+  "test_delayed_tbf.pdb"
+  "test_delayed_tbf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_delayed_tbf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

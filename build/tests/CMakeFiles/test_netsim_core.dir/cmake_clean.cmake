@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netsim_core.dir/test_netsim_core.cpp.o"
+  "CMakeFiles/test_netsim_core.dir/test_netsim_core.cpp.o.d"
+  "test_netsim_core"
+  "test_netsim_core.pdb"
+  "test_netsim_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netsim_red.dir/test_netsim_red.cpp.o"
+  "CMakeFiles/test_netsim_red.dir/test_netsim_red.cpp.o.d"
+  "test_netsim_red"
+  "test_netsim_red.pdb"
+  "test_netsim_red[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netsim_red.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

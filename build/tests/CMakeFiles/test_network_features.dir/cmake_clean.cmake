@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_network_features.dir/test_network_features.cpp.o"
+  "CMakeFiles/test_network_features.dir/test_network_features.cpp.o.d"
+  "test_network_features"
+  "test_network_features.pdb"
+  "test_network_features[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_network_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

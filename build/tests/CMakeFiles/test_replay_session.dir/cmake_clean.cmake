@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_replay_session.dir/test_replay_session.cpp.o"
+  "CMakeFiles/test_replay_session.dir/test_replay_session.cpp.o.d"
+  "test_replay_session"
+  "test_replay_session.pdb"
+  "test_replay_session[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_replay_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

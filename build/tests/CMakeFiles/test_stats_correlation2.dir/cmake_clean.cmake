@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_correlation2.dir/test_stats_correlation2.cpp.o"
+  "CMakeFiles/test_stats_correlation2.dir/test_stats_correlation2.cpp.o.d"
+  "test_stats_correlation2"
+  "test_stats_correlation2.pdb"
+  "test_stats_correlation2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_correlation2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_empirical.dir/test_stats_empirical.cpp.o"
+  "CMakeFiles/test_stats_empirical.dir/test_stats_empirical.cpp.o.d"
+  "test_stats_empirical"
+  "test_stats_empirical.pdb"
+  "test_stats_empirical[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_empirical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

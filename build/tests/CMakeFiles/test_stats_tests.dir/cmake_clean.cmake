@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_tests.dir/test_stats_tests.cpp.o"
+  "CMakeFiles/test_stats_tests.dir/test_stats_tests.cpp.o.d"
+  "test_stats_tests"
+  "test_stats_tests.pdb"
+  "test_stats_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_udp.cpp" "tests/CMakeFiles/test_udp.dir/test_udp.cpp.o" "gcc" "tests/CMakeFiles/test_udp.dir/test_udp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/replay/CMakeFiles/wehey_replay.dir/DependInfo.cmake"
+  "/root/repo/build/src/experiments/CMakeFiles/wehey_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wehey_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/wehey_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/wehey_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/wehey_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/wehey_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/wehey_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wehey_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
