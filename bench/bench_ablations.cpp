@@ -11,6 +11,7 @@
 #include "core/throughput_comparison.hpp"
 #include "experiments/history.hpp"
 #include "experiments/wild.hpp"
+#include "parallel/trials.hpp"
 #include "stats/hypothesis.hpp"
 
 using namespace wehey;
@@ -23,23 +24,46 @@ struct CorrVariant {
   core::LossCorrelationConfig cfg;
 };
 
-/// FN/FP of a loss-correlation variant over small common-bottleneck /
-/// separate-bottleneck batches.
-void eval_variant(const CorrVariant& v, int runs) {
-  int fn = 0, fn_n = 0, fp = 0, fp_n = 0;
+/// The measurement batches every correlation variant is scored against:
+/// `fn` are common-bottleneck experiments, `fp` separate-limiter ones.
+/// Simulated once on the parallel engine and shared across variants (the
+/// serial bench used to re-simulate them per variant).
+struct VariantInputs {
+  std::vector<SimultaneousResult> fn;
+  std::vector<SimultaneousResult> fp;
+};
+
+VariantInputs simulate_variant_inputs(int runs) {
+  std::vector<ScenarioConfig> configs;
   for (int i = 0; i < runs; ++i) {
-    auto cfg = default_scenario("Netflix", 300 + i);
-    const auto sim = run_simultaneous_experiment(cfg);
-    if (sim.differentiation_confirmed) {
-      ++fn_n;
-      fn += !core::loss_trend_correlation(sim.original.p1.meas,
-                                          sim.original.p2.meas,
-                                          milliseconds(35), v.cfg)
-                 .common_bottleneck;
-    }
+    configs.push_back(default_scenario("Netflix", 300 + i));
+  }
+  for (int i = 0; i < runs; ++i) {
     auto fp_cfg = default_scenario("Netflix", 400 + i);
     fp_cfg.placement = Placement::NonCommonLinks;
-    const auto fp_sim = run_simultaneous_experiment(fp_cfg);
+    configs.push_back(fp_cfg);
+  }
+  auto sims = parallel::run_trials(configs, run_simultaneous_experiment);
+  VariantInputs in;
+  in.fn.assign(std::make_move_iterator(sims.begin()),
+               std::make_move_iterator(sims.begin() + runs));
+  in.fp.assign(std::make_move_iterator(sims.begin() + runs),
+               std::make_move_iterator(sims.end()));
+  return in;
+}
+
+/// FN/FP of a loss-correlation variant over the shared batches.
+void eval_variant(const CorrVariant& v, const VariantInputs& in) {
+  int fn = 0, fn_n = 0, fp = 0, fp_n = 0;
+  for (const auto& sim : in.fn) {
+    if (!sim.differentiation_confirmed) continue;
+    ++fn_n;
+    fn += !core::loss_trend_correlation(sim.original.p1.meas,
+                                        sim.original.p2.meas,
+                                        milliseconds(35), v.cfg)
+               .common_bottleneck;
+  }
+  for (const auto& fp_sim : in.fp) {
     ++fp_n;
     fp += core::loss_trend_correlation(fp_sim.original.p1.meas,
                                        fp_sim.original.p2.meas,
@@ -94,7 +118,8 @@ int main() {
     c.max_interval_rtts = 300;
     variants.push_back({"coarse band (100-300 RTT)", c});
   }
-  for (const auto& v : variants) eval_variant(v, runs);
+  const auto inputs = simulate_variant_inputs(runs);
+  for (const auto& v : variants) eval_variant(v, inputs);
 
   std::printf("\n(4) throughput-comparison test statistic "
               "(per-client scenario should DETECT):\n");

@@ -11,6 +11,7 @@
 
 #include "bench_util.hpp"
 #include "experiments/wild.hpp"
+#include "parallel/trials.hpp"
 #include "stats/descriptive.hpp"
 
 using namespace wehey;
@@ -35,8 +36,9 @@ int main() {
   bench::print_header("Figure 5", "original-replay retx rate & queueing delay");
   const auto scale = run_scale();
 
-  // (i) Our emulation grid (TCP trace, limiter on the common link).
-  std::vector<double> emu_retx, emu_delay;
+  // (i) Our emulation grid (TCP trace, limiter on the common link),
+  // swept in parallel and folded back in config order.
+  std::vector<ScenarioConfig> configs;
   std::uint64_t seed = 3;
   for (double factor : scale.input_rate_factors) {
     for (double queue : scale.queue_burst_factors) {
@@ -44,26 +46,37 @@ int main() {
         auto cfg = default_scenario("Netflix", seed++);
         cfg.input_rate_factor = factor;
         cfg.queue_burst_factor = queue;
-        const auto out = bench::run_detectors(cfg);
-        if (!out.wehe_detected) continue;
-        emu_retx.push_back(out.retx_rate);
-        emu_delay.push_back(out.queue_delay_ms);
+        configs.push_back(cfg);
       }
     }
+  }
+  std::vector<double> emu_retx, emu_delay;
+  for (const auto& out :
+       parallel::run_trials(configs, bench::run_detectors)) {
+    if (!out.wehe_detected) continue;
+    emu_retx.push_back(out.retx_rate);
+    emu_delay.push_back(out.queue_delay_ms);
   }
 
   // (ii) "Past WeHe tests": single original replays against the wild ISP
   // models (differentiation detected in the wild).
-  std::vector<double> wild_retx, wild_delay;
+  std::vector<WildConfig> wild_cfgs;
   for (const auto& isp : default_isp_models()) {
     for (std::uint64_t s = 0; s < (scale.full ? 10u : 4u); ++s) {
       WildConfig cfg;
       cfg.isp = isp;
       cfg.seed = 100 + s * 7;
-      const auto rep = run_wild_phase(cfg, Phase::SingleOriginal);
-      wild_retx.push_back(rep.p1.retx_rate);
-      wild_delay.push_back(rep.p1.avg_queuing_delay_ms);
+      wild_cfgs.push_back(cfg);
     }
+  }
+  const auto wild_reps =
+      parallel::parallel_map(wild_cfgs.size(), [&](std::size_t i) {
+        return run_wild_phase(wild_cfgs[i], Phase::SingleOriginal);
+      });
+  std::vector<double> wild_retx, wild_delay;
+  for (const auto& rep : wild_reps) {
+    wild_retx.push_back(rep.p1.retx_rate);
+    wild_delay.push_back(rep.p1.avg_queuing_delay_ms);
   }
 
   std::printf("(a) average retransmission rate\n");

@@ -9,8 +9,10 @@
 // tomography adds ~66-82% FN for TCP; unmodified traces add 3-11% more;
 // tomography does better on UDP but stays non-zero.
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hpp"
+#include "parallel/trials.hpp"
 
 using namespace wehey;
 using namespace wehey::experiments;
@@ -24,7 +26,10 @@ struct DesignStats {
 
 DesignStats run_app_grid(const std::string& app) {
   const auto scale = run_scale();
-  DesignStats out;
+  // Interleave the modified/unmodified variants of each grid point in one
+  // flat batch (even index = modified), sweep it in parallel, and fold the
+  // outcomes back in config order.
+  std::vector<ScenarioConfig> configs;
   std::uint64_t seed = 42;
   for (double factor : scale.input_rate_factors) {
     for (double queue : scale.queue_burst_factors) {
@@ -33,11 +38,16 @@ DesignStats run_app_grid(const std::string& app) {
         cfg.input_rate_factor = factor;
         cfg.queue_burst_factor = queue;
         cfg.modified_traces = true;
-        out.modified.add(bench::run_detectors(cfg));
+        configs.push_back(cfg);
         cfg.modified_traces = false;
-        out.unmodified.add(bench::run_detectors(cfg));
+        configs.push_back(cfg);
       }
     }
+  }
+  const auto outcomes = parallel::run_trials(configs, bench::run_detectors);
+  DesignStats out;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    (i % 2 == 0 ? out.modified : out.unmodified).add(outcomes[i]);
   }
   return out;
 }

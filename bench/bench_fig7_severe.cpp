@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "parallel/trials.hpp"
 
 using namespace wehey;
 using namespace wehey::experiments;
@@ -26,6 +27,7 @@ int main() {
   bench::FnStats overall;
   int below20_fn = 0, below20_n = 0, above20_fn = 0, above20_n = 0;
 
+  std::vector<ScenarioConfig> configs;
   std::uint64_t seed = 7;
   for (double bg_fraction : {0.25, 0.5, 0.75}) {
     for (double factor : scale.input_rate_factors) {
@@ -33,21 +35,24 @@ int main() {
         auto cfg = default_scenario("Netflix", seed++);
         cfg.bg_diff_fraction = bg_fraction;
         cfg.input_rate_factor = factor;
-        const auto out = bench::run_detectors(cfg);
-        if (!out.wehe_detected) {
-          overall.add(out);
-          continue;
-        }
-        overall.add(out);
-        points.push_back({out.retx_rate, out.queue_delay_ms, out.loss_trend});
-        if (out.retx_rate > 0.20) {
-          ++above20_n;
-          above20_fn += !out.loss_trend;
-        } else {
-          ++below20_n;
-          below20_fn += !out.loss_trend;
-        }
+        configs.push_back(cfg);
       }
+    }
+  }
+  // The sweep runs on the parallel engine; the scatter/stat aggregation
+  // below walks the outcomes in config order, so output is identical to
+  // the serial loop.
+  const auto outcomes = parallel::run_trials(configs, bench::run_detectors);
+  for (const auto& out : outcomes) {
+    overall.add(out);
+    if (!out.wehe_detected) continue;
+    points.push_back({out.retx_rate, out.queue_delay_ms, out.loss_trend});
+    if (out.retx_rate > 0.20) {
+      ++above20_n;
+      above20_fn += !out.loss_trend;
+    } else {
+      ++below20_n;
+      below20_fn += !out.loss_trend;
     }
   }
 

@@ -8,6 +8,7 @@
 #include "bench_util.hpp"
 #include "stats/resample.hpp"
 #include "experiments/wild.hpp"
+#include "parallel/trials.hpp"
 #include "trace/apps.hpp"
 
 using namespace wehey;
@@ -28,25 +29,33 @@ int main() {
     base.seed = 1;
     const auto t_diff = build_wild_t_diff(base, scale.full ? 14 : 10);
 
-    std::size_t localized = 0;
+    // Basic and sanity-check tests are independent full WeHeY runs; fan
+    // them out as one batch on the parallel engine (first tests_per_isp
+    // entries are basic tests, the rest sanity checks).
     const auto& services = trace::tcp_app_names();
+    const auto wild_outcomes = parallel::parallel_map(
+        tests_per_isp + sanity_per_isp, [&](std::size_t i) {
+          WildConfig cfg = base;
+          if (i < tests_per_isp) {
+            cfg.seed = 1000 + i * 17;
+            cfg.app = services[i % services.size()];  // §5: five services
+            return run_wild_test(cfg, t_diff);
+          }
+          cfg.seed = 5000 + (i - tests_per_isp) * 13;
+          return run_wild_sanity_check(cfg, t_diff);
+        });
+    std::size_t localized = 0;
     for (std::size_t i = 0; i < tests_per_isp; ++i) {
-      WildConfig cfg = base;
-      cfg.seed = 1000 + i * 17;
-      cfg.app = services[i % services.size()];  // as in §5: five services
-      const auto out = run_wild_test(cfg, t_diff);
+      const auto& out = wild_outcomes[i];
       localized += out.localized &&
                    out.localization.mechanism ==
                        core::Mechanism::PerClientThrottling;
     }
     std::size_t wrong_sanity = 0;
-    for (std::size_t i = 0; i < sanity_per_isp; ++i) {
-      WildConfig cfg = base;
-      cfg.seed = 5000 + i * 13;
-      const auto out = run_wild_sanity_check(cfg, t_diff);
+    for (std::size_t i = tests_per_isp; i < wild_outcomes.size(); ++i) {
       // Wrong behaviour: detecting a (per-client) common bottleneck while
       // a third flow shares it.
-      wrong_sanity += out.localization.mechanism ==
+      wrong_sanity += wild_outcomes[i].localization.mechanism ==
                       core::Mechanism::PerClientThrottling;
     }
     const auto ci = stats::wilson_interval(localized, tests_per_isp);

@@ -5,8 +5,10 @@
 // where it jumps (TCP 50%, UDP 21.33%) because the interval size scales
 // with the RTT and leaves too few intervals per experiment.
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hpp"
+#include "parallel/trials.hpp"
 
 using namespace wehey;
 using namespace wehey::experiments;
@@ -16,14 +18,13 @@ int main() {
   const auto scale = run_scale();
   const std::vector<double> rtts{15, 25, 35, 60, 120};
 
-  std::printf("%-10s", "RTT_2(ms)");
-  for (double r : rtts) std::printf(" | %7.0f", r);
-  std::printf("\n");
-
+  // Flatten the (transport x RTT_2) table into one trial batch, run it
+  // through the parallel engine, and aggregate per cell in config order.
+  std::vector<ScenarioConfig> configs;
+  std::vector<std::size_t> cell_of;  // row * rtts.size() + column
   for (const bool tcp : {true, false}) {
-    std::printf("%-10s", tcp ? "TCP - FN" : "UDP - FN");
-    for (double rtt2 : rtts) {
-      bench::FnStats stats;
+    const std::size_t row = tcp ? 0 : 1;
+    for (std::size_t r = 0; r < rtts.size(); ++r) {
       std::uint64_t seed = 11;
       const std::vector<std::string> apps =
           tcp ? std::vector<std::string>{"Netflix"}
@@ -33,13 +34,28 @@ int main() {
           for (std::size_t run = 0; run < scale.runs_per_config; ++run) {
             auto cfg = default_scenario(app, seed++);
             cfg.rtt1_ms = 35.0;
-            cfg.rtt2_ms = rtt2;
+            cfg.rtt2_ms = rtts[r];
             cfg.bg_diff_fraction = bg_fraction;
-            stats.add(bench::run_detectors(cfg));
+            configs.push_back(cfg);
+            cell_of.push_back(row * rtts.size() + r);
           }
         }
       }
-      std::printf(" | %6.1f%%", stats.fn_rate());
+    }
+  }
+  const auto outcomes = parallel::run_trials(configs, bench::run_detectors);
+  std::vector<bench::FnStats> cells(2 * rtts.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    cells[cell_of[i]].add(outcomes[i]);
+  }
+
+  std::printf("%-10s", "RTT_2(ms)");
+  for (double r : rtts) std::printf(" | %7.0f", r);
+  std::printf("\n");
+  for (std::size_t row = 0; row < 2; ++row) {
+    std::printf("%-10s", row == 0 ? "TCP - FN" : "UDP - FN");
+    for (std::size_t r = 0; r < rtts.size(); ++r) {
+      std::printf(" | %6.1f%%", cells[row * rtts.size() + r].fn_rate());
     }
     std::printf("\n");
   }

@@ -5,8 +5,10 @@
 // Paper shape: FP close to or better than the 5% target for the TCP trace
 // and all five UDP apps (1.13-3.75%).
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hpp"
+#include "parallel/trials.hpp"
 
 using namespace wehey;
 using namespace wehey::experiments;
@@ -16,25 +18,39 @@ int main() {
                       "FP under identical rate-limiters on l1 and l2");
   const auto scale = run_scale();
 
-  std::printf("%-9s | %-6s | %-8s | %s\n", "app", "runs", "FP rate",
-              "(experiments with WeHe-confirmed differentiation)");
-  std::printf("----------+--------+----------+----\n");
-  for (const auto& app : evaluation_apps()) {
-    bench::FpStats stats;
+  // Build the whole grid (all apps) up front, fan the independent trials
+  // over the parallel engine, then fold per-app stats in config order.
+  const auto apps = evaluation_apps();
+  std::vector<ScenarioConfig> configs;
+  std::vector<std::size_t> app_of;  // configs[i] belongs to apps[app_of[i]]
+  for (std::size_t a = 0; a < apps.size(); ++a) {
     std::uint64_t seed = 1;
     for (double factor : scale.input_rate_factors) {
       for (double queue : scale.queue_burst_factors) {
         for (std::size_t run = 0; run < scale.runs_per_config; ++run) {
-          auto cfg = default_scenario(app, seed++);
+          auto cfg = default_scenario(apps[a], seed++);
           cfg.placement = Placement::NonCommonLinks;
           cfg.input_rate_factor = factor;
           cfg.queue_burst_factor = queue;
-          stats.add(bench::run_detectors(cfg));
+          configs.push_back(cfg);
+          app_of.push_back(a);
         }
       }
     }
-    std::printf("%-9s | %6d | %7.2f%% |\n", app.c_str(), stats.experiments,
-                stats.fp_rate());
+  }
+  const auto outcomes = parallel::run_trials(configs, bench::run_detectors);
+
+  std::vector<bench::FpStats> stats(apps.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    stats[app_of[i]].add(outcomes[i]);
+  }
+
+  std::printf("%-9s | %-6s | %-8s | %s\n", "app", "runs", "FP rate",
+              "(experiments with WeHe-confirmed differentiation)");
+  std::printf("----------+--------+----------+----\n");
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    std::printf("%-9s | %6d | %7.2f%% |\n", apps[a].c_str(),
+                stats[a].experiments, stats[a].fp_rate());
   }
   std::printf("\npaper: TCP 1.13%%, Skype 2.5%%, WhatsApp 1.67%%, "
               "MSTeams 3.75%%, Zoom 3.27%%, Webex 2.5%% (target 5%%)\n");

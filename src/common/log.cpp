@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace wehey {
 namespace {
@@ -31,6 +32,10 @@ void set_log_level(LogLevel level) {
 namespace detail {
 
 void log_write(LogLevel level, const std::string& msg) {
+  // Serialize whole lines: parallel trial workers log concurrently and a
+  // single fprintf is not guaranteed atomic across the tag + message.
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
   std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
 }
 

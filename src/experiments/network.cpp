@@ -139,8 +139,9 @@ FigureOneNetwork::FigureOneNetwork(netsim::Simulator& sim,
         const double factor =
             std::clamp(rng.lognormal(0.0, sigma), 0.35, 3.0);
         link->set_bandwidth(nominal * factor);
-        auto self = shared_from_this();
-        sim.schedule(step, [self] { self->fire(); });
+        // Re-arm the executing closure in place: the retained capture keeps
+        // the shared ownership alive with no per-tick copy.
+        sim.reschedule_current(step);
       }
     };
     auto updater = std::make_shared<Updater>(sim_, link, nominal, sigma,

@@ -12,7 +12,9 @@ std::vector<std::string> evaluation_apps() {
   return apps;
 }
 
-RunScale run_scale() {
+namespace {
+
+RunScale resolve_run_scale() {
   RunScale s;
   const char* full = std::getenv("WEHEY_FULL");
   s.full = full != nullptr && full[0] == '1';
@@ -34,6 +36,16 @@ RunScale run_scale() {
     if (v > 0) s.runs_per_config = static_cast<std::size_t>(v);
   }
   return s;
+}
+
+}  // namespace
+
+RunScale run_scale() {
+  // Resolved once: getenv is not safe against concurrent setenv, and trial
+  // workers call this via default_scenario(). The cached copy makes the
+  // answer immutable for the life of the process.
+  static const RunScale cached = resolve_run_scale();
+  return cached;
 }
 
 ScenarioConfig default_scenario(const std::string& app, std::uint64_t seed) {

@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "common/log.hpp"
+#include "parallel/thread_pool.hpp"
 #include "trace/apps.hpp"
 #include "trace/background.hpp"
 
@@ -203,10 +204,19 @@ PhaseReport run_phase(const ScenarioConfig& cfg, Phase phase) {
 core::LocalizationInput run_full_experiment(
     const ScenarioConfig& cfg, const std::vector<double>& t_diff_history) {
   core::LocalizationInput input;
-  const auto sim_orig = run_phase(cfg, Phase::SimOriginal);
-  const auto sim_inv = run_phase(cfg, Phase::SimInverted);
-  const auto single_orig = run_phase(cfg, Phase::SingleOriginal);
-  const auto single_inv = run_phase(cfg, Phase::SingleInverted);
+  // The four phases are independent simulations (each rebuilds the network
+  // from cfg with its own phase seed), so they run concurrently when the
+  // parallel engine has idle contexts; from inside an outer grid sweep
+  // this degrades to the serial loop.
+  static constexpr Phase kPhases[] = {Phase::SimOriginal, Phase::SimInverted,
+                                      Phase::SingleOriginal,
+                                      Phase::SingleInverted};
+  const auto reports = parallel::parallel_map(
+      4, [&](std::size_t i) { return run_phase(cfg, kPhases[i]); });
+  const auto& sim_orig = reports[0];
+  const auto& sim_inv = reports[1];
+  const auto& single_orig = reports[2];
+  const auto& single_inv = reports[3];
 
   input.p1_original = sim_orig.p1.meas;
   input.p2_original = sim_orig.p2.meas;
@@ -222,8 +232,11 @@ core::LocalizationInput run_full_experiment(
 
 SimultaneousResult run_simultaneous_experiment(const ScenarioConfig& cfg) {
   SimultaneousResult res;
-  res.original = run_phase(cfg, Phase::SimOriginal);
-  res.inverted = run_phase(cfg, Phase::SimInverted);
+  auto reports = parallel::parallel_map(2, [&](std::size_t i) {
+    return run_phase(cfg, i == 0 ? Phase::SimOriginal : Phase::SimInverted);
+  });
+  res.original = std::move(reports[0]);
+  res.inverted = std::move(reports[1]);
   res.p1_confirmation = core::detect_differentiation(res.original.p1.meas,
                                                      res.inverted.p1.meas);
   res.p2_confirmation = core::detect_differentiation(res.original.p2.meas,

@@ -6,6 +6,7 @@
 #include <deque>
 
 #include "common/check.hpp"
+#include "parallel/thread_pool.hpp"
 #include "stats/descriptive.hpp"
 #include "trace/apps.hpp"
 #include "trace/background.hpp"
@@ -154,14 +155,15 @@ PhaseReport run_wild_phase(const WildConfig& cfg, Phase phase,
 std::vector<double> build_wild_t_diff(const WildConfig& cfg,
                                       std::size_t replays) {
   WEHEY_EXPECTS(replays >= 2);
-  std::vector<double> means;
-  means.reserve(replays);
-  for (std::size_t i = 0; i < replays; ++i) {
-    WildConfig run = cfg;
-    run.seed = cfg.seed * 104729ULL + i * 131ULL + 3ULL;
-    const auto rep = run_wild_phase(run, Phase::SingleInverted);
-    means.push_back(stats::mean(rep.p1.meas.throughput_samples(100)));
-  }
+  // Each replay is an independent seeded simulation; fan them out over the
+  // parallel engine (result order is by index, so t_diff is unchanged).
+  const std::vector<double> means =
+      parallel::parallel_map(replays, [&](std::size_t i) {
+        WildConfig run = cfg;
+        run.seed = cfg.seed * 104729ULL + i * 131ULL + 3ULL;
+        const auto rep = run_wild_phase(run, Phase::SingleInverted);
+        return stats::mean(rep.p1.meas.throughput_samples(100));
+      });
   // All pair combinations (§4.1 pairs every two nearby tests).
   std::vector<double> t_diff;
   t_diff.reserve(means.size() * (means.size() - 1) / 2);
@@ -180,10 +182,19 @@ WildTestOutcome run_wild(const WildConfig& cfg,
                          const std::vector<double>& t_diff,
                          bool third_replay) {
   core::LocalizationInput input;
-  const auto sim_orig = run_wild_phase(cfg, Phase::SimOriginal, third_replay);
-  const auto sim_inv = run_wild_phase(cfg, Phase::SimInverted, false);
-  const auto single_orig = run_wild_phase(cfg, Phase::SingleOriginal, false);
-  const auto single_inv = run_wild_phase(cfg, Phase::SingleInverted, false);
+  // The four wild phases are independent simulations; run them through the
+  // parallel engine (serial when nested inside an outer sweep).
+  static constexpr Phase kPhases[] = {Phase::SimOriginal, Phase::SimInverted,
+                                      Phase::SingleOriginal,
+                                      Phase::SingleInverted};
+  const auto reports = parallel::parallel_map(4, [&](std::size_t i) {
+    return run_wild_phase(cfg, kPhases[i],
+                          i == 0 ? third_replay : false);
+  });
+  const auto& sim_orig = reports[0];
+  const auto& sim_inv = reports[1];
+  const auto& single_orig = reports[2];
+  const auto& single_inv = reports[3];
   input.p1_original = sim_orig.p1.meas;
   input.p2_original = sim_orig.p2.meas;
   input.p1_inverted = sim_inv.p1.meas;

@@ -1,0 +1,240 @@
+// The simulator's event queue: an owned binary min-heap over (time, seq)
+// with the event actions stored out-of-line in a recycled slot pool.
+//
+// Three properties std::priority_queue could not give us:
+//
+//  * zero-move event construction — push() is a template that emplaces the
+//    caller's callable directly into its pool slot, so the (often ~330-byte
+//    Packet-carrying) capture is copied exactly once, ever;
+//  * in-place dispatch — run_top() invokes the action where it sits and
+//    destroys it afterwards, instead of moving it out of a const top()
+//    through a const_cast as the old design did;
+//  * cheap sift operations — heap nodes are 24-byte PODs referencing a slot
+//    index, so reordering never touches the action payloads.
+//
+// Slots live in fixed-size chunks that are never reallocated, so an action
+// stays at a stable address even when events it schedules during its own
+// execution grow the pool. Freed slots are recycled, so a steady-state
+// simulation stops allocating entirely once the pool has grown to the
+// high-water mark.
+//
+// Ordering: earliest `at` first; ties broken by ascending insertion
+// sequence number, so same-time events fire in the order they were
+// scheduled (the determinism contract the whole simulator relies on).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/time.hpp"
+#include "netsim/inplace_action.hpp"
+
+namespace wehey::netsim {
+
+class EventHeap {
+ public:
+  using Action = InplaceAction;
+
+  bool empty() const { return nodes_.empty(); }
+  std::size_t size() const { return nodes_.size(); }
+
+  /// Scheduled time of the earliest event. Heap must not be empty.
+  Time top_time() const {
+    WEHEY_EXPECTS(!nodes_.empty());
+    return nodes_[0].at;
+  }
+
+  /// Schedule `f` at time `at`, constructing it directly in its pool slot.
+  template <typename F>
+  void push(Time at, F&& f) {
+    const std::uint32_t slot = acquire_slot();
+    slot_ref(slot).emplace(std::forward<F>(f));
+    WEHEY_EXPECTS(next_seq_ < kSeqLimit);
+    nodes_.push_back(Node{at, (next_seq_++ << kSlotBits) | slot});
+    sift_up(nodes_.size() - 1);
+  }
+
+  /// Run the earliest event's action in place, then retire (or re-arm) its
+  /// node. The action runs while its node still sits at the root: anything
+  /// it pushes has `at >= now` and a larger seq, so it can never displace
+  /// that root, and deferring the removal lets a rearm_current() turn into
+  /// a replace-top — the re-armed key is near-minimal, so it sinks a level
+  /// or two instead of paying a full pop-sift plus push-sift. The action
+  /// may push new events (its own slot address is stable), but must not
+  /// call clear() on this heap. Precondition: the heap is non-empty and no
+  /// other event is currently executing.
+  void run_top() {
+    const std::uint32_t slot = nodes_[0].slot();
+    executing_ = slot;
+    rearm_at_ = kNotRearmed;
+    Action& action = slot_ref(slot);
+    action();
+    executing_ = kNoSlot;
+    if (rearm_at_ == kNotRearmed) {
+      action.reset();
+      free_slots_.push_back(slot);
+      const Node back = nodes_.back();
+      nodes_.pop_back();
+      if (!nodes_.empty()) sift_down_root(back);
+    } else {
+      WEHEY_EXPECTS(next_seq_ < kSeqLimit);
+      replace_top(Node{rearm_at_, (next_seq_++ << kSlotBits) | slot});
+    }
+  }
+
+  /// From within an executing action: re-arm that same action — state
+  /// intact, nothing copied or destroyed — to fire again at `at`. Takes
+  /// effect when the action returns (last call wins), and the re-armed
+  /// firing gets a fresh sequence number then, so relative to same-time
+  /// events it orders after everything the action itself scheduled.
+  void rearm_current(Time at) {
+    WEHEY_EXPECTS(executing_ != kNoSlot && at >= 0);
+    rearm_at_ = at;
+  }
+
+  /// Drain events in timestamp order, advancing `now` to each event's time
+  /// before it fires. Stops when the queue is empty or the next event lies
+  /// strictly after `until` (pass until < 0 to run to exhaustion). Lives
+  /// here rather than in Simulator so the whole dispatch loop — peek, pop,
+  /// invoke, recycle — inlines into a single frame.
+  void run_until(Time until, Time& now) {
+    while (!nodes_.empty()) {
+      const Time at = nodes_[0].at;
+      if (until >= 0 && at > until) break;
+      now = at;
+      run_top();
+    }
+  }
+
+  /// Drop every pending event and release the backing storage (swap-with-
+  /// empty; no per-event heap pops — pending actions are destroyed by a
+  /// straight walk over the node array). Must not be called from within an
+  /// executing event: the running action lives in the pool being freed.
+  void clear() {
+    WEHEY_EXPECTS(executing_ == kNoSlot);
+    for (const Node& node : nodes_) slot_ref(node.slot()).reset();
+    std::vector<Node>().swap(nodes_);
+    std::vector<std::uint32_t>().swap(free_slots_);
+    std::vector<std::unique_ptr<Chunk>>().swap(chunks_);
+    slot_count_ = 0;
+  }
+
+ private:
+  /// 24 bits of slot index + 40 bits of insertion sequence packed into one
+  /// word: a heap node is then 16 aligned bytes, so nodes never straddle
+  /// cache lines and sift moves are two machine words. Comparing the packed
+  /// word compares seq (slot bits only break ties between identical seqs,
+  /// which cannot happen). 2^40 events per simulator and 2^24 simultaneously
+  /// pending events are both orders of magnitude beyond any replay here;
+  /// push() checks the former, acquire_slot() the latter.
+  struct Node {
+    Time at;
+    std::uint64_t seq_slot;
+    std::uint32_t slot() const {
+      return static_cast<std::uint32_t>(seq_slot & (kSlotLimit - 1));
+    }
+  };
+  static constexpr std::uint32_t kSlotBits = 24;
+  static constexpr std::uint64_t kSlotLimit = std::uint64_t{1} << kSlotBits;
+  static constexpr std::uint64_t kSeqLimit = std::uint64_t{1} << 40;
+
+  /// 64 actions (~25 KiB) per chunk: big enough to amortize allocation,
+  /// small enough that an idle simulator is not holding megabytes.
+  static constexpr std::size_t kChunkShift = 6;
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
+  using Chunk = std::array<Action, kChunkSize>;
+
+  static constexpr std::uint32_t kNoSlot = UINT32_MAX;
+  static constexpr Time kNotRearmed = -1;
+
+  static bool before(const Node& a, const Node& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq_slot < b.seq_slot;
+  }
+
+  Action& slot_ref(std::uint32_t slot) {
+    return (*chunks_[slot >> kChunkShift])[slot & (kChunkSize - 1)];
+  }
+
+  std::uint32_t acquire_slot() {
+    if (!free_slots_.empty()) {
+      const std::uint32_t slot = free_slots_.back();
+      free_slots_.pop_back();
+      return slot;
+    }
+    WEHEY_EXPECTS(slot_count_ < kSlotLimit);
+    if (slot_count_ == chunks_.size() * kChunkSize) {
+      chunks_.push_back(std::make_unique<Chunk>());
+    }
+    return static_cast<std::uint32_t>(slot_count_++);
+  }
+
+  void sift_up(std::size_t i) {
+    const Node node = nodes_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!before(node, nodes_[parent])) break;
+      nodes_[i] = nodes_[parent];
+      i = parent;
+    }
+    nodes_[i] = node;
+  }
+
+  /// Place `node` (the detached back element) into the hole left at the
+  /// root, using the bottom-up strategy of libstdc++'s pop_heap: descend
+  /// the min-child path to a leaf with ONE sibling comparison per level,
+  /// then sift the node up from the leaf. The node came from the bottom of
+  /// the heap, so it almost always belongs near a leaf and the upward phase
+  /// terminates immediately — nearly halving the (mispredict-prone)
+  /// comparisons of the textbook two-per-level descent.
+  void sift_down_root(Node node) {
+    const std::size_t n = nodes_.size();
+    std::size_t hole = 0;
+    std::size_t child = 1;
+    while (child < n) {
+      if (child + 1 < n && before(nodes_[child + 1], nodes_[child])) ++child;
+      nodes_[hole] = nodes_[child];
+      hole = child;
+      child = 2 * hole + 1;
+    }
+    while (hole > 0) {
+      const std::size_t parent = (hole - 1) / 2;
+      if (!before(node, nodes_[parent])) break;
+      nodes_[hole] = nodes_[parent];
+      hole = parent;
+    }
+    nodes_[hole] = node;
+  }
+
+  /// Overwrite the root with `node` and restore the heap with a standard
+  /// two-comparison descent. Used for re-armed events, whose key is close
+  /// to the minimum and therefore sinks at most a level or two — the
+  /// bottom-up strategy would be counterproductive here.
+  void replace_top(Node node) {
+    const std::size_t n = nodes_.size();
+    std::size_t hole = 0;
+    for (;;) {
+      std::size_t child = 2 * hole + 1;
+      if (child >= n) break;
+      if (child + 1 < n && before(nodes_[child + 1], nodes_[child])) ++child;
+      if (!before(nodes_[child], node)) break;
+      nodes_[hole] = nodes_[child];
+      hole = child;
+    }
+    nodes_[hole] = node;
+  }
+
+  std::uint64_t next_seq_ = 0;
+  std::uint32_t executing_ = kNoSlot;  ///< slot whose action is on the stack
+  Time rearm_at_ = kNotRearmed;        ///< pending rearm_current() request
+  std::size_t slot_count_ = 0;         ///< slots handed out so far
+  std::vector<Node> nodes_;            ///< binary heap of (at, seq, slot)
+  std::vector<std::unique_ptr<Chunk>> chunks_;  ///< stable action storage
+  std::vector<std::uint32_t> free_slots_;       ///< recycled slot indices
+};
+
+}  // namespace wehey::netsim

@@ -13,7 +13,6 @@
 // next_ready() to sleep until a token-gated packet becomes eligible.
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <limits>
 #include <memory>
@@ -80,7 +79,7 @@ class FifoDisc final : public QueueDisc {
  private:
   std::int64_t limit_;
   std::int64_t bytes_ = 0;
-  std::deque<Packet> q_;
+  PacketRing q_;
 };
 
 class TbfDisc final : public QueueDisc {
@@ -108,7 +107,7 @@ class TbfDisc final : public QueueDisc {
   double tokens_bytes_;
   Time last_refill_ = 0;
   std::int64_t bytes_ = 0;
-  std::deque<Packet> q_;
+  PacketRing q_;
 };
 
 /// Appendix C.1 rate-limiter: classifier + FIFO (default class) + TBF
@@ -166,7 +165,7 @@ class RedDisc final : public QueueDisc {
   Rng rng_;
   double avg_ = 0.0;
   std::int64_t bytes_ = 0;
-  std::deque<Packet> q_;
+  PacketRing q_;
 };
 
 /// Per-flow rate limiter: like RateLimiterDisc, but the differentiated

@@ -3,20 +3,10 @@
 namespace wehey::netsim {
 
 void Simulator::run(Time until) {
-  while (!queue_.empty()) {
-    if (until >= 0 && queue_.top().at > until) break;
-    // priority_queue::top() is const; move the action out via const_cast on
-    // the action member only — the event is popped immediately after.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.at;
-    ev.action();
-  }
+  queue_.run_until(until, now_);
   if (until >= 0 && now_ < until) now_ = until;
 }
 
-void Simulator::clear() {
-  while (!queue_.empty()) queue_.pop();
-}
+void Simulator::clear() { queue_.clear(); }
 
 }  // namespace wehey::netsim

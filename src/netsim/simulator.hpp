@@ -4,61 +4,70 @@
 // work with schedule()/schedule_at(); ties are broken by insertion order so
 // runs are fully deterministic. This plays the role ns-3's scheduler and
 // the wall clock of the wide-area testbed play in the paper.
+//
+// The event queue is an EventHeap (owned binary heap + slot-pooled
+// InplaceAction payloads). schedule()/schedule_at() forward the callable
+// straight into its pool slot and run() invokes it in place, so the
+// per-event hot path performs one capture construction and — for typical
+// captures — no heap allocation at all.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <vector>
 
 #include "common/check.hpp"
 #include "common/time.hpp"
+#include "netsim/event_heap.hpp"
 
 namespace wehey::netsim {
 
 class Simulator {
  public:
-  using Action = std::function<void()>;
+  using Action = EventHeap::Action;
 
   Time now() const { return now_; }
 
   /// Run `action` `delay` from now (delay >= 0).
-  void schedule(Time delay, Action action) {
+  template <typename F>
+  void schedule(Time delay, F&& action) {
     WEHEY_EXPECTS(delay >= 0);
-    schedule_at(now_ + delay, std::move(action));
+    schedule_at(now_ + delay, std::forward<F>(action));
   }
 
   /// Run `action` at absolute time `at` (not in the past).
-  void schedule_at(Time at, Action action) {
+  template <typename F>
+  void schedule_at(Time at, F&& action) {
     WEHEY_EXPECTS(at >= now_);
-    queue_.push(Event{at, next_seq_++, std::move(action)});
+    queue_.push(at, std::forward<F>(action));
+  }
+
+  /// From within a running event only: schedule the currently executing
+  /// action to run again `delay` from now, reusing its storage and state —
+  /// no copy, no allocation. The cheap path for periodic timers and
+  /// self-perpetuating event chains. Takes effect when the event returns;
+  /// the repeat fires after any same-time events the action scheduled.
+  void reschedule_current(Time delay) {
+    WEHEY_EXPECTS(delay >= 0);
+    queue_.rearm_current(now_ + delay);
   }
 
   /// Process events until the queue is empty or `until` is reached; the
   /// clock ends at `until` if given, else at the last event.
   void run(Time until = -1);
 
-  /// Drop all pending events (used between experiment phases).
+  /// Drop all pending events (used between experiment phases; must not be
+  /// called from inside a running event). The clock `now_` is intentionally
+  /// preserved: consecutive phases of one experiment share a timeline, and
+  /// components scheduled against the running clock must never observe time
+  /// moving backwards.
   void clear();
 
+  /// Number of queued events. When called from inside a running event, the
+  /// count still includes that event (it is retired when it returns).
   std::size_t pending_events() const { return queue_.size(); }
 
  private:
-  struct Event {
-    Time at;
-    std::uint64_t seq;
-    Action action;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
-
   Time now_ = 0;
-  std::uint64_t next_seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  EventHeap queue_;
 };
 
 }  // namespace wehey::netsim

@@ -1,0 +1,36 @@
+// run_trials — the typed front door of the parallel engine for experiment
+// sweeps: evaluate one function over a span of ScenarioConfigs and return
+// the results in config order.
+//
+// Guarantees:
+//  * deterministic per-seed results — each trial builds its own Simulator,
+//    Rng and network from its config, and shares no mutable state with its
+//    neighbours;
+//  * stable output ordering — results[i] always corresponds to configs[i],
+//    regardless of thread count or scheduling;
+//  * WEHEY_THREADS=1 (or threads=1) takes the plain serial loop, so the
+//    parallel engine can be ruled out when bisecting a result change.
+//
+// The determinism test (tests/test_parallel.cpp) asserts bit-identical
+// PhaseReports between WEHEY_THREADS=1 and =8.
+#pragma once
+
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "experiments/scenario.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace wehey::parallel {
+
+template <typename Fn>
+auto run_trials(std::span<const experiments::ScenarioConfig> configs, Fn&& fn,
+                unsigned threads = 0)
+    -> std::vector<
+        std::invoke_result_t<Fn&, const experiments::ScenarioConfig&>> {
+  return parallel_map(
+      configs.size(), [&](std::size_t i) { return fn(configs[i]); }, threads);
+}
+
+}  // namespace wehey::parallel

@@ -1,6 +1,9 @@
 // Simulator event queue, queue disciplines, links, demux.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "netsim/link.hpp"
@@ -72,6 +75,151 @@ TEST(Simulator, ClearDropsPending) {
   sim.clear();
   sim.run();
   EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, ClearPreservesClock) {
+  Simulator sim;
+  sim.schedule(milliseconds(5), [] {});
+  sim.run();
+  ASSERT_EQ(sim.now(), milliseconds(5));
+  sim.schedule(milliseconds(5), [] {});
+  sim.clear();
+  // Phases of one experiment share a timeline: clear() drops events but
+  // must never rewind the clock.
+  EXPECT_EQ(sim.now(), milliseconds(5));
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.schedule(milliseconds(1), [] {});  // scheduling again still works
+  sim.run();
+  EXPECT_EQ(sim.now(), milliseconds(6));
+}
+
+// Regression guard for the EventHeap rewrite: a large batch of same-time
+// events — pushed both up-front and from inside running events, with pops
+// interleaved so action slots get recycled — must fire in exact insertion
+// order.
+TEST(Simulator, SameTimeEventsFireInInsertionOrderUnderChurn) {
+  Simulator sim;
+  std::vector<int> order;
+  static constexpr int kBatch = 200;
+  for (int i = 0; i < kBatch; ++i) {
+    sim.schedule(milliseconds(1), [&order, i] { order.push_back(i); });
+  }
+  // From the first same-time event, append another same-time batch; it
+  // must fire after every already-queued event at that timestamp.
+  sim.schedule(milliseconds(1), [&] {
+    for (int i = 0; i < kBatch; ++i) {
+      sim.schedule(0, [&order, i] { order.push_back(kBatch + 1 + i); });
+    }
+    order.push_back(kBatch);
+  });
+  sim.run();
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(2 * kBatch + 1));
+  // order[kBatch] is the appending event itself; indices are contiguous.
+  for (int i = 0; i < 2 * kBatch + 1; ++i) {
+    ASSERT_EQ(order[static_cast<std::size_t>(i)], i) << "position " << i;
+  }
+}
+
+TEST(Simulator, RescheduleCurrentRepeatsWithoutCopyingState) {
+  struct Counting {
+    int copies = 0;
+    Counting() = default;
+    Counting(const Counting& o) : copies(o.copies + 1) {}
+    Counting(Counting&&) = default;
+  };
+  Simulator sim;
+  std::vector<Time> fire_times;
+  int ticks = 0;
+  sim.schedule(milliseconds(1), [&, payload = Counting{}] {
+    fire_times.push_back(sim.now());
+    // The capture was moved into its slot at schedule() and is never
+    // copied again — not even across repeats.
+    EXPECT_EQ(payload.copies, 0);
+    if (++ticks < 4) sim.reschedule_current(milliseconds(2));
+  });
+  sim.run();
+  EXPECT_EQ(fire_times, (std::vector<Time>{milliseconds(1), milliseconds(3),
+                                           milliseconds(5), milliseconds(7)}));
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, RescheduleCurrentOrdersAfterEventsTheActionScheduled) {
+  // The re-arm takes effect when the action returns, so at an equal
+  // timestamp the repeat fires after events the action itself scheduled.
+  Simulator sim;
+  std::vector<int> order;
+  bool first = true;
+  sim.schedule(milliseconds(1), [&] {
+    if (first) {
+      first = false;
+      sim.schedule(milliseconds(2), [&] { order.push_back(1); });
+      sim.reschedule_current(milliseconds(2));
+    } else {
+      order.push_back(2);
+    }
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(InplaceAction, InlineCaptureAvoidsHeapAndRunsDestructor) {
+  struct Tracker {
+    int* destroyed;
+    explicit Tracker(int* d) : destroyed(d) {}
+    Tracker(Tracker&& o) noexcept : destroyed(o.destroyed) {
+      o.destroyed = nullptr;
+    }
+    ~Tracker() {
+      if (destroyed != nullptr) ++*destroyed;
+    }
+  };
+  int destroyed = 0;
+  int fired = 0;
+  {
+    InplaceAction a([t = Tracker(&destroyed), &fired] { ++fired; });
+    static_assert(sizeof(Tracker) <= InplaceAction::kInlineCapacity);
+    a();
+    EXPECT_EQ(fired, 1);
+    InplaceAction b = std::move(a);
+    b();
+    EXPECT_EQ(fired, 2);
+  }
+  EXPECT_EQ(destroyed, 1);  // exactly one live Tracker across the moves
+}
+
+TEST(InplaceAction, OversizedCaptureFallsBackToHeap) {
+  struct Big {
+    std::array<std::byte, InplaceAction::kInlineCapacity + 64> payload{};
+    int value = 7;
+  };
+  Big big;
+  int got = 0;
+  InplaceAction a([big, &got] { got = big.value; });
+  InplaceAction b = std::move(a);
+  b();
+  EXPECT_EQ(got, 7);
+}
+
+TEST(PacketRing, FifoOrderAcrossGrowthAndWraparound) {
+  PacketRing ring;
+  std::uint64_t next_push = 0, next_pop = 0;
+  // Interleave pushes and pops so head wraps while the buffer grows.
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 7; ++i) {
+      auto p = make_packet(100);
+      p.id = next_push++;
+      ring.push_back(p);
+    }
+    for (int i = 0; i < 5 && !ring.empty(); ++i) {
+      ASSERT_EQ(ring.front().id, next_pop++);
+      ring.pop_front();
+    }
+  }
+  while (!ring.empty()) {
+    ASSERT_EQ(ring.front().id, next_pop++);
+    ring.pop_front();
+  }
+  EXPECT_EQ(next_pop, next_push);
 }
 
 TEST(Fifo, DropsWhenFull) {
