@@ -1,6 +1,17 @@
 // Precondition / invariant checks in the spirit of the Core Guidelines'
 // Expects/Ensures. Violations are programming errors, so they abort with a
 // message rather than throwing.
+//
+// These macros are for *contract* checks only: conditions that hold
+// whenever the caller respects the API's documented preconditions (a
+// non-null sink, a positive configured bandwidth, matched vector lengths
+// the caller constructed). They must NOT guard conditions that depend on
+// measured data — an empty measurement series, a zero-length t_diff
+// history, non-finite samples, a base RTT that could not be estimated.
+// Those are operational realities on a deployed network, not bugs; route
+// them through wehey::Status (common/status.hpp) so the consumers — the
+// localizer's degradation logic and the session retry loop — can recover
+// instead of taking the whole process down.
 #pragma once
 
 #include <cstdio>

@@ -1,0 +1,26 @@
+#include "common/status.hpp"
+
+namespace wehey {
+
+const char* to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::Ok: return "ok";
+    case StatusCode::InvalidData: return "invalid-data";
+    case StatusCode::InsufficientData: return "insufficient-data";
+    case StatusCode::Unavailable: return "unavailable";
+    case StatusCode::Timeout: return "timeout";
+    case StatusCode::Aborted: return "aborted";
+  }
+  return "?";
+}
+
+std::string Status::to_string() const {
+  std::string out = wehey::to_string(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace wehey

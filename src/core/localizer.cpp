@@ -1,37 +1,188 @@
 #include "core/localizer.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <string>
 
 #include "common/log.hpp"
 #include "stats/descriptive.hpp"
 
 namespace wehey::core {
 
+namespace {
+
+/// A measurement that cannot support any analysis: no time window or no
+/// delivered data at all (e.g. a replay that died before its first byte).
+bool unusable(const netsim::ReplayMeasurement& m) {
+  return m.duration() <= 0 || m.deliveries.empty();
+}
+
+bool bad_rtt_sample(double r) { return !std::isfinite(r) || r <= 0.0; }
+
+/// Whether a damaged upload left samples a clean measurement can never
+/// contain: non-finite/non-positive RTTs, or events displaced far outside
+/// the replay window (clean drain events trail the window by seconds, not
+/// by multiples of it).
+bool needs_scrub(const netsim::ReplayMeasurement& m) {
+  const Time margin = std::max<Time>(m.duration(), seconds(5));
+  const Time lo = m.start - margin;
+  const Time hi = m.end + margin;
+  const auto time_bad = [&](Time t) { return t < lo || t > hi; };
+  return std::any_of(m.rtt_ms.begin(), m.rtt_ms.end(), bad_rtt_sample) ||
+         std::any_of(m.tx_times.begin(), m.tx_times.end(), time_bad) ||
+         std::any_of(m.loss_times.begin(), m.loss_times.end(), time_bad) ||
+         std::any_of(m.deliveries.begin(), m.deliveries.end(),
+                     [&](const netsim::Delivery& d) { return time_bad(d.at); });
+}
+
+void scrub(netsim::ReplayMeasurement& m) {
+  const Time margin = std::max<Time>(m.duration(), seconds(5));
+  const Time lo = m.start - margin;
+  const Time hi = m.end + margin;
+  const auto time_bad = [&](Time t) { return t < lo || t > hi; };
+  std::erase_if(m.rtt_ms, bad_rtt_sample);
+  std::erase_if(m.tx_times, time_bad);
+  std::erase_if(m.loss_times, time_bad);
+  std::erase_if(m.deliveries,
+                [&](const netsim::Delivery& d) { return time_bad(d.at); });
+}
+
+/// Restrict a measurement to [lo, hi] (the overlap window of a
+/// desynchronized pair).
+netsim::ReplayMeasurement trimmed(const netsim::ReplayMeasurement& m, Time lo,
+                                  Time hi) {
+  netsim::ReplayMeasurement out = m;
+  out.start = std::max(m.start, lo);
+  out.end = std::min(m.end, hi);
+  const auto outside = [&](Time t) { return t < out.start || t > out.end; };
+  std::erase_if(out.tx_times, outside);
+  std::erase_if(out.loss_times, outside);
+  std::erase_if(out.deliveries,
+                [&](const netsim::Delivery& d) { return outside(d.at); });
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::NoEvidence: return "no evidence";
+    case Verdict::EvidenceWithinTargetArea:
+      return "evidence within target area";
+    case Verdict::Inconclusive: return "inconclusive";
+  }
+  return "?";
+}
+
+const char* to_string(InconclusiveReason reason) {
+  switch (reason) {
+    case InconclusiveReason::None: return "none";
+    case InconclusiveReason::EmptyMeasurement: return "empty measurement";
+    case InconclusiveReason::NonOverlappingMeasurements:
+      return "non-overlapping measurements";
+    case InconclusiveReason::InsufficientLossIntervals:
+      return "insufficient loss intervals";
+    case InconclusiveReason::ShortTDiffHistory:
+      return "short t_diff history";
+  }
+  return "?";
+}
+
 Time estimate_base_rtt(const netsim::ReplayMeasurement& m1,
                        const netsim::ReplayMeasurement& m2, Time fallback) {
-  auto min_rtt = [](const netsim::ReplayMeasurement& m) -> Time {
-    if (m.rtt_ms.empty()) return 0;
-    return milliseconds(stats::min(m.rtt_ms));
+  double min1 = 0, min2 = 0, all_min = 0, all_max = 0;
+  bool any1 = false, any2 = false;
+  auto scan = [&](const netsim::ReplayMeasurement& m, double& lo, bool& any) {
+    for (double r : m.rtt_ms) {
+      if (bad_rtt_sample(r)) continue;
+      if (!any || r < lo) lo = r;
+      if (!(any1 || any2) || r < all_min) all_min = r;
+      if (!(any1 || any2) || r > all_max) all_max = r;
+      any = true;
+    }
   };
-  const Time r1 = min_rtt(m1);
-  const Time r2 = min_rtt(m2);
-  const Time base = std::max(r1, r2);
-  return base > 0 ? base : fallback;
+  scan(m1, min1, any1);
+  scan(m2, min2, any2);
+  // A blind path leaves no credible max-of-mins; a zero-spread sample set
+  // is a constant filler, not a measured RTT floor.
+  if (!any1 || !any2) return fallback;
+  if (all_min == all_max) return fallback;
+  return std::max(milliseconds(min1), milliseconds(min2));
 }
 
 LocalizationResult localize(const LocalizationInput& input, Rng& rng,
                             const LocalizerConfig& cfg) {
   LocalizationResult res;
+  auto note = [&](InconclusiveReason reason) {
+    res.degraded = true;
+    if (res.inconclusive_reason == InconclusiveReason::None) {
+      res.inconclusive_reason = reason;
+    }
+  };
+
+  // Input validation (degraded-upload hardening). The four simultaneous
+  // measurements are the ones a faulty session can damage; scrub lazily so
+  // a clean run never copies.
+  const netsim::ReplayMeasurement* p1o = &input.p1_original;
+  const netsim::ReplayMeasurement* p2o = &input.p2_original;
+  const netsim::ReplayMeasurement* p1i = &input.p1_inverted;
+  const netsim::ReplayMeasurement* p2i = &input.p2_inverted;
+  netsim::ReplayMeasurement scrubbed[4];
+  const netsim::ReplayMeasurement** sims[4] = {&p1o, &p2o, &p1i, &p2i};
+  for (int i = 0; i < 4; ++i) {
+    if (!needs_scrub(**sims[i])) continue;
+    scrubbed[i] = **sims[i];
+    scrub(scrubbed[i]);
+    *sims[i] = &scrubbed[i];
+    res.degraded = true;
+  }
+  const bool any_empty =
+      unusable(*p1o) || unusable(*p2o) || unusable(*p1i) || unusable(*p2i);
+  if (any_empty) note(InconclusiveReason::EmptyMeasurement);
+
+  // Desynchronized loss pair (e.g. a skewed server clock): trim the two
+  // original measurements to their overlapping window so Alg. 1's bins
+  // stay aligned. A clean back-to-back start differs by ~5 ms and never
+  // trips this.
+  const netsim::ReplayMeasurement* loss1 = p1o;
+  const netsim::ReplayMeasurement* loss2 = p2o;
+  netsim::ReplayMeasurement trim1, trim2;
+  bool loss_testable = !any_empty;
+  if (loss_testable &&
+      std::llabs(p1o->start - p2o->start) > cfg.desync_tolerance) {
+    res.degraded = true;
+    const Time lo = std::max(p1o->start, p2o->start);
+    const Time hi = std::min(p1o->end, p2o->end);
+    const Time longest = std::max(p1o->duration(), p2o->duration());
+    if (hi - lo < static_cast<Time>(cfg.min_overlap_fraction *
+                                    static_cast<double>(longest))) {
+      note(InconclusiveReason::NonOverlappingMeasurements);
+      loss_testable = false;
+    } else {
+      trim1 = trimmed(*p1o, lo, hi);
+      trim2 = trimmed(*p2o, lo, hi);
+      loss1 = &trim1;
+      loss2 = &trim2;
+    }
+  }
 
   // Operation 3 (§3.1): differentiation confirmation on both paths, using
   // WeHe's own throughput-based detector. Unless *both* paths
   // differentiated, WeHeY reports no evidence.
-  res.p1_confirmation =
-      detect_differentiation(input.p1_original, input.p1_inverted, cfg.wehe);
-  res.p2_confirmation =
-      detect_differentiation(input.p2_original, input.p2_inverted, cfg.wehe);
+  res.p1_confirmation = detect_differentiation(*p1o, *p1i, cfg.wehe);
+  res.p2_confirmation = detect_differentiation(*p2o, *p2i, cfg.wehe);
   res.confirmation_passed = res.p1_confirmation.differentiation &&
                             res.p2_confirmation.differentiation;
+  if (any_empty) {
+    // Confirmation against a blank series is vacuous either way (zero-filled
+    // throughput samples "differ" from anything): the session measured
+    // nothing, which is not the same as measuring and finding nothing.
+    res.verdict = Verdict::Inconclusive;
+    res.status = Status::insufficient_data(
+        std::string("localize: ") + to_string(res.inconclusive_reason));
+    return res;
+  }
   if (!res.confirmation_passed) {
     LOG_DEBUG("localizer: differentiation not confirmed on both paths");
     return res;
@@ -39,8 +190,8 @@ LocalizationResult localize(const LocalizationInput& input, Rng& rng,
 
   // Operation 4a: throughput comparison — per-client throttling check.
   const auto x = input.p0_original.throughput_samples(cfg.wehe.intervals);
-  const auto y1 = input.p1_original.throughput_samples(cfg.wehe.intervals);
-  const auto y2 = input.p2_original.throughput_samples(cfg.wehe.intervals);
+  const auto y1 = p1o->throughput_samples(cfg.wehe.intervals);
+  const auto y2 = p2o->throughput_samples(cfg.wehe.intervals);
   const auto y = aggregate_samples(y1, y2);
   res.throughput =
       throughput_comparison(x, y, input.t_diff_history, rng, cfg.throughput);
@@ -49,18 +200,57 @@ LocalizationResult localize(const LocalizationInput& input, Rng& rng,
     res.mechanism = Mechanism::PerClientThrottling;
     return res;
   }
+  if (res.degraded && !res.throughput.valid &&
+      input.t_diff_history.size() < cfg.min_t_diff) {
+    // Only worth flagging on damaged inputs: with clean measurements a
+    // short history leaves the loss detector fully able to decide.
+    note(InconclusiveReason::ShortTDiffHistory);
+  }
 
   // Operation 4b: loss-trend correlation — collective throttling check.
   res.base_rtt_used =
-      input.base_rtt > 0
-          ? input.base_rtt
-          : estimate_base_rtt(input.p1_original, input.p2_original,
-                              cfg.fallback_rtt);
-  res.loss = loss_trend_correlation(input.p1_original, input.p2_original,
-                                    res.base_rtt_used, cfg.loss);
+      input.base_rtt > 0 ? input.base_rtt
+                         : estimate_base_rtt(*loss1, *loss2, cfg.fallback_rtt);
+  LossCorrelationConfig loss_cfg = cfg.loss;
+  if (res.degraded && loss_testable) {
+    // Shrink the Alg. 1 sweep so every interval size still fits a
+    // meaningful number of intervals into the (possibly trimmed) window.
+    // Clean 45 s / 35 ms windows fit 50-RTT intervals with room to spare,
+    // so this only engages on genuinely shortened measurements.
+    const Time span = std::min(loss1->duration(), loss2->duration());
+    const auto cap = static_cast<int>(
+        span / (res.base_rtt_used *
+                static_cast<Time>(cfg.min_intervals_per_size)));
+    if (cap < loss_cfg.max_interval_rtts) {
+      loss_cfg.max_interval_rtts = cap;
+      if (cap < loss_cfg.min_interval_rtts) {
+        note(InconclusiveReason::InsufficientLossIntervals);
+        loss_testable = false;
+      }
+    }
+  }
+  if (loss_testable) {
+    res.loss =
+        loss_trend_correlation(*loss1, *loss2, res.base_rtt_used, loss_cfg);
+    if (res.degraded && res.loss.sizes_valid == 0) {
+      note(InconclusiveReason::InsufficientLossIntervals);
+    }
+  }
   if (res.loss.common_bottleneck) {
     res.verdict = Verdict::EvidenceWithinTargetArea;
     res.mechanism = Mechanism::CollectiveThrottling;
+    return res;
+  }
+
+  // Degraded inputs and neither detector validly ran: the session measured
+  // nothing, which is different from having measured and found nothing.
+  if (res.degraded && !res.throughput.valid && res.loss.sizes_valid == 0) {
+    if (res.inconclusive_reason == InconclusiveReason::None) {
+      res.inconclusive_reason = InconclusiveReason::InsufficientLossIntervals;
+    }
+    res.verdict = Verdict::Inconclusive;
+    res.status = Status::insufficient_data(
+        std::string("localize: ") + to_string(res.inconclusive_reason));
   }
   return res;
 }

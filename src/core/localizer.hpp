@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/status.hpp"
 #include "common/time.hpp"
 #include "core/loss_correlation.hpp"
 #include "core/throughput_comparison.hpp"
@@ -19,9 +20,25 @@
 namespace wehey::core {
 
 enum class Verdict {
-  NoEvidence,               ///< cannot attribute beyond WeHe's detection
-  EvidenceWithinTargetArea  ///< differentiation localized to the target
+  NoEvidence,                ///< cannot attribute beyond WeHe's detection
+  EvidenceWithinTargetArea,  ///< differentiation localized to the target
+  /// The inputs were degraded (aborted replays, damaged uploads, skewed
+  /// clocks) badly enough that *neither* detector could validly run — the
+  /// honest answer is "this session measured nothing", not "no evidence".
+  Inconclusive,
 };
+
+/// Machine-readable cause attached to an Inconclusive verdict.
+enum class InconclusiveReason {
+  None,
+  EmptyMeasurement,            ///< a simultaneous measurement carried no data
+  NonOverlappingMeasurements,  ///< p1/p2 windows share too little time
+  InsufficientLossIntervals,   ///< loss series too short even after shrinking
+  ShortTDiffHistory,           ///< too little history for the MWU comparison
+};
+
+const char* to_string(Verdict verdict);
+const char* to_string(InconclusiveReason reason);
 
 enum class Mechanism {
   None,
@@ -51,6 +68,23 @@ struct LocalizerConfig {
   ThroughputComparisonConfig throughput;
   LossCorrelationConfig loss;
   Time fallback_rtt = milliseconds(35);  ///< when no RTT samples exist
+
+  // Graceful-degradation knobs. They only engage once a degradation is
+  // *detected* (scrubbed samples, desynchronized windows, empty series),
+  // so a clean run never enters any of these paths.
+  /// Start-time disagreement between the simultaneous measurements beyond
+  /// which they are trimmed to their overlapping window (a clean
+  /// back-to-back start differs by ~5 ms; a skewed server clock by
+  /// seconds).
+  Time desync_tolerance = milliseconds(500);
+  /// Overlap (as a fraction of the longer window) below which the loss
+  /// pair is unusable.
+  double min_overlap_fraction = 0.2;
+  /// When shrinking the Alg. 1 sweep, keep interval sizes that fit at
+  /// least this many intervals into the measured window.
+  int min_intervals_per_size = 8;
+  /// Minimum T_diff history for the §4.1 comparison to mean anything.
+  std::size_t min_t_diff = 8;
 };
 
 struct LocalizationResult {
@@ -62,10 +96,21 @@ struct LocalizationResult {
   ThroughputComparisonResult throughput;
   LossCorrelationResult loss;
   Time base_rtt_used = 0;
+  /// True when the inputs needed scrubbing/trimming/shrinking. A verdict
+  /// can still be reached on degraded inputs; Inconclusive means it could
+  /// not.
+  bool degraded = false;
+  InconclusiveReason inconclusive_reason = InconclusiveReason::None;
+  /// Ok, or the recoverable failure that made the verdict Inconclusive.
+  Status status;
 };
 
 /// Estimate the Alg. 1 base RTT from measurement latency samples: the
-/// maximum over paths of each path's minimum RTT.
+/// maximum over paths of each path's minimum RTT. Non-finite and
+/// non-positive samples are ignored; if either path then has no usable
+/// samples, or every remaining sample is one repeated value (a degenerate
+/// upload, not a credible RTT floor), the estimate falls back to
+/// `fallback`.
 Time estimate_base_rtt(const netsim::ReplayMeasurement& m1,
                        const netsim::ReplayMeasurement& m2, Time fallback);
 

@@ -2,7 +2,6 @@
 
 #include <cmath>
 
-#include "common/check.hpp"
 #include "common/log.hpp"
 
 namespace wehey::core {
@@ -10,8 +9,17 @@ namespace wehey::core {
 LossCorrelationResult loss_trend_correlation(
     const netsim::ReplayMeasurement& m1, const netsim::ReplayMeasurement& m2,
     Time base_rtt, const LossCorrelationConfig& cfg) {
-  WEHEY_EXPECTS(base_rtt > 0);
   LossCorrelationResult res;
+  if (base_rtt <= 0) {
+    // Data-dependent, not a caller bug: a degraded session can fail to
+    // produce any usable RTT sample (see check.hpp's taxonomy).
+    res.status = Status::invalid_data("non-positive base RTT");
+    return res;
+  }
+  if (m1.duration() <= 0 || m2.duration() <= 0) {
+    res.status = Status::insufficient_data("empty measurement window");
+    return res;
+  }
 
   const auto sigmas =
       interval_size_sweep(base_rtt, cfg.interval_sizes,
@@ -45,6 +53,7 @@ LossCorrelationResult loss_trend_correlation(
         break;
     }
     if (corr.valid) {
+      outcome.valid = true;
       outcome.rho = corr.coefficient;
       outcome.p_value = corr.p_value;
       outcome.correlated = corr.p_value < cfg.fp;
@@ -52,9 +61,14 @@ LossCorrelationResult loss_trend_correlation(
     // An invalid test (too few retained intervals, or a constant series)
     // counts as "not correlated": the conservative direction.
     res.per_size.push_back(outcome);
+    if (outcome.valid) ++res.sizes_valid;
     if (outcome.correlated) ++res.sizes_correlated;
   }
   res.sizes_tested = res.per_size.size();
+  if (res.sizes_valid == 0) {
+    res.status =
+        Status::insufficient_data("no interval size yielded a valid test");
+  }
   res.common_bottleneck =
       static_cast<double>(res.sizes_correlated) >
       (1.0 - cfg.fp) * static_cast<double>(res.sizes_tested);

@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "common/status.hpp"
 #include "common/time.hpp"
 #include "core/loss_series.hpp"
 #include "netsim/measure.hpp"
@@ -48,17 +49,29 @@ struct IntervalOutcome {
   double rho = 0.0;
   double p_value = 1.0;
   bool correlated = false;
+  /// Whether the correlation test could run at all for this size (enough
+  /// retained intervals, non-constant series).
+  bool valid = false;
 };
 
 struct LossCorrelationResult {
   bool common_bottleneck = false;
   std::size_t sizes_tested = 0;
   std::size_t sizes_correlated = 0;
+  /// Sizes whose correlation test was statistically valid; 0 means the
+  /// detector never actually ran, so `common_bottleneck == false` is
+  /// "untested", not "tested negative".
+  std::size_t sizes_valid = 0;
   std::vector<IntervalOutcome> per_size;
+  /// Ok, or the recoverable reason no size could be tested.
+  Status status;
 };
 
 /// `base_rtt` is max_i { p_i's min RTT } (Alg. 1 line 2) — the interval
-/// sizes sweep 10-50 multiples of it.
+/// sizes sweep 10-50 multiples of it. A non-positive `base_rtt` or empty
+/// measurements yield an untested result (status set) rather than a
+/// contract violation: degraded sessions reach this code with data-shaped
+/// garbage.
 LossCorrelationResult loss_trend_correlation(
     const netsim::ReplayMeasurement& m1, const netsim::ReplayMeasurement& m2,
     Time base_rtt, const LossCorrelationConfig& cfg = {});

@@ -60,6 +60,8 @@ LimiterParams make_limiter(Rate rate, Time rtt, double queue_burst_factor) {
 struct FigureOneNetwork::TcpReplay {
   int path = 1;
   Time start = 0;
+  bool aborted = false;
+  Time aborted_at = 0;
   // One entry per parallel connection of the replayed session.
   std::vector<std::unique_ptr<Pipe>> ack_pipes;
   std::vector<std::unique_ptr<transport::TcpSender>> senders;
@@ -68,6 +70,8 @@ struct FigureOneNetwork::TcpReplay {
 
 struct FigureOneNetwork::UdpReplay {
   int path = 1;
+  bool aborted = false;
+  Time aborted_at = 0;
   std::unique_ptr<transport::UdpReplayReceiver> receiver;
   std::unique_ptr<transport::UdpReplaySender> sender;
 };
@@ -207,6 +211,12 @@ void FigureOneNetwork::attach_background(
   }
 }
 
+ReplayCut FigureOneNetwork::take_next_cut() {
+  const ReplayCut cut = next_cut_;
+  next_cut_ = ReplayCut{};
+  return cut;
+}
+
 int FigureOneNetwork::start_tcp_replay(int path_index,
                                        const trace::AppTrace& t, Time start,
                                        const transport::TcpConfig& tcp,
@@ -214,6 +224,7 @@ int FigureOneNetwork::start_tcp_replay(int path_index,
                                        netsim::FlowId policer_key) {
   WEHEY_EXPECTS(t.transport == trace::Transport::Tcp);
   WEHEY_EXPECTS(connections >= 1);
+  const ReplayCut cut = take_next_cut();
   auto rt = std::make_unique<TcpReplay>();
   rt->path = path_index;
   rt->start = start;
@@ -238,12 +249,25 @@ int FigureOneNetwork::start_tcp_replay(int path_index,
   // payload becomes available at its recorded offset; TCP turns it into
   // wire traffic at its own pace. Packets are striped across the
   // session's connections, like a streaming client's parallel range
-  // requests.
+  // requests. An armed ReplayCut stops the supply mid-stream: the server
+  // process died, nothing after the cut is ever offered to the network.
   std::size_t next_conn = 0;
+  std::int64_t supplied = 0;
   for (const auto& tp : t.packets) {
+    if (cut.active()) {
+      const bool past_time = cut.after >= 0 && tp.offset > cut.after;
+      const bool past_bytes =
+          cut.after_bytes >= 0 && supplied + tp.size > cut.after_bytes;
+      if (past_time || past_bytes) {
+        rt->aborted = true;
+        rt->aborted_at = start + tp.offset;
+        break;
+      }
+    }
     auto* sender = rt->senders[next_conn].get();
     next_conn = (next_conn + 1) % rt->senders.size();
     const std::int64_t bytes = tp.size;
+    supplied += bytes;
     sim_.schedule_at(start + tp.offset,
                      [sender, bytes] { sender->supply(bytes); });
   }
@@ -257,6 +281,7 @@ int FigureOneNetwork::start_udp_replay(int path_index,
                                        const trace::AppTrace& t, Time start,
                                        netsim::FlowId policer_key) {
   WEHEY_EXPECTS(t.transport == trace::Transport::Udp);
+  const ReplayCut cut = take_next_cut();
   auto rt = std::make_unique<UdpReplay>();
   rt->path = path_index;
   const netsim::FlowId flow = next_flow_++;
@@ -265,8 +290,23 @@ int FigureOneNetwork::start_udp_replay(int path_index,
   rt->receiver = std::make_unique<transport::UdpReplayReceiver>(sim_);
   client_->add_route(flow, rt->receiver.get());
   transport::UdpConfig ucfg;
+  // An armed ReplayCut truncates the schedule up front: a UDP replay is
+  // open-loop, so the dead server simply never transmits the rest.
+  const trace::AppTrace* schedule = &t;
+  trace::AppTrace cut_trace;
+  if (cut.active()) {
+    const Time limit = cut.after >= 0 ? cut.after : t.duration();
+    cut_trace = trace::cut(t, limit, cut.after_bytes);
+    if (cut_trace.packets.size() < t.packets.size()) {
+      rt->aborted = true;
+      rt->aborted_at = start + (cut_trace.packets.empty()
+                                    ? 0
+                                    : cut_trace.packets.back().offset);
+    }
+    schedule = &cut_trace;
+  }
   rt->sender = std::make_unique<transport::UdpReplaySender>(
-      sim_, ids_, ucfg, flow, dscp, path_entry(path_index), t, start,
+      sim_, ids_, ucfg, flow, dscp, path_entry(path_index), *schedule, start,
       policer_key);
   udp_replays_.push_back(std::move(rt));
   return -static_cast<int>(udp_replays_.size());
@@ -294,6 +334,8 @@ PathReport FigureOneNetwork::report(int id, Time start, Time duration) {
   }
   if (id > 0) {
     auto& rt = *tcp_replays_.at(static_cast<std::size_t>(id - 1));
+    rep.aborted = rt.aborted;
+    rep.aborted_at = rt.aborted_at;
     // Merge the per-connection measurements into one path measurement
     // (the server measures the whole replayed session).
     for (std::size_t c = 0; c < rt.senders.size(); ++c) {
@@ -323,6 +365,8 @@ PathReport FigureOneNetwork::report(int id, Time start, Time duration) {
     }
   } else {
     auto& rt = *udp_replays_.at(static_cast<std::size_t>(-id - 1));
+    rep.aborted = rt.aborted;
+    rep.aborted_at = rt.aborted_at;
     rt.receiver->finalize(rt.sender->packets_scheduled(), start + duration);
     rep.meas = transport::udp_measurement(*rt.sender, *rt.receiver);
     rep.meas.start = start;

@@ -83,6 +83,20 @@ struct PathReport {
   double retx_rate = 0.0;             ///< TCP retransmission rate
   double avg_queuing_delay_ms = 0.0;  ///< avg RTT - min RTT (Fig. 5b)
   double avg_throughput_bps = 0.0;
+  /// Fault injection: the replay server died mid-stream (the measurement
+  /// covers only the part before `aborted_at`). Consumers must treat the
+  /// replay as failed rather than analyze the stump.
+  bool aborted = false;
+  Time aborted_at = 0;  ///< absolute simulation time of the abort
+};
+
+/// A mid-stream replay abort (fault injection): the server stops supplying
+/// bytes `after` into the replay, or once `after_bytes` cumulative payload
+/// bytes have been offered (>= 0 wins over `after`). Inactive by default.
+struct ReplayCut {
+  Time after = -1;
+  std::int64_t after_bytes = -1;
+  bool active() const { return after >= 0 || after_bytes >= 0; }
 };
 
 class FigureOneNetwork {
@@ -147,6 +161,10 @@ class FigureOneNetwork {
   /// traceroutes of path 1 share a transit hop with path 2.
   void set_route_churn(bool churn) { route_churn_ = churn; }
 
+  /// Arm a mid-stream abort for the NEXT start_*_replay call (fault
+  /// injection). One-shot: consumed by that call, inactive again after.
+  void set_next_replay_cut(const ReplayCut& cut) { next_cut_ = cut; }
+
   /// The client ISP's ASN used in traceroute annotations.
   static constexpr topology::Asn kClientAsn = 64500;
 
@@ -174,11 +192,15 @@ class FigureOneNetwork {
   std::unique_ptr<netsim::Link> nc2_;
   Rng access_rng_;
 
+  /// Consume the one-shot cut armed for the next replay, if any.
+  ReplayCut take_next_cut();
+
   std::vector<std::unique_ptr<TcpReplay>> tcp_replays_;
   std::vector<std::unique_ptr<UdpReplay>> udp_replays_;
   std::vector<std::unique_ptr<QuicReplay>> quic_replays_;
   std::vector<std::unique_ptr<BackgroundFlowRt>> background_;
   bool route_churn_ = false;
+  ReplayCut next_cut_;
 };
 
 /// Size a token bucket per Appendix C.1: burst = rate x RTT (bytes),

@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "common/log.hpp"
+#include "faults/injector.hpp"
 #include "parallel/thread_pool.hpp"
 #include "trace/apps.hpp"
 #include "trace/background.hpp"
@@ -49,6 +50,30 @@ transport::TcpConfig replay_tcp_config(const ScenarioConfig& cfg) {
 
 std::uint64_t phase_seed(const ScenarioConfig& cfg, Phase phase) {
   return cfg.seed * 1000003ULL + static_cast<std::uint64_t>(phase) * 7919ULL;
+}
+
+/// Phase-local injector: each phase interprets the plan with its own
+/// derived seed, so the four phases fault independently but
+/// reproducibly.
+faults::FaultInjector phase_injector(const faults::FaultPlan* plan,
+                                     std::uint64_t phase_seed_value) {
+  if (plan == nullptr || !plan->enabled()) return faults::FaultInjector{};
+  faults::FaultPlan derived = *plan;
+  derived.seed = plan->seed * 0x100000001b3ULL ^ phase_seed_value;
+  return faults::FaultInjector(derived);
+}
+
+/// Arm the network's one-shot cut if the injector aborts this replay.
+void arm_replay_cut(faults::FaultInjector& inj, FigureOneNetwork& net,
+                    int path, Time replay_duration) {
+  if (!inj.enabled()) return;
+  const auto fault = inj.on_replay_start(path);
+  if (!fault.abort) return;
+  ReplayCut cut;
+  cut.after = static_cast<Time>(static_cast<double>(replay_duration) *
+                                fault.at_fraction);
+  cut.after_bytes = fault.after_bytes;
+  net.set_next_replay_cut(cut);
 }
 
 }  // namespace
@@ -134,6 +159,7 @@ ScenarioDerived derive(const ScenarioConfig& cfg) {
 PhaseReport run_phase(const ScenarioConfig& cfg, Phase phase) {
   const auto derived = derive(cfg);
   Rng rng(phase_seed(cfg, phase));
+  auto injector = phase_injector(cfg.fault_plan, phase_seed(cfg, phase));
 
   netsim::Simulator sim;
   FigureOneNetwork net(sim, derived.net, rng);
@@ -173,18 +199,22 @@ PhaseReport run_phase(const ScenarioConfig& cfg, Phase phase) {
   int id1 = 0, id2 = 0;
   if (replay1.transport == trace::Transport::Tcp) {
     const auto tcp = replay_tcp_config(cfg);
+    arm_replay_cut(injector, net, 1, cfg.replay_duration);
     id1 = net.start_tcp_replay(1, replay1, 0, tcp, cfg.tcp_connections,
                                spoofed_key);
     if (simultaneous) {
+      arm_replay_cut(injector, net, 2, cfg.replay_duration);
       id2 = net.start_tcp_replay(2, replay1, kSecondReplayOffset, tcp,
                                  cfg.tcp_connections, spoofed_key);
     }
   } else {
+    arm_replay_cut(injector, net, 1, cfg.replay_duration);
     id1 = net.start_udp_replay(1, replay1, 0, spoofed_key);
     if (simultaneous) {
       // Independent Poisson re-timing per path (two servers re-time their
       // replays independently).
       const trace::AppTrace replay2 = prepare(t, cfg, rng);
+      arm_replay_cut(injector, net, 2, cfg.replay_duration);
       id2 = net.start_udp_replay(2, replay2, kSecondReplayOffset,
                                  spoofed_key);
     }
@@ -198,6 +228,15 @@ PhaseReport run_phase(const ScenarioConfig& cfg, Phase phase) {
     rep.p2 = net.report(id2, kSecondReplayOffset, cfg.replay_duration);
   }
   rep.limiter_drops = net.limiter_drops();
+  if (injector.enabled()) {
+    // The uploads of this phase's measurements to the gathering server
+    // pass through the injector (truncation, corruption, clock skew).
+    bool upload_faulted = injector.on_measurement_upload(1, rep.p1.meas);
+    if (simultaneous) {
+      upload_faulted |= injector.on_measurement_upload(2, rep.p2.meas);
+    }
+    rep.faulted = upload_faulted || rep.p1.aborted || rep.p2.aborted;
+  }
   return rep;
 }
 

@@ -20,6 +20,7 @@
 
 #include "core/localizer.hpp"
 #include "experiments/network.hpp"
+#include "faults/plan.hpp"
 #include "trace/trace.hpp"
 
 namespace wehey::experiments {
@@ -66,6 +67,11 @@ struct ScenarioConfig {
   bool spoof_same_flow = false;
 
   std::uint64_t seed = 1;
+
+  /// Optional fault plan (not owned; must outlive the run). Null or empty
+  /// = no faults — the injection hooks are skipped entirely, so a clean
+  /// run is bit-identical to one on a build without the faults subsystem.
+  const faults::FaultPlan* fault_plan = nullptr;
 };
 
 enum class Phase { SimOriginal, SimInverted, SingleOriginal, SingleInverted };
@@ -74,6 +80,9 @@ struct PhaseReport {
   PathReport p1;
   PathReport p2;  ///< empty for single phases
   std::uint64_t limiter_drops = 0;
+  /// True when fault injection aborted a replay or damaged an upload in
+  /// this phase (see the per-path aborted flags for which one).
+  bool faulted = false;
 };
 
 /// Derived quantities shared by phases and by the benches.

@@ -6,6 +6,7 @@
 #include <deque>
 
 #include "common/check.hpp"
+#include "faults/injector.hpp"
 #include "parallel/thread_pool.hpp"
 #include "stats/descriptive.hpp"
 #include "trace/apps.hpp"
@@ -80,6 +81,26 @@ std::uint64_t phase_seed(const WildConfig& cfg, Phase phase) {
   return cfg.seed * 1000003ULL + static_cast<std::uint64_t>(phase) * 7919ULL;
 }
 
+faults::FaultInjector phase_injector(const faults::FaultPlan* plan,
+                                     std::uint64_t phase_seed_value) {
+  if (plan == nullptr || !plan->enabled()) return faults::FaultInjector{};
+  faults::FaultPlan derived = *plan;
+  derived.seed = plan->seed * 0x100000001b3ULL ^ phase_seed_value;
+  return faults::FaultInjector(derived);
+}
+
+void arm_replay_cut(faults::FaultInjector& inj, FigureOneNetwork& net,
+                    int path, Time replay_duration) {
+  if (!inj.enabled()) return;
+  const auto fault = inj.on_replay_start(path);
+  if (!fault.abort) return;
+  ReplayCut cut;
+  cut.after = static_cast<Time>(static_cast<double>(replay_duration) *
+                                fault.at_fraction);
+  cut.after_bytes = fault.after_bytes;
+  net.set_next_replay_cut(cut);
+}
+
 }  // namespace
 
 std::vector<IspModel> default_isp_models() {
@@ -123,11 +144,14 @@ PhaseReport run_wild_phase(const WildConfig& cfg, Phase phase,
       phase == Phase::SimOriginal || phase == Phase::SimInverted;
   const trace::AppTrace replay = wild_trace(cfg, !is_original);
 
+  auto injector = phase_injector(cfg.fault_plan, phase_seed(cfg, phase));
   transport::TcpConfig tcp;  // pacing on: WeHeY's modified replay
   const int kConnections = 3;  // streaming sessions use several flows
+  arm_replay_cut(injector, net, 1, cfg.replay_duration);
   const int id1 = net.start_tcp_replay(1, replay, 0, tcp, kConnections);
   int id2 = 0;
   if (simultaneous) {
+    arm_replay_cut(injector, net, 2, cfg.replay_duration);
     id2 = net.start_tcp_replay(2, replay, kSecondReplayOffset, tcp,
                                kConnections);
     if (third_replay && is_original) {
@@ -149,6 +173,13 @@ PhaseReport run_wild_phase(const WildConfig& cfg, Phase phase,
     rep.p2 = net.report(id2, kSecondReplayOffset, cfg.replay_duration);
   }
   rep.limiter_drops = net.limiter_drops();
+  if (injector.enabled()) {
+    bool upload_faulted = injector.on_measurement_upload(1, rep.p1.meas);
+    if (simultaneous) {
+      upload_faulted |= injector.on_measurement_upload(2, rep.p2.meas);
+    }
+    rep.faulted = upload_faulted || rep.p1.aborted || rep.p2.aborted;
+  }
   return rep;
 }
 

@@ -51,6 +51,10 @@ struct WildConfig {
   double rtt_ms = 50.0;
   Rate bg_rate_per_path = kbps(300);  ///< the client's other light traffic
   std::uint64_t seed = 1;
+
+  /// Optional fault plan (not owned; must outlive the run). Null or empty
+  /// = no faults.
+  const faults::FaultPlan* fault_plan = nullptr;
 };
 
 /// One phase of a wild test. `third_replay` adds a concurrent third

@@ -1,0 +1,104 @@
+// The FaultInjector interprets a FaultPlan at the pipeline's decision
+// points: replay starts, control-plane exchanges, measurement uploads and
+// topology lookups. The session coordinator and the scenario/wild phase
+// runners consult it; with an empty plan every hook is an inlineable
+// no-op, so the robustness layer is zero-cost when off.
+//
+// Determinism: the injector owns its own Rng seeded from the plan, so
+// fault decisions never perturb the simulation's random streams — a
+// faulted run and a clean run of the same scenario share every simulated
+// packet up to the first injected fault.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "faults/plan.hpp"
+#include "netsim/measure.hpp"
+
+namespace wehey::faults {
+
+/// Decision for one replay start.
+struct ReplayFault {
+  bool abort = false;
+  double at_fraction = 0.5;        ///< where the server dies (fraction)
+  std::int64_t after_bytes = -1;   ///< byte offset; >= 0 wins
+};
+
+/// Decision for one control-plane exchange.
+struct ControlFault {
+  bool dropped = false;
+  Time extra_delay = 0;
+};
+
+/// What the injector did so far (for session results and the bench).
+struct InjectionStats {
+  int replays_aborted = 0;
+  int controls_dropped = 0;
+  int controls_delayed = 0;
+  int measurements_truncated = 0;
+  int measurements_corrupted = 0;
+  int clocks_skewed = 0;
+  int topology_unavailable = 0;
+
+  int total() const {
+    return replays_aborted + controls_dropped + controls_delayed +
+           measurements_truncated + measurements_corrupted + clocks_skewed +
+           topology_unavailable;
+  }
+};
+
+class FaultInjector {
+ public:
+  /// Disabled injector: every hook reports "no fault".
+  FaultInjector() = default;
+  explicit FaultInjector(const FaultPlan& plan);
+
+  bool enabled() const { return !plan_.faults.empty(); }
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Consulted when a replay is about to start on `path`.
+  ReplayFault on_replay_start(int path);
+
+  /// Consulted per control-plane exchange attempt.
+  ControlFault on_control_exchange();
+
+  /// Consulted per topology-database lookup; true = the returned pair is
+  /// transiently unavailable and the lookup must be retried.
+  bool on_topology_lookup();
+
+  /// Applies truncate/corrupt/skew faults for `path` to the uploaded
+  /// measurement in place. Returns true if anything was modified.
+  bool on_measurement_upload(int path, netsim::ReplayMeasurement& m);
+
+  const InjectionStats& stats() const { return stats_; }
+
+ private:
+  /// Probability + remaining-count bookkeeping for spec `i`.
+  bool fire(std::size_t i, int path);
+
+  FaultPlan plan_;
+  std::vector<int> budget_;  ///< per-spec remaining fires; -1 = unlimited
+  Rng rng_;
+  InjectionStats stats_;
+};
+
+// Measurement mutations, exposed for tests and for applying fault plans
+// to offline measurement bundles.
+
+/// Cut the uploaded series: only [start, start + keep_fraction * duration)
+/// survives; end is moved to the cut (the gatherer knows only that much
+/// arrived).
+void truncate_measurement(netsim::ReplayMeasurement& m, double keep_fraction);
+
+/// Garble ~`fraction` of the latency samples (non-finite or negative
+/// values) and displace some event timestamps outside the replay window.
+void corrupt_measurement(netsim::ReplayMeasurement& m, double fraction,
+                         Rng& rng);
+
+/// Offset every timestamp by `skew` (a server clock disagreement).
+void skew_measurement(netsim::ReplayMeasurement& m, Time skew);
+
+}  // namespace wehey::faults

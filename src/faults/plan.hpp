@@ -1,0 +1,84 @@
+// Deterministic fault injection for the WeHeY measurement pipeline.
+//
+// A FaultPlan is a seeded, declarative list of the operational failure
+// modes documented for deployed Wehe-style tooling: replays that abort
+// mid-stream, control-plane messages that are lost or delayed, measurement
+// uploads that arrive truncated or corrupted, server clocks that disagree,
+// and topology-database server pairs that are transiently unavailable.
+//
+// The plan is pure data; the FaultInjector (injector.hpp) interprets it at
+// the pipeline's decision points. Everything is deterministic in
+// (plan.seed, call sequence), so a chaos run is exactly reproducible and a
+// robustness regression bisects like a performance one. An empty plan is
+// the disabled state and costs nothing on the hot path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace wehey::faults {
+
+enum class FaultKind {
+  ReplayAbort,          ///< the server process dies mid-replay
+  ControlDrop,          ///< a control-plane exchange is lost
+  ControlDelay,         ///< a control-plane exchange is delayed
+  MeasurementTruncate,  ///< a path's uploaded series is cut short
+  MeasurementCorrupt,   ///< a path's uploaded samples are garbled
+  ClockSkew,            ///< one server's timestamps are offset
+  TopologyUnavailable,  ///< the topology DB's pair is transiently down
+};
+
+const char* to_string(FaultKind kind);
+
+/// One configured fault. Fields are interpreted per kind; unrelated
+/// fields are ignored.
+struct FaultSpec {
+  FaultKind kind = FaultKind::ReplayAbort;
+
+  /// Which path's replays/uploads the fault targets (1 or 2); 0 = any.
+  int path = 0;
+
+  /// Chance the fault fires at each opportunity (replay start, control
+  /// exchange, upload, lookup). 1.0 = always.
+  double probability = 1.0;
+
+  /// How many times this fault may fire in total; -1 = unlimited.
+  int count = -1;
+
+  /// ReplayAbort: the server dies this far into the replay, as a fraction
+  /// of the replay duration.
+  double at_fraction = 0.5;
+  /// ReplayAbort: byte offset of the abort; >= 0 overrides at_fraction.
+  std::int64_t after_bytes = -1;
+
+  /// ControlDelay: extra one-way latency. ClockSkew: the clock offset.
+  Time delay = milliseconds(400);
+
+  /// MeasurementTruncate: fraction of the series that survives the upload.
+  double keep_fraction = 0.4;
+
+  /// MeasurementCorrupt: fraction of samples garbled.
+  double corrupt_fraction = 0.15;
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::string name;  ///< for logs and the robustness bench
+  std::vector<FaultSpec> faults;
+
+  bool enabled() const { return !faults.empty(); }
+};
+
+/// Names of the shipped chaos plans, in a stable order. Every name is
+/// accepted by shipped_plan(); the chaos test suite and bench_robustness
+/// sweep all of them.
+std::vector<std::string> shipped_plan_names();
+
+/// Build a shipped plan by name (aborts on unknown names: passing one is
+/// a programming error; the set is compiled in).
+FaultPlan shipped_plan(const std::string& name, std::uint64_t seed);
+
+}  // namespace wehey::faults

@@ -1,8 +1,12 @@
 #include "replay/session.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <optional>
+#include <string>
 
 #include "common/check.hpp"
+#include "faults/injector.hpp"
 #include "topology/construction.hpp"
 #include "trace/apps.hpp"
 #include "trace/background.hpp"
@@ -40,6 +44,22 @@ trace::AppTrace prepare_replay(const trace::AppTrace& t,
   return out;
 }
 
+int env_int(const char* name, int fallback) {
+  if (const char* v = std::getenv(name)) {
+    const int parsed = std::atoi(v);
+    if (parsed > 0) return parsed;
+  }
+  return fallback;
+}
+
+Time env_ms(const char* name, Time fallback) {
+  if (const char* v = std::getenv(name)) {
+    const int parsed = std::atoi(v);
+    if (parsed > 0) return milliseconds(parsed);
+  }
+  return fallback;
+}
+
 }  // namespace
 
 const char* to_string(SessionOutcome outcome) {
@@ -52,6 +72,12 @@ const char* to_string(SessionOutcome outcome) {
       return "topology no longer suitable";
     case SessionOutcome::NoEvidence: return "no evidence";
     case SessionOutcome::LocalizedWithinIsp: return "localized within ISP";
+    case SessionOutcome::ReplayRetriesExhausted:
+      return "replay retries exhausted";
+    case SessionOutcome::ControlPlaneUnreachable:
+      return "control plane unreachable";
+    case SessionOutcome::InconclusiveMeasurements:
+      return "inconclusive measurements";
   }
   return "?";
 }
@@ -74,6 +100,12 @@ SessionResult run_session(const SessionConfig& cfg,
   const Time gap = cfg.inter_replay_gap;
   const Time rpc = cfg.control_latency;
 
+  const int max_replay_attempts =
+      env_int("WEHEY_SESSION_RETRIES", cfg.max_replay_attempts);
+  const Time control_timeout =
+      env_ms("WEHEY_CONTROL_TIMEOUT_MS", cfg.control_timeout);
+  const Time base_backoff = env_ms("WEHEY_RETRY_BACKOFF_MS", cfg.retry_backoff);
+
   SessionResult result;
   auto log = [&](Time at, std::string what) {
     result.events.push_back({at, std::move(what)});
@@ -84,8 +116,21 @@ SessionResult run_session(const SessionConfig& cfg,
   const auto derived = experiments::derive(scenario);
   FigureOneNetwork net(sim, derived.net, rng);
 
+  faults::FaultInjector injector;
+  if (cfg.fault_plan.enabled()) {
+    faults::FaultPlan derived_plan = cfg.fault_plan;
+    derived_plan.seed = cfg.fault_plan.seed * 0x100000001b3ULL ^
+                        (scenario.seed * 1000003ULL + 77);
+    injector = faults::FaultInjector(derived_plan);
+  }
+
   // Background spans the whole session (all four replays plus gaps).
-  const Time horizon = 4 * (duration + gap) + 12 * rpc + seconds(10);
+  // Retried replays stretch the timeline, so a faulted session needs a
+  // proportionally longer background.
+  Time horizon = 4 * (duration + gap) + 12 * rpc + seconds(10);
+  if (injector.enabled()) {
+    horizon *= max_replay_attempts * cfg.max_pair_attempts + 1;
+  }
   trace::BackgroundConfig bg;
   bg.target_rate = scenario.bg_rate_per_path;
   bg.duration = horizon;
@@ -109,20 +154,106 @@ SessionResult run_session(const SessionConfig& cfg,
     }
     return net.start_udp_replay(path, replay, at);
   };
+  auto arm_cut = [&](int path) {
+    if (!injector.enabled()) return;
+    const auto fault = injector.on_replay_start(path);
+    if (!fault.abort) return;
+    experiments::ReplayCut cut;
+    cut.after = static_cast<Time>(static_cast<double>(duration) *
+                                  fault.at_fraction);
+    cut.after_bytes = fault.after_bytes;
+    net.set_next_replay_cut(cut);
+  };
+  // A control-plane exchange that a fault can drop (the client waits out
+  // its timeout and re-sends, with doubling backoff) or delay. Advances
+  // `now` accordingly; false = every attempt was dropped.
+  auto control_exchange = [&](Time& now, const std::string& what) {
+    if (!injector.enabled()) return true;
+    Time backoff = base_backoff;
+    for (int attempt = 1; attempt <= cfg.max_control_attempts; ++attempt) {
+      const auto fault = injector.on_control_exchange();
+      if (!fault.dropped) {
+        if (fault.extra_delay > 0) {
+          now += fault.extra_delay;
+          log(now, what + ": answer delayed");
+        }
+        return true;
+      }
+      now += control_timeout;
+      if (attempt < cfg.max_control_attempts) {
+        ++result.control_retries;
+        log(now, what + ": timed out; re-sending");
+        now += backoff;
+        backoff *= 2;
+      } else {
+        log(now, what + ": timed out; giving up");
+      }
+    }
+    return false;
+  };
 
   // --- Phase 1: the standard WeHe test against s0 (= path 1). ---
-  const Time t_orig = rpc;
-  log(0, "client -> s0: run WeHe test");
-  const int id_p0_orig = start_replay(1, false, t_orig);
-  const Time t_inv = t_orig + duration + gap;
-  const int id_p0_inv = start_replay(1, true, t_inv);
-  const Time t_analysis = t_inv + duration + rpc;
-  sim.run(t_analysis);
-  log(t_orig, "s0: original single replay");
-  log(t_inv, "s0: bit-inverted single replay");
+  experiments::PathReport p0_orig, p0_inv;
+  Time t_analysis = 0;
+  if (!injector.enabled()) {
+    const Time t_orig = rpc;
+    log(0, "client -> s0: run WeHe test");
+    const int id_p0_orig = start_replay(1, false, t_orig);
+    const Time t_inv = t_orig + duration + gap;
+    const int id_p0_inv = start_replay(1, true, t_inv);
+    t_analysis = t_inv + duration + rpc;
+    sim.run(t_analysis);
+    log(t_orig, "s0: original single replay");
+    log(t_inv, "s0: bit-inverted single replay");
+    p0_orig = net.report(id_p0_orig, t_orig, duration);
+    p0_inv = net.report(id_p0_inv, t_inv, duration);
+  } else {
+    Time t = rpc;
+    log(0, "client -> s0: run WeHe test");
+    auto run_single = [&](bool inverted, const char* what)
+        -> std::optional<experiments::PathReport> {
+      Time backoff = base_backoff;
+      for (int attempt = 1; attempt <= max_replay_attempts; ++attempt) {
+        arm_cut(1);
+        const int id = start_replay(1, inverted, t);
+        sim.run(t + duration);
+        auto rep = net.report(id, t, duration);
+        log(t, std::string("s0: ") + what + " single replay");
+        if (!rep.aborted) {
+          t += duration + gap;
+          return rep;
+        }
+        log(rep.aborted_at,
+            std::string("s0: ") + what + " replay aborted mid-stream");
+        if (attempt < max_replay_attempts) {
+          ++result.replay_retries;
+          log(rep.aborted_at, "s0: retrying after backoff");
+        }
+        t += duration + backoff;
+        backoff *= 2;
+      }
+      return std::nullopt;
+    };
+    const auto orig = run_single(false, "original");
+    if (!orig.has_value()) {
+      log(sim.now(), "s0: replay retries exhausted; session ends");
+      result.outcome = SessionOutcome::ReplayRetriesExhausted;
+      result.finished_at = sim.now();
+      return result;
+    }
+    const auto inv = run_single(true, "bit-inverted");
+    if (!inv.has_value()) {
+      log(sim.now(), "s0: replay retries exhausted; session ends");
+      result.outcome = SessionOutcome::ReplayRetriesExhausted;
+      result.finished_at = sim.now();
+      return result;
+    }
+    t_analysis = t - gap + rpc;
+    sim.run(t_analysis);
+    p0_orig = *orig;
+    p0_inv = *inv;
+  }
 
-  const auto p0_orig = net.report(id_p0_orig, t_orig, duration);
-  const auto p0_inv = net.report(id_p0_inv, t_inv, duration);
   result.initial_wehe =
       core::detect_differentiation(p0_orig.meas, p0_inv.meas);
   if (!result.initial_wehe.differentiation) {
@@ -143,8 +274,35 @@ SessionResult run_session(const SessionConfig& cfg,
   }
 
   // --- Topology query (one control round-trip to the DB). ---
-  const Time t_lookup = t_analysis + 2 * rpc;
-  const auto pair = db.pick(kClientIp);
+  Time t_lookup = t_analysis + 2 * rpc;
+  if (!control_exchange(t_lookup, "topology DB query")) {
+    result.outcome = SessionOutcome::ControlPlaneUnreachable;
+    result.finished_at = t_lookup;
+    return result;
+  }
+  std::optional<topology::ServerPair> pair;
+  {
+    Time backoff = base_backoff;
+    for (int attempt = 1;; ++attempt) {
+      if (injector.enabled() && injector.on_topology_lookup()) {
+        if (attempt >= cfg.max_control_attempts) {
+          log(t_lookup,
+              "topology DB: server pair still unavailable; giving up");
+          result.outcome = SessionOutcome::NoSuitableTopology;
+          result.finished_at = t_lookup;
+          return result;
+        }
+        ++result.control_retries;
+        log(t_lookup,
+            "topology DB: server pair transiently unavailable; retrying");
+        t_lookup += backoff;
+        backoff *= 2;
+        continue;
+      }
+      pair = db.pick(kClientIp);
+      break;
+    }
+  }
   if (!pair.has_value()) {
     log(t_lookup, "topology DB: no suitable server pair for this client");
     result.outcome = SessionOutcome::NoSuitableTopology;
@@ -163,20 +321,106 @@ SessionResult run_session(const SessionConfig& cfg,
   }
 
   // --- Phase 2: simultaneous replays, started back-to-back. ---
-  const Time t_sim_orig = t_lookup + rpc;
-  const int id_p1_orig = start_replay(1, false, t_sim_orig);
-  const int id_p2_orig =
-      start_replay(2, false, t_sim_orig + kBackToBackOffset);
-  const Time t_sim_inv = t_sim_orig + duration + gap;
-  const int id_p1_inv = start_replay(1, true, t_sim_inv);
-  const int id_p2_inv = start_replay(2, true, t_sim_inv + kBackToBackOffset);
-  const Time t_end = t_sim_inv + duration + seconds(3);
-  sim.run(t_end);
-  log(t_sim_orig, "s1+s2: original simultaneous replay");
-  log(t_sim_inv, "s1+s2: bit-inverted simultaneous replay");
+  netsim::ReplayMeasurement m_p1o, m_p2o, m_p1i, m_p2i;
+  Time t_end = 0;
+  if (!injector.enabled()) {
+    const Time t_sim_orig = t_lookup + rpc;
+    const int id_p1_orig = start_replay(1, false, t_sim_orig);
+    const int id_p2_orig =
+        start_replay(2, false, t_sim_orig + kBackToBackOffset);
+    const Time t_sim_inv = t_sim_orig + duration + gap;
+    const int id_p1_inv = start_replay(1, true, t_sim_inv);
+    const int id_p2_inv =
+        start_replay(2, true, t_sim_inv + kBackToBackOffset);
+    t_end = t_sim_inv + duration + seconds(3);
+    sim.run(t_end);
+    log(t_sim_orig, "s1+s2: original simultaneous replay");
+    log(t_sim_inv, "s1+s2: bit-inverted simultaneous replay");
+    m_p1o = net.report(id_p1_orig, t_sim_orig, duration).meas;
+    m_p2o = net.report(id_p2_orig, t_sim_orig + kBackToBackOffset, duration)
+                .meas;
+    m_p1i = net.report(id_p1_inv, t_sim_inv, duration).meas;
+    m_p2i = net.report(id_p2_inv, t_sim_inv + kBackToBackOffset, duration)
+                .meas;
+  } else {
+    Time t = t_lookup + rpc;
+    // One simultaneous phase with bounded retry; on success the two
+    // measurements land in (out1, out2).
+    auto run_pair_phase = [&](bool inverted, const char* what,
+                              netsim::ReplayMeasurement& out1,
+                              netsim::ReplayMeasurement& out2) {
+      Time backoff = base_backoff;
+      for (int attempt = 1; attempt <= max_replay_attempts; ++attempt) {
+        arm_cut(1);
+        const int id1 = start_replay(1, inverted, t);
+        arm_cut(2);
+        const int id2 = start_replay(2, inverted, t + kBackToBackOffset);
+        sim.run(t + kBackToBackOffset + duration);
+        const auto r1 = net.report(id1, t, duration);
+        const auto r2 = net.report(id2, t + kBackToBackOffset, duration);
+        log(t, std::string("s1+s2: ") + what + " simultaneous replay");
+        if (!r1.aborted && !r2.aborted) {
+          out1 = r1.meas;
+          out2 = r2.meas;
+          t += duration + gap;
+          return true;
+        }
+        log(r1.aborted ? r1.aborted_at : r2.aborted_at,
+            std::string(r1.aborted ? "s1" : "s2") + ": " + what +
+                " replay aborted mid-stream");
+        if (attempt < max_replay_attempts) {
+          ++result.replay_retries;
+          log(sim.now(), "s1+s2: retrying after backoff");
+        }
+        t += duration + backoff;
+        backoff *= 2;
+      }
+      return false;
+    };
+    bool phases_done = false;
+    for (int pair_attempt = 1; pair_attempt <= cfg.max_pair_attempts;
+         ++pair_attempt) {
+      if (run_pair_phase(false, "original", m_p1o, m_p2o) &&
+          run_pair_phase(true, "bit-inverted", m_p1i, m_p2i)) {
+        phases_done = true;
+        break;
+      }
+      if (pair_attempt >= cfg.max_pair_attempts) break;
+      // §3.4 fallback: ask the topology database for a different suitable
+      // pair and restart the simultaneous phases against it.
+      const auto candidates = db.lookup(kClientIp);
+      const auto alt = std::find_if(
+          candidates.begin(), candidates.end(),
+          [&](const topology::ServerPair& p) {
+            return p.server1 != pair->server1 || p.server2 != pair->server2;
+          });
+      if (alt == candidates.end()) {
+        log(sim.now(), "topology DB: no alternate server pair available");
+        break;
+      }
+      pair = *alt;
+      result.pair = *pair;
+      ++result.pair_fallbacks;
+      log(sim.now(), "falling back to fresh server pair " + pair->server1 +
+                         " + " + pair->server2);
+    }
+    if (!phases_done) {
+      log(sim.now(), "simultaneous replay retries exhausted; session ends");
+      result.outcome = SessionOutcome::ReplayRetriesExhausted;
+      result.finished_at = sim.now();
+      return result;
+    }
+    t_end = sim.now() + seconds(3);
+    sim.run(t_end);
+  }
 
   // --- End-of-replay traceroutes, gathered at s1 (§3.4 steps 3-4). ---
-  const Time t_gather = t_end + 2 * rpc;
+  Time t_gather = t_end + 2 * rpc;
+  if (!control_exchange(t_gather, "measurement gathering")) {
+    result.outcome = SessionOutcome::ControlPlaneUnreachable;
+    result.finished_at = t_gather;
+    return result;
+  }
   const auto tr1 = net.traceroute(1);
   const auto tr2 = net.traceroute(2);
   std::string convergence;
@@ -198,12 +442,19 @@ SessionResult run_session(const SessionConfig& cfg,
   core::LocalizationInput input;
   input.p0_original = p0_orig.meas;
   input.p0_inverted = p0_inv.meas;
-  input.p1_original = net.report(id_p1_orig, t_sim_orig, duration).meas;
-  input.p2_original =
-      net.report(id_p2_orig, t_sim_orig + kBackToBackOffset, duration).meas;
-  input.p1_inverted = net.report(id_p1_inv, t_sim_inv, duration).meas;
-  input.p2_inverted =
-      net.report(id_p2_inv, t_sim_inv + kBackToBackOffset, duration).meas;
+  input.p1_original = std::move(m_p1o);
+  input.p2_original = std::move(m_p2o);
+  input.p1_inverted = std::move(m_p1i);
+  input.p2_inverted = std::move(m_p2i);
+  if (injector.enabled()) {
+    // The servers upload their measurement series to the gathering server;
+    // a fault can truncate, corrupt or clock-skew an upload in flight.
+    bool damaged = injector.on_measurement_upload(1, input.p1_original);
+    damaged |= injector.on_measurement_upload(2, input.p2_original);
+    damaged |= injector.on_measurement_upload(1, input.p1_inverted);
+    damaged |= injector.on_measurement_upload(2, input.p2_inverted);
+    if (damaged) log(t_gather, "uploaded measurement series arrived damaged");
+  }
   input.t_diff_history = cfg.t_diff_history;
   input.base_rtt = std::max(milliseconds(scenario.rtt1_ms),
                             milliseconds(scenario.rtt2_ms));
@@ -219,6 +470,11 @@ SessionResult run_session(const SessionConfig& cfg,
                 core::Mechanism::PerClientThrottling
             ? "verdict: localized (per-client throttling)"
             : "verdict: localized (collective throttling)");
+  } else if (result.localization.verdict == core::Verdict::Inconclusive) {
+    result.outcome = SessionOutcome::InconclusiveMeasurements;
+    log(t_gather,
+        std::string("verdict: inconclusive (") +
+            core::to_string(result.localization.inconclusive_reason) + ")");
   } else {
     result.outcome = SessionOutcome::NoEvidence;
     log(t_gather, "verdict: no evidence beyond WeHe's detection");

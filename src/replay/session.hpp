@@ -24,6 +24,7 @@
 
 #include "core/localizer.hpp"
 #include "experiments/scenario.hpp"
+#include "faults/plan.hpp"
 #include "topology/database.hpp"
 
 namespace wehey::replay {
@@ -42,6 +43,23 @@ struct SessionConfig {
   /// Simulate inter-domain route churn between the WeHe test and the
   /// simultaneous replays (path 1 detours through path 2's transit).
   bool route_churn = false;
+
+  /// Fault plan executed against this session. Empty (the default) means
+  /// every injection hook is skipped and the run is bit-identical to a
+  /// build without the faults subsystem.
+  faults::FaultPlan fault_plan;
+  /// Bounded retry for aborted replay phases (env: WEHEY_SESSION_RETRIES).
+  int max_replay_attempts = 3;
+  /// Bounded retry for dropped control-plane exchanges.
+  int max_control_attempts = 4;
+  /// How long the client waits on a control-plane answer before declaring
+  /// the exchange lost (env: WEHEY_CONTROL_TIMEOUT_MS).
+  Time control_timeout = milliseconds(250);
+  /// First retry backoff; doubles per attempt (env: WEHEY_RETRY_BACKOFF_MS).
+  Time retry_backoff = milliseconds(200);
+  /// When a simultaneous phase keeps aborting, how many server pairs to
+  /// try in total (fresh pairs come from the topology database).
+  int max_pair_attempts = 2;
 };
 
 enum class SessionOutcome {
@@ -51,6 +69,9 @@ enum class SessionOutcome {
   TopologyNoLongerSuitable,   ///< end-of-replay traceroutes failed step 4
   NoEvidence,                 ///< analyses found no localizable evidence
   LocalizedWithinIsp,         ///< evidence of differentiation in the ISP
+  ReplayRetriesExhausted,     ///< every replay attempt (and pair) aborted
+  ControlPlaneUnreachable,    ///< control exchanges kept timing out
+  InconclusiveMeasurements,   ///< analyses ran on unusably degraded data
 };
 
 const char* to_string(SessionOutcome outcome);
@@ -67,6 +88,10 @@ struct SessionResult {
   topology::ServerPair pair;
   std::vector<SessionEvent> events;
   Time finished_at = 0;
+  // Hardening counters — all zero on a fault-free session.
+  int replay_retries = 0;   ///< replays restarted after a mid-stream abort
+  int control_retries = 0;  ///< control exchanges re-sent after a timeout
+  int pair_fallbacks = 0;   ///< server-pair replacements mid-session
 };
 
 /// Seed a topology database from the servers' current traceroutes to the

@@ -55,4 +55,17 @@ AppTrace extend(const AppTrace& t, Time min_duration) {
   return out;
 }
 
+AppTrace cut(const AppTrace& t, Time offset, std::int64_t after_bytes) {
+  AppTrace out = t;
+  out.packets.clear();
+  std::int64_t sent = 0;
+  for (const auto& p : t.packets) {
+    if (p.offset > offset) break;
+    if (after_bytes >= 0 && sent + p.size > after_bytes) break;
+    out.packets.push_back(p);
+    sent += p.size;
+  }
+  return out;
+}
+
 }  // namespace wehey::trace

@@ -62,4 +62,11 @@ AppTrace poissonize(const AppTrace& t, Rng& rng);
 /// (§3.4: replays are extended to >= 45 s to yield enough loss samples).
 AppTrace extend(const AppTrace& t, Time min_duration);
 
+/// Cut the trace at a mid-stream abort point: packets after `offset` are
+/// dropped, and — when `after_bytes` >= 0 — so is everything beyond that
+/// many cumulative payload bytes. Models a replay server dying mid-replay
+/// (fault injection); the result may be empty.
+AppTrace cut(const AppTrace& t, Time offset,
+             std::int64_t after_bytes = -1);
+
 }  // namespace wehey::trace

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/rng.hpp"
 #include "core/localizer.hpp"
@@ -147,6 +148,58 @@ TEST(Localizer, FallbackRttWhenNoSamples) {
   netsim::ReplayMeasurement empty1, empty2;
   EXPECT_EQ(estimate_base_rtt(empty1, empty2, milliseconds(35)),
             milliseconds(35));
+}
+
+TEST(Localizer, FallbackRttWhenExactlyOnePathHasNoSamples) {
+  Rng rng(19);
+  const auto m = synth(seconds(10), 1e6, flat_low, rng, 20.0);
+  netsim::ReplayMeasurement empty;
+  // A blind path leaves no credible max-of-mins: fall back, in either
+  // argument order.
+  EXPECT_EQ(estimate_base_rtt(m, empty, milliseconds(35)), milliseconds(35));
+  EXPECT_EQ(estimate_base_rtt(empty, m, milliseconds(35)), milliseconds(35));
+}
+
+TEST(Localizer, FallbackRttWhenAllSamplesEqual) {
+  netsim::ReplayMeasurement m1, m2;
+  m1.rtt_ms.assign(20, 25.0);
+  m2.rtt_ms.assign(20, 25.0);
+  // A zero-spread sample set is a constant filler, not a measured floor.
+  EXPECT_EQ(estimate_base_rtt(m1, m2, milliseconds(35)), milliseconds(35));
+}
+
+TEST(Localizer, BaseRttIgnoresNonFiniteAndNegativeSamples) {
+  netsim::ReplayMeasurement m1, m2;
+  m1.rtt_ms = {std::nan(""), 20.0, 22.0, -5.0};
+  m2.rtt_ms = {60.0, std::numeric_limits<double>::infinity(), 61.0};
+  EXPECT_EQ(estimate_base_rtt(m1, m2, milliseconds(35)), milliseconds(60));
+}
+
+TEST(Localizer, FallbackRttWhenOnePathOnlyGarbage) {
+  netsim::ReplayMeasurement m1, m2;
+  m1.rtt_ms = {std::nan(""), -1.0, 0.0};
+  m2.rtt_ms = {40.0, 41.0};
+  EXPECT_EQ(estimate_base_rtt(m1, m2, milliseconds(35)), milliseconds(35));
+}
+
+TEST(Localizer, InconclusiveOnEmptySimultaneousMeasurement) {
+  Rng rng(21);
+  auto in = per_client_case(rng);
+  in.p1_original = netsim::ReplayMeasurement{};  // the upload never arrived
+  const auto res = localize(in, rng);
+  EXPECT_EQ(res.verdict, Verdict::Inconclusive);
+  EXPECT_EQ(res.inconclusive_reason, InconclusiveReason::EmptyMeasurement);
+  EXPECT_TRUE(res.degraded);
+  EXPECT_FALSE(res.status.ok());
+  EXPECT_EQ(res.status.code(), StatusCode::InsufficientData);
+}
+
+TEST(Localizer, VerdictStringsAreStable) {
+  EXPECT_STREQ(to_string(Verdict::Inconclusive), "inconclusive");
+  EXPECT_STREQ(to_string(InconclusiveReason::EmptyMeasurement),
+               "empty measurement");
+  EXPECT_STREQ(to_string(InconclusiveReason::NonOverlappingMeasurements),
+               "non-overlapping measurements");
 }
 
 TEST(Localizer, RecordsSubResults) {

@@ -96,6 +96,24 @@ TEST(Session, OutcomeStrings) {
                "localized within ISP");
   EXPECT_STREQ(to_string(SessionOutcome::NoSuitableTopology),
                "no suitable topology");
+  EXPECT_STREQ(to_string(SessionOutcome::ReplayRetriesExhausted),
+               "replay retries exhausted");
+  EXPECT_STREQ(to_string(SessionOutcome::ControlPlaneUnreachable),
+               "control plane unreachable");
+  EXPECT_STREQ(to_string(SessionOutcome::InconclusiveMeasurements),
+               "inconclusive measurements");
+}
+
+TEST(Session, CleanSessionHasZeroHardeningCounters) {
+  auto cfg = base_config(2);
+  ASSERT_FALSE(cfg.fault_plan.enabled());  // default config injects nothing
+  topology::TopologyDatabase db;
+  seed_topology_database(cfg.scenario, db);
+  const auto result = run_session(cfg, db);
+  EXPECT_EQ(result.replay_retries, 0);
+  EXPECT_EQ(result.control_retries, 0);
+  EXPECT_EQ(result.pair_fallbacks, 0);
+  EXPECT_EQ(result.outcome, SessionOutcome::LocalizedWithinIsp);
 }
 
 }  // namespace
