@@ -78,6 +78,7 @@ void eval_variant(const CorrVariant& v, const VariantInputs& in) {
 
 int main() {
   bench::print_header("Ablations", "WeHeY design choices");
+  bench::ObservedRun obs_run("bench_ablations");
   const auto scale = run_scale();
   const int runs = scale.full ? 12 : 4;
 
@@ -150,5 +151,6 @@ int main() {
   std::printf("\nexpected: WeHeY's configuration dominates — narrow bands "
               "miss desynchronized losses, coarse bands starve the test of "
               "intervals, few sizes weaken FP control\n");
+  obs_run.report().verdict = "completed";
   return 0;
 }

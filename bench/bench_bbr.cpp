@@ -18,6 +18,7 @@ using namespace wehey::experiments;
 
 int main() {
   bench::print_header("§7 (BBR)", "loss correlation under Cubic vs BBR");
+  bench::ObservedRun obs_run("bench_bbr");
   const auto scale = run_scale();
   const std::size_t runs = scale.full ? 10 : 4;
 
@@ -54,5 +55,6 @@ int main() {
               "bandwidth phase'). Differentiation is still detected, but "
               "loss-trend localization degrades under BBR in this "
               "substrate.\n");
+  obs_run.report().verdict = "completed";
   return 0;
 }

@@ -11,6 +11,7 @@
 // Results are printed and appended-as-overwrite to BENCH_parallel.json
 // (override the path with WEHEY_BENCH_JSON) so the perf trajectory is
 // tracked across PRs.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -166,12 +167,22 @@ struct GridTiming {
   double speedup;
 };
 
+/// The small-capture loop with an explicit recorder binding: nullptr
+/// measures the hooks-compiled-but-idle path (the default dispatch loop),
+/// a metrics-on recorder measures the observed dispatch loop.
+double events_per_sec_bound(std::size_t lanes, std::size_t total,
+                            obs::Recorder* rec) {
+  obs::ScopedRecorder bind(rec);
+  return events_per_sec<netsim::Simulator>(lanes, total, false);
+}
+
 }  // namespace
 
 int main() {
   bench::print_header("Event loop", "events/sec and parallel grid speedup");
+  bench::ObservedRun obs_run("bench_event_loop");
 
-  // (1) Event-loop microbenchmark. The four configurations are measured
+  // (1) Event-loop microbenchmark. The configurations are measured
   // round-robin across several reps and the best rep of each is kept:
   // interleaving means slow phases of a shared/throttled host hit every
   // configuration alike instead of biasing whichever ran last.
@@ -179,16 +190,41 @@ int main() {
   const std::size_t kEvents = 400'000;
   const int kReps = 7;
   double legacy_small = 0, new_small = 0, legacy_heavy = 0, new_heavy = 0;
-  for (int rep = 0; rep < kReps; ++rep) {
-    legacy_small = std::max(
-        legacy_small, events_per_sec<LegacySimulator>(kLanes, kEvents, false));
-    new_small = std::max(
-        new_small, events_per_sec<netsim::Simulator>(kLanes, kEvents, false));
-    legacy_heavy = std::max(
-        legacy_heavy, events_per_sec<LegacySimulator>(kLanes, kEvents, true));
-    new_heavy = std::max(
-        new_heavy, events_per_sec<netsim::Simulator>(kLanes, kEvents, true));
+  double obs_idle = 0, obs_active = 0;
+  std::vector<double> idle_ratios;
+  {
+    // The eps measurements must not inherit the run-level recorder: the
+    // idle/active split below binds recorders explicitly.
+    obs::ScopedRecorder quiesce(nullptr);
+    for (int rep = 0; rep < kReps; ++rep) {
+      legacy_small = std::max(legacy_small, events_per_sec<LegacySimulator>(
+                                                kLanes, kEvents, false));
+      // Observability guard: the hooks-idle loop must track the plain loop
+      // (<2% apart). The two runs are paired back-to-back within each rep
+      // and the gate uses the median of the per-rep ratios, so shared-host
+      // noise that hits both alike cancels out of the overhead number.
+      const double plain =
+          events_per_sec<netsim::Simulator>(kLanes, kEvents, false);
+      const double idle = events_per_sec_bound(kLanes, kEvents, nullptr);
+      new_small = std::max(new_small, plain);
+      obs_idle = std::max(obs_idle, idle);
+      idle_ratios.push_back(idle / plain);
+      legacy_heavy = std::max(legacy_heavy, events_per_sec<LegacySimulator>(
+                                                kLanes, kEvents, true));
+      new_heavy = std::max(new_heavy, events_per_sec<netsim::Simulator>(
+                                          kLanes, kEvents, true));
+      // The fully observed loop is reported too, so the active metric cost
+      // stays visible across PRs.
+      obs::Recorder rec(/*metrics_on=*/true, /*trace_on=*/false);
+      obs_active =
+          std::max(obs_active, events_per_sec_bound(kLanes, kEvents, &rec));
+    }
   }
+  std::nth_element(idle_ratios.begin(),
+                   idle_ratios.begin() + idle_ratios.size() / 2,
+                   idle_ratios.end());
+  const double obs_idle_overhead =
+      1.0 - idle_ratios[idle_ratios.size() / 2];
 
   std::printf("event loop (%zu events, %zu lanes):\n", kEvents, kLanes);
   std::printf("  %-34s | %10.2f M events/s\n", "std::function + priority_queue",
@@ -201,6 +237,12 @@ int main() {
   std::printf("  %-34s | %10.2f M events/s  (%.2fx)\n",
               "new, Packet-sized captures", new_heavy / 1e6,
               new_heavy / legacy_heavy);
+  std::printf("  %-34s | %10.2f M events/s  (median overhead %+.2f%%)\n",
+              "new, obs hooks idle", obs_idle / 1e6,
+              100.0 * obs_idle_overhead);
+  std::printf("  %-34s | %10.2f M events/s  (%+.2f%% vs new)\n",
+              "new, metrics recorder bound", obs_active / 1e6,
+              100.0 * (obs_active / new_small - 1.0));
 
   // (2) Grid speedup through run_trials. A small but real scenario grid;
   // every trial is a full simultaneous experiment.
@@ -254,6 +296,11 @@ int main() {
     json << "    \"new_packet_eps\": " << new_heavy << ",\n";
     json << "    \"packet_speedup\": " << new_heavy / legacy_heavy << "\n";
     json << "  },\n";
+    json << "  \"observability\": {\n";
+    json << "    \"obs_idle_eps\": " << obs_idle << ",\n";
+    json << "    \"obs_active_eps\": " << obs_active << ",\n";
+    json << "    \"obs_idle_overhead\": " << obs_idle_overhead << "\n";
+    json << "  },\n";
     json << "  \"grid\": {\n";
     json << "    \"trials\": " << configs.size() << ",\n";
     json << "    \"hardware_threads\": " << hw << ",\n";
@@ -268,6 +315,15 @@ int main() {
     std::printf("\nwrote %s\n", path.c_str());
   } else {
     std::printf("\ncould not write %s\n", path.c_str());
+  }
+  obs_run.report().verdict = "completed";
+  obs_run.report().values["event_loop.events"] = static_cast<double>(kEvents);
+  obs_run.report().values["grid.trials"] = static_cast<double>(configs.size());
+  if (obs::report_wall_times()) {
+    // Timing-derived numbers are wall-clock, so they only enter the
+    // (otherwise deterministic) report when wall times are opted in.
+    obs_run.report().values["obs_idle_overhead"] = obs_idle_overhead;
+    obs_run.report().values["obs_active_eps"] = obs_active;
   }
   return 0;
 }

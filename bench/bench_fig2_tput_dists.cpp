@@ -53,6 +53,7 @@ void scenario_report(const char* title, const std::vector<double>& x,
 
 int main() {
   bench::print_header("Figure 2", "throughput distributions, O_diff vs T_diff");
+  bench::ObservedRun obs_run("bench_fig2_tput_dists");
   Rng rng(2024);
 
   // (a) Per-client throttling: the wild model.
@@ -85,5 +86,6 @@ int main() {
 
   std::printf("paper: (a) overlapping CDFs/PDF peaks, p = 7.54e-18; "
               "(b) disjoint, p = 0.99\n");
+  obs_run.report().verdict = "completed";
   return 0;
 }

@@ -18,6 +18,7 @@ using namespace wehey::experiments;
 
 int main() {
   bench::print_header("Figure 3", "BinLossTomo threshold sensitivity");
+  bench::ObservedRun obs_run("bench_fig3_binlosstomo");
 
   auto cfg = default_scenario("Netflix", 77);
   cfg.replay_duration = seconds(30);
@@ -56,5 +57,6 @@ int main() {
   }
   std::printf("\npaper: the dark (x_c) and light (x_1) curves converge and "
               "cross as tau approaches the true loss rate (~0.04 there)\n");
+  obs_run.report().verdict = "completed";
   return 0;
 }

@@ -15,6 +15,7 @@ using namespace wehey::experiments;
 
 int main() {
   bench::print_header("Figure 4", "ISP5 throughput over time");
+  bench::ObservedRun obs_run("bench_fig4_isp5");
 
   WildConfig cfg;
   cfg.isp = default_isp_models()[4];  // ISP5
@@ -55,5 +56,6 @@ int main() {
               engage(x), engage(agg));
   std::printf("paper: simultaneous ~5 s vs single ~22 s (both drop to the "
               "same fixed rate)\n");
+  obs_run.report().verdict = "completed";
   return 0;
 }

@@ -34,6 +34,7 @@ void print_box(const char* name, const std::vector<double>& xs) {
 
 int main() {
   bench::print_header("Figure 5", "original-replay retx rate & queueing delay");
+  bench::ObservedRun obs_run("bench_fig5_replay_props");
   const auto scale = run_scale();
 
   // (i) Our emulation grid (TCP trace, limiter on the common link),
@@ -87,5 +88,6 @@ int main() {
   print_box("past WeHe tests", wild_delay);
   std::printf("\npaper: the experiments' IQR covers the full wild "
               "retransmission range and a significant part of the delays\n");
+  obs_run.report().verdict = "completed";
   return 0;
 }

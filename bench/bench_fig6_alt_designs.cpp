@@ -56,6 +56,7 @@ DesignStats run_app_grid(const std::string& app) {
 
 int main() {
   bench::print_header("Figure 6", "FN of alternative designs");
+  bench::ObservedRun obs_run("bench_fig6_alt_designs");
 
   std::printf("(a) TCP trace\n");
   const auto tcp = run_app_grid("Netflix");
@@ -89,5 +90,6 @@ int main() {
   std::printf("\npaper: WeHeY FN = 0 across all 319 detected experiments; "
               "classic tomography +66-82%% (TCP), unmodified traces add "
               "3-11%% more\n");
+  obs_run.report().verdict = "completed";
   return 0;
 }

@@ -16,6 +16,7 @@ using namespace wehey::experiments;
 
 int main() {
   bench::print_header("Figure 7", "FN under severe throttling (TCP)");
+  bench::ObservedRun obs_run("bench_fig7_severe");
   const auto scale = run_scale();
 
   struct Point {
@@ -80,5 +81,6 @@ int main() {
   }
   std::printf("\npaper: overall FN 19.2%%; false negatives are almost all "
               "experiments with retransmission rate above 20%%\n");
+  obs_run.report().verdict = "completed";
   return 0;
 }

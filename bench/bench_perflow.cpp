@@ -61,6 +61,7 @@ void print_row(const char* label, const Outcome& o) {
 
 int main() {
   bench::print_header("§3.2/§7", "per-flow throttling and the countermeasure");
+  bench::ObservedRun obs_run("bench_perflow");
   const auto scale = run_scale();
   const std::size_t runs = scale.full ? 10 : 4;
 
@@ -77,5 +78,6 @@ int main() {
               "localization (the §3.2 limitation); spoofed per-flow -> the\n"
               "coupled-bottleneck test fires; separate buckets -> neither\n"
               "detector fires (FP control)\n");
+  obs_run.report().verdict = "completed";
   return 0;
 }

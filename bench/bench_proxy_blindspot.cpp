@@ -88,6 +88,7 @@ RunResult run(bool with_proxy, Rate policer) {
 
 int main() {
   bench::print_header("§7 (proxy)", "transparent proxies hide server-side loss");
+  bench::ObservedRun obs_run("bench_proxy_blindspot");
   std::printf("  %-28s | %-11s | %-11s | %s\n", "path", "server loss",
               "proxy loss", "client throughput");
   std::printf("  -----------------------------+-------------+-------------+------\n");
@@ -102,5 +103,6 @@ int main() {
               "based estimate reads ~0 while the proxy bears the loss; the "
               "client-side throughput (WeHe's detection signal) shows the "
               "throttling either way.\n");
+  obs_run.report().verdict = "completed";
   return 0;
 }

@@ -83,6 +83,7 @@ QuicRun run_quic_experiment(std::uint64_t seed) {
 
 int main() {
   bench::print_header("§7 (QUIC)", "WeHeY over a QUIC-carried session");
+  bench::ObservedRun obs_run("bench_quic");
   const auto scale = run_scale();
   const std::size_t runs = scale.full ? 8 : 4;
 
@@ -104,5 +105,6 @@ int main() {
               "gets from UDP clients, without client cooperation. "
               "tests/test_quic.cpp asserts the declared/actual drop ratio "
               "is within 0.9-1.2.)\n");
+  obs_run.report().verdict = "completed";
   return 0;
 }

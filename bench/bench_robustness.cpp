@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "experiments/params.hpp"
 #include "faults/plan.hpp"
 #include "replay/session.hpp"
@@ -54,6 +55,7 @@ struct PlanSummary {
   double mean_replay_retries = 0.0;
   double mean_control_retries = 0.0;
   double mean_pair_fallbacks = 0.0;
+  faults::InjectionStats injection;  ///< summed over the plan's seeds
 };
 
 }  // namespace
@@ -61,6 +63,7 @@ struct PlanSummary {
 
 int main() {
   using namespace wehey;
+  bench::ObservedRun obs_run("bench_robustness");
 
   int runs = std::getenv("WEHEY_FULL") != nullptr &&
                      std::string(std::getenv("WEHEY_FULL")) != "0"
@@ -96,6 +99,8 @@ int main() {
       sum.mean_replay_retries += result.replay_retries;
       sum.mean_control_retries += result.control_retries;
       sum.mean_pair_fallbacks += result.pair_fallbacks;
+      sum.injection += result.injection;
+      obs_run.record_injection(result.injection);
     }
     int modal_count = 0;
     for (const auto& [outcome, count] : sum.outcomes) {
@@ -114,7 +119,21 @@ int main() {
                 sum.name.c_str(), sum.modal.c_str(), 100.0 * sum.stability,
                 100.0 * sum.match_clean, sum.mean_replay_retries,
                 sum.mean_control_retries, sum.mean_pair_fallbacks);
+    // Per-fault-kind tallies, so a plan's headline numbers can be traced
+    // back to what the injector actually did.
+    std::printf("  %-16s injected:", "");
+    if (sum.injection.total() == 0) {
+      std::printf(" none");
+    } else {
+      for (const auto& [kind, count] : sum.injection.by_kind()) {
+        if (count > 0) std::printf(" %s=%d", kind, count);
+      }
+    }
+    std::printf("\n");
+    obs_run.report().values[sum.name + ".stability"] = sum.stability;
+    obs_run.report().values[sum.name + ".match_clean"] = sum.match_clean;
   }
+  obs_run.report().verdict = "completed";
 
   const char* path_env = std::getenv("WEHEY_BENCH_JSON");
   const std::string path =
@@ -141,6 +160,10 @@ int main() {
         if (!first) json << ", ";
         first = false;
         json << "\"" << outcome << "\": " << count;
+      }
+      json << "}, \"injection\": {\"total\": " << s.injection.total();
+      for (const auto& [kind, count] : s.injection.by_kind()) {
+        json << ", \"" << kind << "\": " << count;
       }
       json << "}}" << (i + 1 < summaries.size() ? "," : "") << "\n";
     }

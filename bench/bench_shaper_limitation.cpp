@@ -16,6 +16,7 @@ using namespace wehey::experiments;
 
 int main() {
   bench::print_header("§3.2", "policer vs shaper: the packet-loss assumption");
+  bench::ObservedRun obs_run("bench_shaper_limitation");
   const auto scale = run_scale();
   const std::size_t runs = scale.full ? 8 : 3;
 
@@ -50,5 +51,6 @@ int main() {
               "throttled regardless); loss-trend localization works for "
               "policers and shallow shapers and fades as the deep shaper "
               "replaces loss with delay — the §3.2 limitation.\n");
+  obs_run.report().verdict = "completed";
   return 0;
 }

@@ -16,9 +16,19 @@ using namespace wehey::experiments;
 
 int main() {
   bench::print_header("Table 1", "localization success rate per ISP (wild)");
+  bench::ObservedRun obs_run("bench_table1_wild");
   const auto scale = run_scale();
   const std::size_t tests_per_isp = scale.full ? 50 : 12;
   const std::size_t sanity_per_isp = scale.full ? 10 : 3;
+
+  // WEHEY_FAULT_PLAN runs the whole grid under a shipped chaos plan; the
+  // per-kind injection tallies land in the RunReport.
+  const auto plan = bench::fault_plan_from_env();
+  if (plan.has_value()) {
+    obs_run.report().fault_plan = plan->name;
+    std::printf("fault plan: %s (seed %llu)\n", plan->name.c_str(),
+                static_cast<unsigned long long>(plan->seed));
+  }
 
   std::printf("%-6s | %-9s | %-11s | %s\n", "ISP", "basic", "success",
               "sanity-check wrong detections");
@@ -27,6 +37,7 @@ int main() {
     WildConfig base;
     base.isp = isp;
     base.seed = 1;
+    if (plan.has_value()) base.fault_plan = &*plan;
     const auto t_diff = build_wild_t_diff(base, scale.full ? 14 : 10);
 
     // Basic and sanity-check tests are independent full WeHeY runs; fan
@@ -51,6 +62,11 @@ int main() {
                    out.localization.mechanism ==
                        core::Mechanism::PerClientThrottling;
     }
+    for (const auto& out : wild_outcomes) obs_run.record_injection(out.injection);
+    obs_run.report().values[isp.name + ".localized"] =
+        static_cast<double>(localized);
+    obs_run.report().values[isp.name + ".tests"] =
+        static_cast<double>(tests_per_isp);
     std::size_t wrong_sanity = 0;
     for (std::size_t i = tests_per_isp; i < wild_outcomes.size(); ++i) {
       // Wrong behaviour: detecting a (per-client) common bottleneck while
@@ -75,5 +91,6 @@ int main() {
   }
   std::printf("\npaper: ISP1 89.8%%, ISP2 89.83%%, ISP3 94%%, ISP4 98.18%%, "
               "ISP5 16.28%%; sanity checks wrong once overall\n");
+  obs_run.report().verdict = "completed";
   return 0;
 }

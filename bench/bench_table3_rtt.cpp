@@ -15,6 +15,7 @@ using namespace wehey::experiments;
 
 int main() {
   bench::print_header("Table 3", "FN for different RTT_2 values");
+  bench::ObservedRun obs_run("bench_table3_rtt");
   const auto scale = run_scale();
   const std::vector<double> rtts{15, 25, 35, 60, 120};
 
@@ -62,5 +63,6 @@ int main() {
   std::printf("\npaper: TCP 21.66/25.86/28.33/31.66/50%%, "
               "UDP 0/0/0/0/21.33%% at 15/25/35/60/120 ms (severe-throttling "
               "background mix)\n");
+  obs_run.report().verdict = "completed";
   return 0;
 }

@@ -16,6 +16,7 @@ using namespace wehey::experiments;
 
 int main() {
   bench::print_header("Table 4", "FN under severe congestion on l1/l2");
+  bench::ObservedRun obs_run("bench_table4_congestion");
   const auto scale = run_scale();
   const std::vector<double> utils{0.95, 1.05, 1.15};
 
@@ -59,5 +60,6 @@ int main() {
     std::printf("\n");
   }
   std::printf("\npaper: UDP 0/0.38/2.38%%, TCP 19.3/28/34.88%%\n");
+  obs_run.report().verdict = "completed";
   return 0;
 }

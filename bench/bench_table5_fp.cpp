@@ -16,7 +16,17 @@ using namespace wehey::experiments;
 int main() {
   bench::print_header("Table 5",
                       "FP under identical rate-limiters on l1 and l2");
+  bench::ObservedRun obs_run("bench_table5_fp");
   const auto scale = run_scale();
+
+  // WEHEY_FAULT_PLAN injects a shipped chaos plan into every trial of the
+  // grid; the plan name and injection tallies land in the RunReport.
+  const auto plan = bench::fault_plan_from_env();
+  if (plan.has_value()) {
+    obs_run.report().fault_plan = plan->name;
+    std::printf("fault plan: %s (seed %llu)\n", plan->name.c_str(),
+                static_cast<unsigned long long>(plan->seed));
+  }
 
   // Build the whole grid (all apps) up front, fan the independent trials
   // over the parallel engine, then fold per-app stats in config order.
@@ -32,6 +42,7 @@ int main() {
           cfg.placement = Placement::NonCommonLinks;
           cfg.input_rate_factor = factor;
           cfg.queue_burst_factor = queue;
+          if (plan.has_value()) cfg.fault_plan = &*plan;
           configs.push_back(cfg);
           app_of.push_back(a);
         }
@@ -43,6 +54,7 @@ int main() {
   std::vector<bench::FpStats> stats(apps.size());
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     stats[app_of[i]].add(outcomes[i]);
+    obs_run.record_injection(outcomes[i].injection);
   }
 
   std::printf("%-9s | %-6s | %-8s | %s\n", "app", "runs", "FP rate",
@@ -51,7 +63,10 @@ int main() {
   for (std::size_t a = 0; a < apps.size(); ++a) {
     std::printf("%-9s | %6d | %7.2f%% |\n", apps[a].c_str(),
                 stats[a].experiments, stats[a].fp_rate());
+    obs_run.report().values[apps[a] + ".fp_rate"] = stats[a].fp_rate();
+    obs_run.report().values[apps[a] + ".experiments"] = stats[a].experiments;
   }
+  obs_run.report().verdict = "completed";
   std::printf("\npaper: TCP 1.13%%, Skype 2.5%%, WhatsApp 1.67%%, "
               "MSTeams 3.75%%, Zoom 3.27%%, Webex 2.5%% (target 5%%)\n");
   return 0;

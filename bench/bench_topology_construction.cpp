@@ -19,6 +19,7 @@ using namespace wehey::topology;
 
 int main() {
   bench::print_header("§3.3", "topology-construction coverage");
+  bench::ObservedRun obs_run("bench_topology_construction");
   const auto scale = experiments::run_scale();
 
   Rng rng(2023);
@@ -76,5 +77,6 @@ int main() {
   std::printf("\npaper: >= 1 complete traceroute for 52%% of clients; a "
               "suitable topology for 74%% of those (alias resolution left "
               "as an improvement)\n");
+  obs_run.report().verdict = "completed";
   return 0;
 }

@@ -6,9 +6,11 @@
 // WEHEY_RUNS_PER_CONFIG=N to override repetitions.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -18,6 +20,10 @@
 #include "core/tomography.hpp"
 #include "experiments/params.hpp"
 #include "experiments/scenario.hpp"
+#include "faults/injector.hpp"
+#include "faults/plan.hpp"
+#include "obs/recorder.hpp"
+#include "obs/report.hpp"
 
 namespace wehey::bench {
 
@@ -40,6 +46,9 @@ struct DetectorOutcome {
   double retx_rate = 0.0;       ///< p1 original-replay loss rate
   double queue_delay_ms = 0.0;  ///< p1 original-replay avg queueing delay
   double tput1_mbps = 0.0;
+  /// Summed injector tallies of the two simultaneous phases (all zero
+  /// without a fault plan).
+  faults::InjectionStats injection;
 };
 
 /// Run the simultaneous phases of `cfg` and evaluate both the final
@@ -59,6 +68,8 @@ inline DetectorOutcome run_detectors(const experiments::ScenarioConfig& cfg) {
       core::bin_loss_tomo_no_params(sim.original.p1.meas,
                                     sim.original.p2.meas, rtt)
           .common_bottleneck;
+  out.injection = sim.original.injection;
+  out.injection += sim.inverted.injection;
   return out;
 }
 
@@ -96,6 +107,82 @@ struct FpStats {
   double fp_rate() const {
     return experiments > 0 ? 100.0 * fp_loss_trend / experiments : 0.0;
   }
+};
+
+/// The shipped fault plan named by WEHEY_FAULT_PLAN (seeded from
+/// WEHEY_CHAOS_SEED, default 1), or nullopt when the variable is unset.
+/// Lets any bench grid run under fault injection without a rebuild.
+inline std::optional<faults::FaultPlan> fault_plan_from_env() {
+  const char* name = std::getenv("WEHEY_FAULT_PLAN");
+  if (name == nullptr || name[0] == 0) return std::nullopt;
+  std::uint64_t seed = 1;
+  if (const char* s = std::getenv("WEHEY_CHAOS_SEED")) {
+    const long long parsed = std::atoll(s);
+    if (parsed > 0) seed = static_cast<std::uint64_t>(parsed);
+  }
+  return faults::shipped_plan(name, seed);
+}
+
+/// The run-level observability harness every bench binary opens first
+/// thing: reads the obs environment (WEHEY_TRACE / WEHEY_METRICS /
+/// WEHEY_REPORT / WEHEY_REPORT_DIR), binds a run-wide obs::Recorder to
+/// the main thread for the binary's lifetime, and on destruction writes
+/// the trace artifacts and the RunReport. With none of the variables set
+/// this is a few getenv calls and nothing else.
+class ObservedRun {
+ public:
+  explicit ObservedRun(std::string run_name)
+      : obs_(obs::RunObservation::from_env()),
+        bind_(obs_.recorder.get()),
+        wall_start_(std::chrono::steady_clock::now()) {
+    report_.run = std::move(run_name);
+  }
+  ObservedRun(const ObservedRun&) = delete;
+  ObservedRun& operator=(const ObservedRun&) = delete;
+
+  bool enabled() const { return obs_.enabled(); }
+  obs::RunReport& report() { return report_; }
+  obs::Recorder* recorder() { return obs_.recorder.get(); }
+
+  /// Fold a session's / test's injector tallies into the report.
+  void record_injection(const faults::InjectionStats& stats) {
+    for (const auto& [kind, count] : stats.by_kind()) {
+      report_.injection[kind] += count;
+    }
+  }
+
+  ~ObservedRun() {
+    if (obs_.enabled() && !obs_.trace_path.empty()) {
+      if (obs_.write_trace()) {
+        std::printf("trace: %s (+ %s)\n", obs_.trace_path.c_str(),
+                    obs::RunObservation::csv_path(obs_.trace_path).c_str());
+      } else {
+        std::fprintf(stderr, "trace: FAILED to write %s\n",
+                     obs_.trace_path.c_str());
+      }
+    }
+    const std::string path = obs::report_path_from_env(report_.run);
+    if (path.empty()) return;
+    if (obs::report_wall_times()) {
+      report_.values["wall_ms_total"] =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - wall_start_)
+              .count();
+    }
+    const obs::MetricsRegistry* metrics =
+        obs_.recorder != nullptr ? &obs_.recorder->metrics() : nullptr;
+    if (obs::write_report_file(path, report_.to_json(metrics))) {
+      std::printf("report: %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "report: FAILED to write %s\n", path.c_str());
+    }
+  }
+
+ private:
+  obs::RunObservation obs_;
+  obs::ScopedRecorder bind_;
+  obs::RunReport report_;
+  std::chrono::steady_clock::time_point wall_start_;
 };
 
 /// Open "<WEHEY_CSV_DIR>/<name>.csv" for plot-ready artifact output, or

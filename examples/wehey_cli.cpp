@@ -8,10 +8,16 @@
 //   wehey_cli topology [--clients N] [--seed N]
 //   wehey_cli sweep    [--app NAME] [--runs N] [--fp]
 //   wehey_cli trace    [--seed N] [--max-events N]   (ascii packet trace)
+//
+// The wild and session commands honour the observability environment
+// (WEHEY_TRACE=path, WEHEY_METRICS=1, WEHEY_REPORT=path /
+// WEHEY_REPORT_DIR=dir) and inject a shipped chaos plan with
+// --faults NAME (or WEHEY_FAULT_PLAN=NAME; seed: WEHEY_CHAOS_SEED).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <optional>
 #include <string>
 
 #include "core/loss_correlation.hpp"
@@ -19,7 +25,10 @@
 #include "experiments/history.hpp"
 #include "experiments/params.hpp"
 #include "experiments/wild.hpp"
+#include "faults/plan.hpp"
 #include "netsim/tracer.hpp"
+#include "obs/recorder.hpp"
+#include "obs/report.hpp"
 #include "replay/session.hpp"
 #include "topology/construction.hpp"
 #include "topology/database.hpp"
@@ -63,6 +72,61 @@ class Args {
  private:
   std::map<std::string, std::string> values_;
 };
+
+/// Process-level observation shared by the subcommands. Commands fill
+/// `report`; main() binds the recorder and writes the artifacts on exit.
+struct CliObservation {
+  obs::RunObservation run;
+  obs::RunReport report;
+
+  void finish() const {
+    if (!run.enabled()) return;
+    if (!run.trace_path.empty()) {
+      if (run.write_trace()) {
+        std::fprintf(stderr, "trace: %s (+ %s)\n", run.trace_path.c_str(),
+                     obs::RunObservation::csv_path(run.trace_path).c_str());
+      } else {
+        std::fprintf(stderr, "trace: FAILED to write %s\n",
+                     run.trace_path.c_str());
+      }
+    }
+    if (report.run.empty()) return;  // command doesn't emit a report
+    const std::string path = obs::report_path_from_env(report.run);
+    if (path.empty()) return;
+    if (obs::write_report_file(path,
+                               report.to_json(&run.recorder->metrics()))) {
+      std::fprintf(stderr, "report: %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "report: FAILED to write %s\n", path.c_str());
+    }
+  }
+};
+
+CliObservation* g_obs = nullptr;
+
+/// Shipped chaos plan from --faults NAME, falling back to WEHEY_FAULT_PLAN;
+/// the fault seed comes from --chaos-seed / WEHEY_CHAOS_SEED (default 1).
+std::optional<faults::FaultPlan> fault_plan_from(const Args& args) {
+  std::string name = args.get("faults", "");
+  if (name.empty()) {
+    if (const char* env = std::getenv("WEHEY_FAULT_PLAN")) name = env;
+  }
+  if (name.empty() || name == "0") return std::nullopt;
+  std::uint64_t seed = static_cast<std::uint64_t>(args.num("chaos-seed", 0));
+  if (seed == 0) {
+    if (const char* env = std::getenv("WEHEY_CHAOS_SEED")) {
+      seed = std::strtoull(env, nullptr, 10);
+    }
+  }
+  if (seed == 0) seed = 1;
+  return faults::shipped_plan(name, seed);
+}
+
+void record_injection(const faults::InjectionStats& stats) {
+  for (const auto& [kind, count] : stats.by_kind()) {
+    g_obs->report.injection[kind] += count;
+  }
+}
 
 ScenarioConfig scenario_from(const Args& args) {
   auto cfg = default_scenario(args.get("app", "Netflix"),
@@ -127,6 +191,12 @@ int cmd_wild(const Args& args) {
   cfg.isp = isps[static_cast<std::size_t>(isp_index)];
   cfg.seed = static_cast<std::uint64_t>(args.num("seed", 7));
   cfg.app = args.get("app", "Netflix");
+  const auto plan = fault_plan_from(args);
+  if (plan.has_value()) {
+    cfg.fault_plan = &*plan;
+    std::printf("fault plan: %s (seed %llu)\n", plan->name.c_str(),
+                static_cast<unsigned long long>(plan->seed));
+  }
   const auto t_diff = build_wild_t_diff(cfg, 12);
   const auto out = args.has("sanity") ? run_wild_sanity_check(cfg, t_diff)
                                       : run_wild_test(cfg, t_diff);
@@ -135,6 +205,22 @@ int cmd_wild(const Args& args) {
               out.localization.confirmation_passed ? "yes" : "no",
               out.localized ? "YES" : "no",
               out.localization.throughput.p_value);
+  if (out.injection.total() > 0) {
+    std::printf("injected faults:");
+    for (const auto& [kind, count] : out.injection.by_kind()) {
+      if (count > 0) std::printf(" %s=%d", kind, count);
+    }
+    std::printf(" (%d phase%s hit)\n", out.faulted_phases,
+                out.faulted_phases == 1 ? "" : "s");
+  }
+  g_obs->report.run = "wehey_cli_wild";
+  g_obs->report.seed = cfg.seed;
+  if (plan.has_value()) g_obs->report.fault_plan = plan->name;
+  g_obs->report.verdict = out.localized ? "localized" : "not localized";
+  g_obs->report.values["localized"] = out.localized ? 1.0 : 0.0;
+  g_obs->report.values["throughput_p"] = out.localization.throughput.p_value;
+  g_obs->report.values["faulted_phases"] = out.faulted_phases;
+  record_injection(out.injection);
   return 0;
 }
 
@@ -145,6 +231,12 @@ int cmd_session(const Args& args) {
       static_cast<std::uint64_t>(args.num("seed", 2)));
   cfg.route_churn = args.has("churn");
   cfg.user_consents = !args.has("decline");
+  const auto plan = fault_plan_from(args);
+  if (plan.has_value()) {
+    cfg.fault_plan = *plan;
+    std::printf("fault plan: %s (seed %llu)\n", plan->name.c_str(),
+                static_cast<unsigned long long>(plan->seed));
+  }
   HistoryConfig hist;
   hist.replays = 6;
   cfg.t_diff_history = build_t_diff_history(cfg.scenario, hist);
@@ -155,6 +247,7 @@ int cmd_session(const Args& args) {
     std::printf("[%9.3fs] %s\n", to_seconds(ev.at), ev.what.c_str());
   }
   std::printf("outcome: %s\n", replay::to_string(result.outcome));
+  g_obs->report = replay::make_run_report(cfg, result, "wehey_cli_session");
   return 0;
 }
 
@@ -233,12 +326,26 @@ int main(int argc, char** argv) {
   }
   const std::string cmd = argv[1];
   const Args args(argc, argv, 2);
-  if (cmd == "testbed") return cmd_testbed(args);
-  if (cmd == "wild") return cmd_wild(args);
-  if (cmd == "session") return cmd_session(args);
-  if (cmd == "topology") return cmd_topology(args);
-  if (cmd == "sweep") return cmd_sweep(args);
-  if (cmd == "trace") return cmd_trace(args);
-  std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
-  return 2;
+  CliObservation observation;
+  observation.run = obs::RunObservation::from_env();
+  g_obs = &observation;
+  obs::ScopedRecorder bind(observation.run.recorder.get());
+  int rc = 2;
+  if (cmd == "testbed") {
+    rc = cmd_testbed(args);
+  } else if (cmd == "wild") {
+    rc = cmd_wild(args);
+  } else if (cmd == "session") {
+    rc = cmd_session(args);
+  } else if (cmd == "topology") {
+    rc = cmd_topology(args);
+  } else if (cmd == "sweep") {
+    rc = cmd_sweep(args);
+  } else if (cmd == "trace") {
+    rc = cmd_trace(args);
+  } else {
+    std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+  }
+  observation.finish();
+  return rc;
 }

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/check.hpp"
+#include "obs/recorder.hpp"
 #include "stats/descriptive.hpp"
 
 namespace wehey::experiments {
@@ -442,6 +443,46 @@ topology::TracerouteRecord FigureOneNetwork::traceroute(
   rec.hops.push_back(hop("100.0.1.1", kClientAsn));  // convergence router
   rec.hops.push_back(hop(rec.dst_ip, kClientAsn));
   return rec;
+}
+
+topology::TracerouteRecord FigureOneNetwork::standby_traceroute(
+    int index) const {
+  WEHEY_EXPECTS(index >= 3);
+  auto hop = [](std::string ip, topology::Asn asn) {
+    topology::Hop h;
+    h.reported_ips.push_back(std::move(ip));
+    h.asn = asn;
+    return h;
+  };
+  const std::string n = std::to_string(index);
+  topology::TracerouteRecord rec;
+  rec.server = "s" + n;
+  rec.dst_ip = "100.0.1.77";
+  rec.dst_asn = kClientAsn;
+  rec.hops.push_back(hop("10." + n + ".0.254", 65000 + index));
+  rec.hops.push_back(hop("172.16." + n + ".1", 65100 + index));
+  rec.hops.push_back(hop("100.0.254." + n, kClientAsn));
+  rec.hops.push_back(hop("100.0.1.1", kClientAsn));  // convergence router
+  rec.hops.push_back(hop(rec.dst_ip, kClientAsn));
+  return rec;
+}
+
+void FigureOneNetwork::snapshot_metrics() const {
+  obs::Recorder* rec = obs::Recorder::current();
+  if (rec == nullptr || !rec->metrics_on()) return;
+  auto& m = rec->metrics();
+  const auto link = [&m](const char* name, const netsim::Link& l) {
+    const std::string p = std::string("net.") + name;
+    m.counter(p + ".delivered_packets").inc(l.delivered_packets());
+    m.counter(p + ".delivered_bytes")
+        .inc(static_cast<std::uint64_t>(l.delivered_bytes()));
+    m.counter(p + ".drops").inc(l.disc().drop_count());
+  };
+  link("common", *common_);
+  link("nc1", *nc1_);
+  link("nc2", *nc2_);
+  if (access_) link("access", *access_);
+  m.counter("net.limiter_drops").inc(limiter_drops());
 }
 
 std::uint64_t FigureOneNetwork::limiter_drops() const {

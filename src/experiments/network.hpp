@@ -157,9 +157,22 @@ class FigureOneNetwork {
   /// longer suitable" condition step 4 re-checks for.
   topology::TracerouteRecord traceroute(int path_index) const;
 
+  /// Traceroute of a standby measurement server "s<index>" (index >= 3)
+  /// that is deployed behind its own transit but converges with s1/s2 at
+  /// the same in-ISP router. Standby servers carry no replay traffic; the
+  /// daily TC ingest records them so the topology database holds more
+  /// than one suitable pair per client prefix (§3.4's fallback pool).
+  topology::TracerouteRecord standby_traceroute(int index) const;
+
   /// Simulate inter-domain route churn between replays: subsequent
   /// traceroutes of path 1 share a transit hop with path 2.
   void set_route_churn(bool churn) { route_churn_ = churn; }
+
+  /// Snapshot the per-link delivery/drop totals (and the rate-limiter drop
+  /// count) into the metrics registry of the recorder bound to this
+  /// thread. No-op without a recorder; call once per finished phase so the
+  /// numbers are end-of-run totals, not running sums.
+  void snapshot_metrics() const;
 
   /// Arm a mid-stream abort for the NEXT start_*_replay call (fault
   /// injection). One-shot: consumed by that call, inactive again after.

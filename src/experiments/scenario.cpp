@@ -5,6 +5,7 @@
 #include "common/check.hpp"
 #include "common/log.hpp"
 #include "faults/injector.hpp"
+#include "obs/recorder.hpp"
 #include "parallel/thread_pool.hpp"
 #include "trace/apps.hpp"
 #include "trace/background.hpp"
@@ -61,6 +62,16 @@ faults::FaultInjector phase_injector(const faults::FaultPlan* plan,
   faults::FaultPlan derived = *plan;
   derived.seed = plan->seed * 0x100000001b3ULL ^ phase_seed_value;
   return faults::FaultInjector(derived);
+}
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::SimOriginal: return "sim_original";
+    case Phase::SimInverted: return "sim_inverted";
+    case Phase::SingleOriginal: return "single_original";
+    case Phase::SingleInverted: return "single_inverted";
+  }
+  return "?";
 }
 
 /// Arm the network's one-shot cut if the injector aborts this replay.
@@ -236,6 +247,24 @@ PhaseReport run_phase(const ScenarioConfig& cfg, Phase phase) {
       upload_faulted |= injector.on_measurement_upload(2, rep.p2.meas);
     }
     rep.faulted = upload_faulted || rep.p1.aborted || rep.p2.aborted;
+  }
+  rep.injection = injector.stats();
+  if (obs::Recorder* rec = obs::Recorder::current()) {
+    net.snapshot_metrics();
+    if (rec->metrics_on()) {
+      auto& m = rec->metrics();
+      m.counter("phase.count").inc();
+      if (rep.faulted) m.counter("phase.faulted").inc();
+      for (const auto& [kind, count] : rep.injection.by_kind()) {
+        if (count > 0) {
+          m.counter(std::string("faults.") + kind)
+              .inc(static_cast<std::uint64_t>(count));
+        }
+      }
+    }
+    if (rec->trace_on()) {
+      rec->timeline().span(phase_name(phase), "phase", 0, sim.now());
+    }
   }
   return rep;
 }

@@ -20,6 +20,7 @@
 
 #include "core/localizer.hpp"
 #include "experiments/network.hpp"
+#include "faults/injector.hpp"
 #include "faults/plan.hpp"
 #include "trace/trace.hpp"
 
@@ -83,6 +84,9 @@ struct PhaseReport {
   /// True when fault injection aborted a replay or damaged an upload in
   /// this phase (see the per-path aborted flags for which one).
   bool faulted = false;
+  /// Per-kind counts of what the phase injector actually did (all zero on
+  /// a fault-free phase).
+  faults::InjectionStats injection;
 };
 
 /// Derived quantities shared by phases and by the benches.

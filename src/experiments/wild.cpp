@@ -7,6 +7,7 @@
 
 #include "common/check.hpp"
 #include "faults/injector.hpp"
+#include "obs/recorder.hpp"
 #include "parallel/thread_pool.hpp"
 #include "stats/descriptive.hpp"
 #include "trace/apps.hpp"
@@ -87,6 +88,16 @@ faults::FaultInjector phase_injector(const faults::FaultPlan* plan,
   faults::FaultPlan derived = *plan;
   derived.seed = plan->seed * 0x100000001b3ULL ^ phase_seed_value;
   return faults::FaultInjector(derived);
+}
+
+const char* wild_phase_name(Phase p) {
+  switch (p) {
+    case Phase::SimOriginal: return "wild_sim_original";
+    case Phase::SimInverted: return "wild_sim_inverted";
+    case Phase::SingleOriginal: return "wild_single_original";
+    case Phase::SingleInverted: return "wild_single_inverted";
+  }
+  return "?";
 }
 
 void arm_replay_cut(faults::FaultInjector& inj, FigureOneNetwork& net,
@@ -180,6 +191,24 @@ PhaseReport run_wild_phase(const WildConfig& cfg, Phase phase,
     }
     rep.faulted = upload_faulted || rep.p1.aborted || rep.p2.aborted;
   }
+  rep.injection = injector.stats();
+  if (obs::Recorder* rec = obs::Recorder::current()) {
+    net.snapshot_metrics();
+    if (rec->metrics_on()) {
+      auto& m = rec->metrics();
+      m.counter("phase.count").inc();
+      if (rep.faulted) m.counter("phase.faulted").inc();
+      for (const auto& [kind, count] : rep.injection.by_kind()) {
+        if (count > 0) {
+          m.counter(std::string("faults.") + kind)
+              .inc(static_cast<std::uint64_t>(count));
+        }
+      }
+    }
+    if (rec->trace_on()) {
+      rec->timeline().span(wild_phase_name(phase), "phase", 0, sim.now());
+    }
+  }
   return rep;
 }
 
@@ -240,6 +269,10 @@ WildTestOutcome run_wild(const WildConfig& cfg,
   outcome.localization = core::localize(input, rng);
   outcome.localized = outcome.localization.verdict ==
                       core::Verdict::EvidenceWithinTargetArea;
+  for (const auto& rep : reports) {
+    outcome.injection += rep.injection;
+    if (rep.faulted) ++outcome.faulted_phases;
+  }
   return outcome;
 }
 

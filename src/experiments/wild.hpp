@@ -70,6 +70,10 @@ std::vector<double> build_wild_t_diff(const WildConfig& cfg,
 struct WildTestOutcome {
   core::LocalizationResult localization;
   bool localized = false;  ///< evidence found within the ISP
+  /// Summed per-kind injection counts across the four wild phases (all
+  /// zero when the test ran fault-free).
+  faults::InjectionStats injection;
+  int faulted_phases = 0;  ///< phases where a fault actually landed
 };
 
 /// A "basic" Table-1 test: full WeHeY run; success = localized.

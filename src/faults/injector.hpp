@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -47,6 +48,30 @@ struct InjectionStats {
     return replays_aborted + controls_dropped + controls_delayed +
            measurements_truncated + measurements_corrupted + clocks_skewed +
            topology_unavailable;
+  }
+
+  /// Field-by-field accumulation (per-phase stats into a run total).
+  InjectionStats& operator+=(const InjectionStats& o) {
+    replays_aborted += o.replays_aborted;
+    controls_dropped += o.controls_dropped;
+    controls_delayed += o.controls_delayed;
+    measurements_truncated += o.measurements_truncated;
+    measurements_corrupted += o.measurements_corrupted;
+    clocks_skewed += o.clocks_skewed;
+    topology_unavailable += o.topology_unavailable;
+    return *this;
+  }
+
+  /// Stable name -> count view for report writers (every kind listed,
+  /// zeros included, in declaration order).
+  std::vector<std::pair<const char*, int>> by_kind() const {
+    return {{"replays_aborted", replays_aborted},
+            {"controls_dropped", controls_dropped},
+            {"controls_delayed", controls_delayed},
+            {"measurements_truncated", measurements_truncated},
+            {"measurements_corrupted", measurements_corrupted},
+            {"clocks_skewed", clocks_skewed},
+            {"topology_unavailable", topology_unavailable}};
   }
 };
 

@@ -1,10 +1,45 @@
 #include "netsim/simulator.hpp"
 
+#include "obs/recorder.hpp"
+
 namespace wehey::netsim {
 
 void Simulator::run(Time until) {
-  queue_.run_until(until, now_);
+  obs::Recorder* rec = obs::Recorder::current();
+  if (rec == nullptr) {
+    queue_.run_until(until, now_);
+  } else {
+    run_observed(until, *rec);
+  }
   if (until >= 0 && now_ < until) now_ = until;
+}
+
+void Simulator::run_observed(Time until, obs::Recorder& rec) {
+  obs::Counter& events = rec.metrics().counter("sim.events");
+  obs::Gauge& depth = rec.metrics().gauge("sim.heap_depth_peak");
+  obs::Timeline* tl = rec.trace_on() ? &rec.timeline() : nullptr;
+  // Sampling keeps the heap-depth series bounded: one counter event per
+  // 8192 dispatches is plenty for a timeline and costs nothing between
+  // samples. Counting is exact either way.
+  constexpr std::uint64_t kSampleMask = (1u << 13) - 1;
+  std::uint64_t dispatched = 0;
+  std::size_t peak = 0;
+  while (!queue_.empty()) {
+    const Time at = queue_.top_time();
+    if (until >= 0 && at > until) break;
+    now_ = at;
+    const std::size_t pending = queue_.size();
+    if (pending > peak) peak = pending;
+    if (tl != nullptr && (dispatched & kSampleMask) == 0) {
+      tl->counter("sim.pending_events", now_, static_cast<double>(pending));
+    }
+    queue_.run_top();
+    ++dispatched;
+  }
+  if (dispatched > 0) {
+    events.inc(dispatched);
+    depth.set(static_cast<double>(peak));
+  }
 }
 
 void Simulator::clear() { queue_.clear(); }

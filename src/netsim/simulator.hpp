@@ -18,6 +18,10 @@
 #include "common/time.hpp"
 #include "netsim/event_heap.hpp"
 
+namespace wehey::obs {
+class Recorder;
+}
+
 namespace wehey::netsim {
 
 class Simulator {
@@ -51,7 +55,11 @@ class Simulator {
   }
 
   /// Process events until the queue is empty or `until` is reached; the
-  /// clock ends at `until` if given, else at the last event.
+  /// clock ends at `until` if given, else at the last event. When an
+  /// obs::Recorder is bound to the calling thread the loop additionally
+  /// counts dispatched events, tracks the peak heap depth, and (with
+  /// tracing on) samples the pending-event count into the timeline; with
+  /// no recorder bound the original zero-overhead dispatch loop runs.
   void run(Time until = -1);
 
   /// Drop all pending events (used between experiment phases; must not be
@@ -66,6 +74,10 @@ class Simulator {
   std::size_t pending_events() const { return queue_.size(); }
 
  private:
+  /// The dispatch loop with observability hooks (out of line so the
+  /// common no-recorder path stays a single inlined run_until call).
+  void run_observed(Time until, obs::Recorder& rec);
+
   Time now_ = 0;
   EventHeap queue_;
 };

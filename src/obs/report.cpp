@@ -1,0 +1,89 @@
+#include "obs/report.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "obs/timeline.hpp"
+
+namespace wehey::obs {
+
+std::string RunReport::to_json(const MetricsRegistry* metrics) const {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"schema\": \"wehey.run_report.v1\",\n";
+  out << "  \"run\": \"" << json_escape(run) << "\",\n";
+  out << "  \"seed\": " << seed << ",\n";
+  out << "  \"fault_plan\": \"" << json_escape(fault_plan) << "\",\n";
+  out << "  \"verdict\": \"" << json_escape(verdict) << "\",\n";
+  out << "  \"reason\": \"" << json_escape(reason) << "\",\n";
+  out << "  \"stages\": [";
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    const auto& s = stages[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"name\": \"" << json_escape(s.name) << "\""
+        << ", \"sim_start_us\": "
+        << json_number(static_cast<double>(s.sim_start) / 1000.0)
+        << ", \"sim_end_us\": "
+        << json_number(static_cast<double>(s.sim_end) / 1000.0)
+        << ", \"sim_ms\": " << json_number(to_milliseconds(s.sim_end) -
+                                           to_milliseconds(s.sim_start));
+    if (s.wall_ms >= 0.0) {
+      out << ", \"wall_ms\": " << json_number(s.wall_ms);
+    }
+    out << "}";
+  }
+  out << (stages.empty() ? "" : "\n  ") << "],\n";
+  out << "  \"values\": {";
+  bool first = true;
+  for (const auto& [name, v] : values) {
+    out << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+        << "\": " << json_number(v);
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n";
+  out << "  \"injection\": {";
+  int total = 0;
+  first = true;
+  for (const auto& [kind, n] : injection) {
+    out << (first ? "\n" : ",\n") << "    \"" << json_escape(kind)
+        << "\": " << n;
+    total += n;
+    first = false;
+  }
+  if (!first) out << ",\n    \"total\": " << total << "\n  ";
+  out << "},\n";
+  out << "  \"metrics\": ";
+  if (metrics != nullptr) {
+    out << metrics->to_json(2);
+  } else {
+    out << "{\"counters\": {}, \"gauges\": {}, \"histograms\": {}}";
+  }
+  out << "\n}\n";
+  return out.str();
+}
+
+std::string report_path_from_env(const std::string& run_name) {
+  if (const char* path = std::getenv("WEHEY_REPORT")) {
+    if (path[0] != 0 && std::string(path) != "0") return path;
+  }
+  if (const char* dir = std::getenv("WEHEY_REPORT_DIR")) {
+    if (dir[0] != 0) return std::string(dir) + "/" + run_name + ".report.json";
+  }
+  return {};
+}
+
+bool report_wall_times() {
+  const char* v = std::getenv("WEHEY_REPORT_WALL");
+  return v != nullptr && v[0] != 0 && std::string(v) != "0";
+}
+
+bool write_report_file(const std::string& path, const std::string& json) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t wrote = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return wrote == json.size();
+}
+
+}  // namespace wehey::obs

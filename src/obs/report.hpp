@@ -1,0 +1,78 @@
+// RunReport: the machine-readable result of one run — a session, a wild
+// test, or a whole bench binary. One shared schema
+// ("wehey.run_report.v1", JSON) replaces the ad-hoc JSON each bench used
+// to emit:
+//
+//   {
+//     "schema": "wehey.run_report.v1",
+//     "run": "<binary or pipeline name>",
+//     "seed": 2,
+//     "fault_plan": "<plan name or empty>",
+//     "verdict": "<outcome string>",
+//     "reason": "<machine-readable reason, empty when n/a>",
+//     "stages": [{"name": ..., "sim_start_us": ..., "sim_end_us": ...,
+//                 "sim_ms": ..., "wall_ms": ...?}, ...],
+//     "values": {"<scalar name>": <number>, ...},
+//     "injection": {"total": N, "<fault kind>": N, ...},
+//     "metrics": {"counters": ..., "gauges": ..., "histograms": ...}
+//   }
+//
+// Determinism contract: everything except "wall_ms" is a pure function of
+// the run's seeds, so the serialized report is byte-identical across
+// WEHEY_THREADS. Wall-clock stage times are therefore only included when
+// WEHEY_REPORT_WALL=1 (stage.wall_ms < 0 suppresses the field).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "obs/metrics.hpp"
+
+namespace wehey::obs {
+
+struct StageTiming {
+  std::string name;
+  Time sim_start = 0;
+  Time sim_end = 0;
+  double wall_ms = -1.0;  ///< < 0: omitted from the JSON
+};
+
+struct RunReport {
+  std::string run;         ///< binary / pipeline name
+  std::uint64_t seed = 0;
+  std::string fault_plan;  ///< empty = fault-free
+  std::string verdict;     ///< outcome string ("localized within ISP", ...)
+  std::string reason;      ///< machine-readable refinement, may be empty
+  std::vector<StageTiming> stages;
+  /// Scalar results (retry counters, success rates, ...). Sorted on
+  /// output.
+  std::map<std::string, double> values;
+  /// Per-fault-kind injection counts (fill with
+  /// faults::InjectionStats::by_kind()); "total" is added on output.
+  std::map<std::string, int> injection;
+
+  void add_stage(std::string name, Time sim_start, Time sim_end,
+                 double wall_ms = -1.0) {
+    stages.push_back({std::move(name), sim_start, sim_end, wall_ms});
+  }
+
+  /// Serialize; `metrics` (usually the run recorder's registry, may be
+  /// null) is embedded as the "metrics" object.
+  std::string to_json(const MetricsRegistry* metrics) const;
+};
+
+/// Resolve the report output path from the environment: WEHEY_REPORT
+/// (exact path) wins over WEHEY_REPORT_DIR (directory; the file is named
+/// "<run>.report.json"). Empty = reporting off.
+std::string report_path_from_env(const std::string& run_name);
+
+/// Whether per-stage wall-clock times should be recorded
+/// (WEHEY_REPORT_WALL=1; off by default to keep reports deterministic).
+bool report_wall_times();
+
+/// Write `json` to `path`. Returns false on I/O error.
+bool write_report_file(const std::string& path, const std::string& json);
+
+}  // namespace wehey::obs

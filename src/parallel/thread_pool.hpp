@@ -19,8 +19,11 @@
 #include <cstddef>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "obs/recorder.hpp"
 
 namespace wehey::parallel {
 
@@ -74,6 +77,12 @@ class ThreadPool {
 /// Run fn(i) for i in [0, n) on the global pool and collect the results in
 /// index order. `threads` == 0 uses the configured default; == 1 runs
 /// serially on the calling thread.
+///
+/// When an obs::Recorder is bound to the calling thread, every trial gets
+/// its own child recorder bound around fn(i), and the children are folded
+/// back into the parent in index order after the loop — the serial path
+/// does exactly the same, so merged metrics and timelines are bit-identical
+/// across WEHEY_THREADS settings.
 template <typename Fn>
 auto parallel_map(std::size_t n, Fn&& fn, unsigned threads = 0)
     -> std::vector<decltype(fn(std::size_t{0}))> {
@@ -82,12 +91,31 @@ auto parallel_map(std::size_t n, Fn&& fn, unsigned threads = 0)
                 "parallel_map results must be default-constructible");
   std::vector<R> results(n);
   if (threads == 0) threads = configured_threads();
-  if (threads <= 1 || n <= 1) {
-    for (std::size_t i = 0; i < n; ++i) results[i] = fn(i);
+  obs::Recorder* parent = obs::Recorder::current();
+  if (parent == nullptr) {
+    if (threads <= 1 || n <= 1) {
+      for (std::size_t i = 0; i < n; ++i) results[i] = fn(i);
+      return results;
+    }
+    ThreadPool::global().parallel_for(
+        n, [&](std::size_t i) { results[i] = fn(i); }, threads);
     return results;
   }
-  ThreadPool::global().parallel_for(
-      n, [&](std::size_t i) { results[i] = fn(i); }, threads);
+  std::vector<obs::Recorder> children;
+  children.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) children.push_back(parent->child());
+  const auto body = [&](std::size_t i) {
+    obs::ScopedRecorder bind(&children[i]);
+    results[i] = fn(i);
+  };
+  if (threads <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+  } else {
+    ThreadPool::global().parallel_for(n, body, threads);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    parent->absorb(std::move(children[i]), "trial " + std::to_string(i));
+  }
   return results;
 }
 

@@ -7,6 +7,7 @@
 
 #include "common/check.hpp"
 #include "faults/injector.hpp"
+#include "obs/recorder.hpp"
 #include "topology/construction.hpp"
 #include "trace/apps.hpp"
 #include "trace/background.hpp"
@@ -90,7 +91,11 @@ void seed_topology_database(const experiments::ScenarioConfig& scenario,
   const auto derived = experiments::derive(scenario);
   FigureOneNetwork net(sim, derived.net, rng);
   topology::TopologyConstructor tc;
-  db.ingest(tc.construct({net.traceroute(1), net.traceroute(2)}));
+  // The deployment runs standby measurement servers besides s1/s2 so the
+  // database always holds more than one suitable pair per client prefix —
+  // without them the §3.4 pair fallback has nothing to fall back to.
+  db.ingest(tc.construct({net.traceroute(1), net.traceroute(2),
+                          net.standby_traceroute(3)}));
 }
 
 SessionResult run_session(const SessionConfig& cfg,
@@ -123,6 +128,67 @@ SessionResult run_session(const SessionConfig& cfg,
                         (scenario.seed * 1000003ULL + 77);
     injector = faults::FaultInjector(derived_plan);
   }
+
+  // Stage boundaries on the simulated clock, recorded as the pipeline
+  // advances (-1 = never reached). A scope-exit finalizer folds them into
+  // result.stages — and publishes counters and timeline spans to the
+  // obs::Recorder bound to this thread, if any — on every return path.
+  Time wehe_done = -1, lookup_done = -1, replays_done = -1, gather_done = -1;
+  struct ObsFinalizer {
+    SessionResult& result;
+    const FigureOneNetwork& net;
+    const faults::FaultInjector& injector;
+    const Time& wehe_done;
+    const Time& lookup_done;
+    const Time& replays_done;
+    const Time& gather_done;
+    ~ObsFinalizer() {
+      result.injection = injector.stats();
+      auto add = [this](const char* name, Time s, Time e) {
+        if (s < 0) return;
+        // An unreached boundary means the session died inside this stage.
+        result.stages.push_back(
+            {name, s, e >= s ? e : result.finished_at, -1.0});
+      };
+      add("wehe_test", 0, wehe_done);
+      add("topology_query", wehe_done, lookup_done);
+      add("simultaneous_replays", lookup_done, replays_done);
+      add("gathering", replays_done, gather_done);
+      add("analysis", gather_done, result.finished_at);
+      obs::Recorder* rec = obs::Recorder::current();
+      if (rec == nullptr) return;
+      net.snapshot_metrics();
+      if (rec->metrics_on()) {
+        auto& m = rec->metrics();
+        m.counter("session.count").inc();
+        m.counter("session.replay_retries")
+            .inc(static_cast<std::uint64_t>(result.replay_retries));
+        m.counter("session.control_retries")
+            .inc(static_cast<std::uint64_t>(result.control_retries));
+        m.counter("session.pair_fallbacks")
+            .inc(static_cast<std::uint64_t>(result.pair_fallbacks));
+        m.counter(std::string("session.outcome.") +
+                  to_string(result.outcome))
+            .inc();
+        for (const auto& [kind, count] : result.injection.by_kind()) {
+          if (count > 0) {
+            m.counter(std::string("faults.") + kind)
+                .inc(static_cast<std::uint64_t>(count));
+          }
+        }
+      }
+      if (rec->trace_on()) {
+        auto& tl = rec->timeline();
+        for (const auto& st : result.stages) {
+          tl.span(st.name, "session", st.sim_start, st.sim_end);
+        }
+        for (const auto& ev : result.events) {
+          tl.instant(ev.what, "session", ev.at);
+        }
+      }
+    }
+  } obs_finalizer{result,      net,          injector,   wehe_done,
+                  lookup_done, replays_done, gather_done};
 
   // Background spans the whole session (all four replays plus gaps).
   // Retried replays stretch the timeline, so a faulted session needs a
@@ -254,6 +320,7 @@ SessionResult run_session(const SessionConfig& cfg,
     p0_inv = *inv;
   }
 
+  wehe_done = t_analysis;
   result.initial_wehe =
       core::detect_differentiation(p0_orig.meas, p0_inv.meas);
   if (!result.initial_wehe.differentiation) {
@@ -313,6 +380,7 @@ SessionResult run_session(const SessionConfig& cfg,
   log(t_lookup, "topology DB: selected servers " + pair->server1 + " + " +
                     pair->server2 + " (converge at " +
                     pair->convergence_ip + ")");
+  lookup_done = t_lookup;
 
   if (cfg.route_churn) {
     net.set_route_churn(true);
@@ -415,6 +483,7 @@ SessionResult run_session(const SessionConfig& cfg,
   }
 
   // --- End-of-replay traceroutes, gathered at s1 (§3.4 steps 3-4). ---
+  replays_done = t_end;
   Time t_gather = t_end + 2 * rpc;
   if (!control_exchange(t_gather, "measurement gathering")) {
     result.outcome = SessionOutcome::ControlPlaneUnreachable;
@@ -437,6 +506,7 @@ SessionResult run_session(const SessionConfig& cfg,
   }
   log(t_gather, "end-of-replay traceroutes: topology still suitable "
                 "(converging at " + convergence + ")");
+  gather_done = t_gather;
 
   // --- Analyses (§3.1 operations 3 and 4), run at the gathering server. ---
   core::LocalizationInput input;
@@ -480,6 +550,32 @@ SessionResult run_session(const SessionConfig& cfg,
     log(t_gather, "verdict: no evidence beyond WeHe's detection");
   }
   return result;
+}
+
+obs::RunReport make_run_report(const SessionConfig& cfg,
+                               const SessionResult& result,
+                               const std::string& run_name) {
+  obs::RunReport report;
+  report.run = run_name;
+  report.seed = cfg.scenario.seed;
+  report.fault_plan = cfg.fault_plan.name;
+  report.verdict = to_string(result.outcome);
+  if (result.outcome == SessionOutcome::InconclusiveMeasurements) {
+    report.reason =
+        core::to_string(result.localization.inconclusive_reason);
+  }
+  report.stages = result.stages;
+  report.values["replay_retries"] = result.replay_retries;
+  report.values["control_retries"] = result.control_retries;
+  report.values["pair_fallbacks"] = result.pair_fallbacks;
+  report.values["finished_at_ms"] =
+      static_cast<double>(result.finished_at) / kMillisecond;
+  report.values["events_logged"] =
+      static_cast<double>(result.events.size());
+  for (const auto& [kind, count] : result.injection.by_kind()) {
+    report.injection[kind] = count;
+  }
+  return report;
 }
 
 }  // namespace wehey::replay

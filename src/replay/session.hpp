@@ -24,7 +24,9 @@
 
 #include "core/localizer.hpp"
 #include "experiments/scenario.hpp"
+#include "faults/injector.hpp"
 #include "faults/plan.hpp"
+#include "obs/report.hpp"
 #include "topology/database.hpp"
 
 namespace wehey::replay {
@@ -92,6 +94,12 @@ struct SessionResult {
   int replay_retries = 0;   ///< replays restarted after a mid-stream abort
   int control_retries = 0;  ///< control exchanges re-sent after a timeout
   int pair_fallbacks = 0;   ///< server-pair replacements mid-session
+  /// What the fault injector actually did (all-zero when fault-free).
+  faults::InjectionStats injection;
+  /// Per-stage simulated-time boundaries (wehe_test, topology_query,
+  /// simultaneous_replays, gathering, analysis); stages the session never
+  /// reached are absent, the stage it died in ends at finished_at.
+  std::vector<obs::StageTiming> stages;
 };
 
 /// Seed a topology database from the servers' current traceroutes to the
@@ -103,5 +111,12 @@ void seed_topology_database(const experiments::ScenarioConfig& scenario,
 /// server pair and updated if step 4 invalidates it.
 SessionResult run_session(const SessionConfig& cfg,
                           topology::TopologyDatabase& db);
+
+/// Package a finished session as a RunReport (verdict, stage timings,
+/// retry counters, per-fault-kind injection counts). `run_name` becomes
+/// the report's "run" field.
+obs::RunReport make_run_report(const SessionConfig& cfg,
+                               const SessionResult& result,
+                               const std::string& run_name);
 
 }  // namespace wehey::replay

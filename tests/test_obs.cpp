@@ -1,0 +1,341 @@
+// The observability layer: deterministic metrics, the sim-time tracer,
+// and the RunReport schema. The load-bearing property under test is the
+// determinism contract — merged metrics, timelines and reports must be
+// byte-identical regardless of how many threads executed the trials.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "experiments/params.hpp"
+#include "faults/plan.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "obs/report.hpp"
+#include "obs/timeline.hpp"
+#include "parallel/thread_pool.hpp"
+#include "replay/session.hpp"
+
+namespace wehey::obs {
+namespace {
+
+TEST(Metrics, CounterGaugeHistogramBasics) {
+  MetricsRegistry m;
+  EXPECT_TRUE(m.empty());
+  Counter& c = m.counter("events");
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Find-or-create returns the same node.
+  EXPECT_EQ(&m.counter("events"), &c);
+
+  Gauge& g = m.gauge("depth");
+  g.set(3.0);
+  g.set(9.0);
+  g.set(5.0);
+  EXPECT_TRUE(g.seen());
+  EXPECT_DOUBLE_EQ(g.last(), 5.0);
+  EXPECT_DOUBLE_EQ(g.min(), 3.0);
+  EXPECT_DOUBLE_EQ(g.max(), 9.0);
+
+  Histogram& h = m.histogram("latency", 0.0, 10.0, 5);
+  h.observe(-1.0);   // underflow
+  h.observe(0.5);    // bin 0
+  h.observe(9.99);   // bin 4
+  h.observe(25.0);   // overflow
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.min(), -1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 25.0);
+  ASSERT_EQ(h.bins().size(), 7u);  // under + 5 + over
+  EXPECT_EQ(h.bins().front(), 1u);
+  EXPECT_EQ(h.bins()[1], 1u);
+  EXPECT_EQ(h.bins()[5], 1u);
+  EXPECT_EQ(h.bins().back(), 1u);
+  EXPECT_EQ(m.size(), 3u);
+}
+
+TEST(Metrics, MergeSumsCountersAndCombinesWatermarks) {
+  MetricsRegistry a;
+  a.counter("shared").inc(10);
+  a.counter("only_a").inc(1);
+  a.gauge("depth").set(4.0);
+  a.histogram("lat", 0.0, 10.0, 2).observe(1.0);
+
+  MetricsRegistry b;
+  b.counter("shared").inc(5);
+  b.counter("only_b").inc(2);
+  b.gauge("depth").set(7.0);
+  b.histogram("lat", 0.0, 10.0, 2).observe(9.0);
+
+  a.merge(b);
+  EXPECT_EQ(a.counter("shared").value(), 15u);
+  EXPECT_EQ(a.counter("only_a").value(), 1u);
+  EXPECT_EQ(a.counter("only_b").value(), 2u);
+  EXPECT_DOUBLE_EQ(a.gauge("depth").min(), 4.0);
+  EXPECT_DOUBLE_EQ(a.gauge("depth").max(), 7.0);
+  EXPECT_DOUBLE_EQ(a.gauge("depth").last(), 7.0);  // adopts other's last
+  const Histogram& h = a.histogram("lat", 0.0, 10.0, 2);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.bins()[1], 1u);  // 1.0 -> first bin
+  EXPECT_EQ(h.bins()[2], 1u);  // 9.0 -> second bin
+}
+
+TEST(Metrics, JsonIsSortedAndStable) {
+  MetricsRegistry m;
+  m.counter("zebra").inc(3);
+  m.counter("alpha").inc(7);
+  m.gauge("g").set(2.5);
+  const std::string json = m.to_json();
+  // Map storage means sorted key order — "alpha" before "zebra".
+  EXPECT_LT(json.find("\"alpha\""), json.find("\"zebra\""));
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  // Two snapshots of the same registry are byte-identical.
+  EXPECT_EQ(json, m.to_json());
+}
+
+TEST(Metrics, JsonNumberAvoidsTrailingZeros) {
+  EXPECT_EQ(json_number(17.0), "17");
+  EXPECT_EQ(json_number(0.0), "0");
+  EXPECT_EQ(json_number(2.5), "2.5");
+}
+
+TEST(Timeline, AbsorbRemapsChildPids) {
+  Timeline parent;
+  parent.span("stage", "session", 0, kSecond);
+  Timeline child;
+  child.instant("retry", "session", kMillisecond);
+  child.counter("depth", 2 * kMillisecond, 5.0);
+  parent.absorb(std::move(child));
+  ASSERT_EQ(parent.size(), 3u);
+  EXPECT_EQ(parent.events()[0].pid, 0);
+  // The child's events land on the next pid track.
+  EXPECT_EQ(parent.events()[1].pid, 1);
+  EXPECT_EQ(parent.events()[2].pid, 1);
+  EXPECT_GE(parent.pid_count(), 2);
+}
+
+TEST(Timeline, ChromeJsonHasTraceEventsAndPhases) {
+  Timeline t;
+  t.span("replay", "session", 0, kSecond, 0, "\"attempt\": 1");
+  t.instant("fault", "faults", kMillisecond);
+  t.counter("sim.pending_events", 2 * kMillisecond, 17.0);
+  t.name_track(0, "session");
+  const std::string json = t.chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  EXPECT_NE(json.find("\"attempt\": 1"), std::string::npos);
+  // Durations are rendered in microseconds (Chrome's native unit).
+  EXPECT_NE(json.find("\"dur\": 1000000"), std::string::npos);
+  // Balanced object braces — cheap well-formedness check.
+  long depth = 0;
+  for (char ch : json) {
+    if (ch == '{') ++depth;
+    if (ch == '}') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(Timeline, JsonEscape) {
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("line\nbreak"), "line\\nbreak");
+}
+
+TEST(Recorder, ScopedBindingNestsAndRestores) {
+  EXPECT_EQ(Recorder::current(), nullptr);
+  Recorder outer(true, false);
+  {
+    ScopedRecorder bind(&outer);
+    EXPECT_EQ(Recorder::current(), &outer);
+    Recorder inner(true, true);
+    {
+      ScopedRecorder nested(&inner);
+      EXPECT_EQ(Recorder::current(), &inner);
+      ScopedRecorder quiesce(nullptr);
+      EXPECT_EQ(Recorder::current(), nullptr);
+    }
+    EXPECT_EQ(Recorder::current(), &outer);
+  }
+  EXPECT_EQ(Recorder::current(), nullptr);
+}
+
+TEST(Recorder, CsvPathSibling) {
+  EXPECT_EQ(RunObservation::csv_path("out/trace.json"), "out/trace.csv");
+  EXPECT_EQ(RunObservation::csv_path("trace.bin"), "trace.bin.csv");
+}
+
+// The core determinism contract: the same instrumented parallel loop
+// produces byte-identical merged metrics and timelines no matter how many
+// threads executed it.
+TEST(Recorder, ParallelMapMergesIdenticallyAcrossThreadCounts) {
+  const auto run_with = [](unsigned threads) {
+    Recorder rec(true, true);
+    {
+      ScopedRecorder bind(&rec);
+      parallel::parallel_map(
+          8,
+          [](std::size_t i) {
+            Recorder* r = Recorder::current();
+            EXPECT_NE(r, nullptr);
+            r->metrics().counter("trial.count").inc();
+            r->metrics().counter("trial.work").inc(i + 1);
+            r->metrics().gauge("trial.index").set(static_cast<double>(i));
+            r->timeline().span("trial", "test", 0,
+                               static_cast<Time>(i + 1) * kMillisecond);
+            return static_cast<int>(i);
+          },
+          threads);
+    }
+    return std::pair<std::string, std::string>(rec.metrics().to_json(),
+                                               rec.timeline().chrome_json());
+  };
+  const auto serial = run_with(1);
+  const auto four = run_with(4);
+  const auto many = run_with(16);
+  EXPECT_EQ(serial.first, four.first);
+  EXPECT_EQ(serial.first, many.first);
+  EXPECT_EQ(serial.second, four.second);
+  EXPECT_EQ(serial.second, many.second);
+  EXPECT_EQ(serial.first.empty(), false);
+  // The 8 trials show up as 8 absorbed pid tracks plus the parent's.
+  EXPECT_NE(serial.second.find("trial 0"), std::string::npos);
+  EXPECT_NE(serial.second.find("trial 7"), std::string::npos);
+}
+
+replay::SessionConfig session_config(std::uint64_t seed) {
+  replay::SessionConfig cfg;
+  cfg.scenario = experiments::default_scenario("Netflix", seed);
+  cfg.scenario.replay_duration = seconds(30);
+  cfg.t_diff_history = {0.06, -0.09, 0.12, -0.04, 0.08, -0.11,
+                        0.05, -0.07, 0.10, -0.03, 0.09, -0.06};
+  return cfg;
+}
+
+replay::SessionResult run_one_session(std::uint64_t seed) {
+  auto cfg = session_config(seed);
+  topology::TopologyDatabase db;
+  replay::seed_topology_database(cfg.scenario, db);
+  return replay::run_session(cfg, db);
+}
+
+// Full-pipeline determinism: instrumented sessions fanned over the
+// parallel engine yield bit-identical observability output across
+// WEHEY_THREADS-style thread counts.
+TEST(Obs, InstrumentedSessionsIdenticalAcrossThreadCounts) {
+  const auto observe = [](unsigned threads) {
+    Recorder rec(true, true);
+    {
+      ScopedRecorder bind(&rec);
+      parallel::parallel_map(
+          3, [](std::size_t i) { return run_one_session(2 + i).outcome; },
+          threads);
+    }
+    return std::pair<std::string, std::string>(rec.metrics().to_json(2),
+                                               rec.timeline().chrome_json());
+  };
+  const auto serial = observe(1);
+  const auto pooled = observe(4);
+  EXPECT_EQ(serial.first, pooled.first);
+  EXPECT_EQ(serial.second, pooled.second);
+  // The session pipeline actually recorded its stages and counters.
+  EXPECT_NE(serial.first.find("session.count"), std::string::npos);
+  EXPECT_NE(serial.second.find("simultaneous_replays"), std::string::npos);
+  EXPECT_NE(serial.first.find("sim.events"), std::string::npos);
+  EXPECT_NE(serial.first.find("net.common.delivered_packets"),
+            std::string::npos);
+}
+
+// Re-running the same seed reproduces the tracer output byte for byte.
+TEST(Obs, TracerStableAcrossReruns) {
+  const auto trace_once = [] {
+    Recorder rec(true, true);
+    {
+      ScopedRecorder bind(&rec);
+      run_one_session(2);
+    }
+    return rec.timeline().chrome_json();
+  };
+  const std::string first = trace_once();
+  EXPECT_EQ(first, trace_once());
+  EXPECT_NE(first.find("wehe_test"), std::string::npos);
+  EXPECT_NE(first.find("analysis"), std::string::npos);
+}
+
+TEST(Report, SessionReportIsDeterministicAndComplete) {
+  const auto cfg = session_config(2);
+  const auto a = run_one_session(2);
+  const auto b = run_one_session(2);
+  const auto ja = replay::make_run_report(cfg, a, "test_session")
+                      .to_json(nullptr);
+  const auto jb = replay::make_run_report(cfg, b, "test_session")
+                      .to_json(nullptr);
+  EXPECT_EQ(ja, jb);
+  EXPECT_NE(ja.find("\"schema\": \"wehey.run_report.v1\""),
+            std::string::npos);
+  EXPECT_NE(ja.find("\"run\": \"test_session\""), std::string::npos);
+  EXPECT_NE(ja.find("\"verdict\": \"localized within ISP\""),
+            std::string::npos);
+  EXPECT_NE(ja.find("\"stages\""), std::string::npos);
+  EXPECT_NE(ja.find("wehe_test"), std::string::npos);
+  EXPECT_NE(ja.find("\"pair_fallbacks\""), std::string::npos);
+  EXPECT_NE(ja.find("\"injection\""), std::string::npos);
+  EXPECT_NE(ja.find("\"total\": 0"), std::string::npos);
+}
+
+TEST(Report, StageWallTimesOmittedByDefault) {
+  RunReport rep;
+  rep.run = "r";
+  rep.add_stage("s", 0, kSecond);           // wall_ms defaults to -1
+  rep.add_stage("t", kSecond, 2 * kSecond, 3.5);
+  const std::string json = rep.to_json(nullptr);
+  EXPECT_EQ(json.find("\"wall_ms\""), json.rfind("\"wall_ms\""));
+  EXPECT_NE(json.find("\"wall_ms\": 3.5"), std::string::npos);
+}
+
+// Satellite 3: with >= 2 suitable pairs per prefix, a pair that keeps
+// aborting is replaced mid-session (§3.4 fallback) and the fallback is
+// visible in the result, the metrics, and the report.
+TEST(Obs, PairFallbackFiresAndIsCounted) {
+  auto cfg = session_config(2);
+  faults::FaultSpec abort_p2;
+  abort_p2.kind = faults::FaultKind::ReplayAbort;
+  abort_p2.path = 2;
+  abort_p2.probability = 1.0;
+  abort_p2.count = 3;  // exactly exhausts the first pair's replay attempts
+  cfg.fault_plan.name = "abort_pair_one";
+  cfg.fault_plan.seed = 7;
+  cfg.fault_plan.faults.push_back(abort_p2);
+
+  topology::TopologyDatabase db;
+  replay::seed_topology_database(cfg.scenario, db);
+
+  Recorder rec(true, false);
+  replay::SessionResult result;
+  {
+    ScopedRecorder bind(&rec);
+    result = replay::run_session(cfg, db);
+  }
+  EXPECT_GE(result.pair_fallbacks, 1);
+  EXPECT_EQ(result.injection.replays_aborted, 3);
+  // The session survived on the standby pair.
+  EXPECT_EQ(result.outcome, replay::SessionOutcome::LocalizedWithinIsp);
+  EXPECT_EQ(result.pair.server2, "s3");
+  EXPECT_GE(rec.metrics().counter("session.pair_fallbacks").value(), 1u);
+  EXPECT_GE(rec.metrics().counter("faults.replays_aborted").value(), 3u);
+
+  const auto report =
+      replay::make_run_report(cfg, result, "fallback_session");
+  const std::string json = report.to_json(&rec.metrics());
+  EXPECT_NE(json.find("\"fault_plan\": \"abort_pair_one\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"replays_aborted\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wehey::obs

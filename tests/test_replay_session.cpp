@@ -24,6 +24,9 @@ TEST(Session, SeededDatabaseContainsThePair) {
   topology::TopologyDatabase db;
   seed_topology_database(base_config(1).scenario, db);
   EXPECT_EQ(db.prefix_count(), 1u);
+  // The primary servers plus the standby yield three suitable pairs, so
+  // the §3.4 pair fallback always has an alternate to reach for.
+  EXPECT_EQ(db.pair_count(), 3u);
   const auto pair = db.pick("100.0.1.77");
   ASSERT_TRUE(pair.has_value());
   EXPECT_EQ(pair->server1, "s1");
@@ -83,12 +86,17 @@ TEST(Session, RouteChurnDiscardsAndUpdatesDatabase) {
   cfg.route_churn = true;
   topology::TopologyDatabase db;
   seed_topology_database(cfg.scenario, db);
-  ASSERT_EQ(db.pair_count(), 1u);
+  ASSERT_EQ(db.pair_count(), 3u);
   const auto result = run_session(cfg, db);
   EXPECT_EQ(result.outcome, SessionOutcome::TopologyNoLongerSuitable);
-  // Step 4 removed the stale pair.
-  EXPECT_EQ(db.pair_count(), 0u);
-  EXPECT_FALSE(db.pick("100.0.1.77").has_value());
+  // Step 4 removed only the stale pair; the standby pairs survive so a
+  // follow-up session can fall back to them immediately.
+  EXPECT_EQ(db.pair_count(), 2u);
+  const auto next = db.pick("100.0.1.77");
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->server1, "s1");
+  EXPECT_EQ(next->server2, "s3");
+  EXPECT_EQ(next->convergence_ip, "100.0.1.1");
 }
 
 TEST(Session, OutcomeStrings) {

@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Validate wehey RunReport JSON files against the checked-in schema.
+
+Stdlib only (no jsonschema dependency): implements the small JSON-Schema
+subset that tools/run_report_schema.json actually uses — type, const,
+required, properties, additionalProperties, items, minimum.
+
+Usage:
+  tools/validate_report.py report.json [more.json ...]
+  tools/validate_report.py --schema tools/run_report_schema.json report.json
+  tools/validate_report.py --trace trace.json          # chrome-trace sanity
+  tools/validate_report.py --bench-overhead BENCH_parallel.json --max 0.02
+
+Exit status is non-zero on the first failing file, so CI can gate on it.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def _type_ok(value, expected):
+    if expected == "object":
+        return isinstance(value, dict)
+    if expected == "array":
+        return isinstance(value, list)
+    if expected == "string":
+        return isinstance(value, str)
+    if expected == "boolean":
+        return isinstance(value, bool)
+    if expected == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if expected == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if expected == "null":
+        return value is None
+    raise ValueError(f"unsupported schema type: {expected}")
+
+
+def validate(value, schema, path="$"):
+    """Return a list of error strings (empty = valid)."""
+    errors = []
+    if "const" in schema:
+        if value != schema["const"]:
+            errors.append(f"{path}: expected {schema['const']!r}, got {value!r}")
+            return errors
+    if "type" in schema and not _type_ok(value, schema["type"]):
+        errors.append(
+            f"{path}: expected {schema['type']}, got {type(value).__name__}"
+        )
+        return errors
+    if "minimum" in schema and isinstance(value, (int, float)):
+        if not isinstance(value, bool) and value < schema["minimum"]:
+            errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties", True)
+        for key, sub in value.items():
+            if key in props:
+                errors.extend(validate(sub, props[key], f"{path}.{key}"))
+            elif isinstance(extra, dict):
+                errors.extend(validate(sub, extra, f"{path}.{key}"))
+            elif extra is False:
+                errors.append(f"{path}: unexpected key {key!r}")
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            errors.extend(validate(item, schema["items"], f"{path}[{i}]"))
+    return errors
+
+
+def check_report(path, schema):
+    with open(path) as f:
+        report = json.load(f)
+    errors = validate(report, schema)
+    for err in errors:
+        print(f"{path}: {err}", file=sys.stderr)
+    if not errors:
+        stages = ", ".join(s["name"] for s in report.get("stages", []))
+        print(
+            f"{path}: OK (run={report['run']!r}, verdict={report['verdict']!r}"
+            + (f", stages: {stages}" if stages else "")
+            + f", injected={report['injection'].get('total', 0)})"
+        )
+    return not errors
+
+
+def check_trace(path):
+    """Chrome-trace sanity: parses as JSON, has traceEvents, every event has
+    the fields chrome://tracing needs, and span timestamps are ordered."""
+    with open(path) as f:
+        trace = json.load(f)
+    ok = True
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        print(f"{path}: no traceEvents array", file=sys.stderr)
+        return False
+    for i, ev in enumerate(events):
+        for key in ("name", "ph", "pid"):
+            if key not in ev:
+                print(f"{path}: event {i} missing {key!r}", file=sys.stderr)
+                ok = False
+        if ev.get("ph") in ("X", "i", "C") and "ts" not in ev:
+            print(f"{path}: event {i} ({ev.get('ph')}) has no ts",
+                  file=sys.stderr)
+            ok = False
+        if ev.get("ph") == "X" and ev.get("dur", 0) < 0:
+            print(f"{path}: event {i} has negative duration", file=sys.stderr)
+            ok = False
+    if ok:
+        spans = sum(1 for ev in events if ev.get("ph") == "X")
+        print(f"{path}: OK ({len(events)} events, {spans} spans, "
+              f"{1 + max(ev.get('pid', 0) for ev in events)} pid tracks)")
+    return ok
+
+
+def check_bench_overhead(path, max_overhead):
+    """Gate on the enabled-but-idle observability overhead reported by
+    bench_event_loop in its JSON output."""
+    with open(path) as f:
+        bench = json.load(f)
+    obs = bench.get("observability")
+    if obs is None:
+        print(f"{path}: no observability block", file=sys.stderr)
+        return False
+    overhead = obs.get("obs_idle_overhead")
+    if overhead is None:
+        print(f"{path}: no obs_idle_overhead value", file=sys.stderr)
+        return False
+    print(f"{path}: obs idle overhead {100.0 * overhead:+.2f}% "
+          f"(limit {100.0 * max_overhead:.0f}%)")
+    return overhead <= max_overhead
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("reports", nargs="*", help="RunReport JSON files")
+    parser.add_argument("--schema",
+                        default=os.path.join(os.path.dirname(__file__),
+                                             "run_report_schema.json"))
+    parser.add_argument("--trace", action="append", default=[],
+                        help="chrome-trace JSON file to sanity-check")
+    parser.add_argument("--bench-overhead", metavar="BENCH_JSON",
+                        help="bench_event_loop JSON to gate on idle overhead")
+    parser.add_argument("--max", type=float, default=0.02,
+                        help="max tolerated idle overhead (default 0.02)")
+    args = parser.parse_args()
+
+    if not args.reports and not args.trace and not args.bench_overhead:
+        parser.error("nothing to validate")
+
+    ok = True
+    if args.reports:
+        with open(args.schema) as f:
+            schema = json.load(f)
+        for path in args.reports:
+            ok &= check_report(path, schema)
+    for path in args.trace:
+        ok &= check_trace(path)
+    if args.bench_overhead:
+        ok &= check_bench_overhead(args.bench_overhead, args.max)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
