@@ -8,6 +8,10 @@
 //   wehey_cli topology [--clients N] [--seed N]
 //   wehey_cli sweep    [--app NAME] [--runs N] [--fp]
 //   wehey_cli trace    [--seed N] [--max-events N]   (ascii packet trace)
+//   wehey_cli full     [--app NAME] [--seed N] [--out PATH] [--faults NAME]
+//                      (full 4-phase experiment -> RunReport v2; JSON to
+//                      stdout when no --out/WEHEY_REPORT destination)
+//   wehey_cli inspect  FILE...   (render report/trace JSON as tables)
 //
 // The wild and session commands honour the observability environment
 // (WEHEY_TRACE=path, WEHEY_METRICS=1, WEHEY_REPORT=path /
@@ -26,7 +30,9 @@
 #include "experiments/params.hpp"
 #include "experiments/wild.hpp"
 #include "faults/plan.hpp"
+#include "experiments/scenario.hpp"
 #include "netsim/tracer.hpp"
+#include "obs/inspect.hpp"
 #include "obs/recorder.hpp"
 #include "obs/report.hpp"
 #include "replay/session.hpp"
@@ -291,6 +297,38 @@ int cmd_sweep(const Args& args) {
   return 0;
 }
 
+int cmd_full(const Args& args) {
+  auto cfg = scenario_from(args);
+  const auto plan = fault_plan_from(args);
+  if (plan.has_value()) {
+    cfg.fault_plan = &*plan;
+    std::fprintf(stderr, "fault plan: %s (seed %llu)\n", plan->name.c_str(),
+                 static_cast<unsigned long long>(plan->seed));
+  }
+  HistoryConfig hist;
+  hist.replays = 6;
+  const auto t_diff = build_t_diff_history(cfg, hist);
+  const auto res = run_full_experiment_reported(cfg, t_diff,
+                                                "wehey_cli_full");
+  std::fprintf(stderr, "verdict: %s%s%s\n", res.report.verdict.c_str(),
+               res.report.reason.empty() ? "" : " — ",
+               res.report.reason.c_str());
+  const std::string json = res.report.to_json(&res.metrics);
+  std::string path = args.get("out", "");
+  if (path.empty()) path = obs::report_path_from_env("wehey_cli_full");
+  if (path.empty()) {
+    // Pipe-friendly: the report itself on stdout, commentary on stderr.
+    std::fputs(json.c_str(), stdout);
+    return 0;
+  }
+  if (!obs::write_report_file(path, json)) {
+    std::fprintf(stderr, "report: FAILED to write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "report: %s\n", path.c_str());
+  return 0;
+}
+
 int cmd_trace(const Args& args) {
   // A short scenario with an ascii packet trace of the common link.
   auto cfg = scenario_from(args);
@@ -321,10 +359,23 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: wehey_cli <testbed|wild|session|topology|sweep|"
-                 "trace> [--flags]\n");
+                 "trace|full|inspect> [--flags]\n");
     return 2;
   }
   const std::string cmd = argv[1];
+  if (cmd == "inspect") {
+    // Positional file arguments, no observation setup: a pure reader.
+    if (argc < 3) {
+      std::fprintf(stderr,
+                   "usage: wehey_cli inspect <report.json|trace.json>...\n");
+      return 2;
+    }
+    int rc = 0;
+    for (int i = 2; i < argc; ++i) {
+      if (!obs::inspect_file(argv[i], stdout)) rc = 1;
+    }
+    return rc;
+  }
   const Args args(argc, argv, 2);
   CliObservation observation;
   observation.run = obs::RunObservation::from_env();
@@ -343,6 +394,8 @@ int main(int argc, char** argv) {
     rc = cmd_sweep(args);
   } else if (cmd == "trace") {
     rc = cmd_trace(args);
+  } else if (cmd == "full") {
+    rc = cmd_full(args);
   } else {
     std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
   }

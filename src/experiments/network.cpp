@@ -173,6 +173,12 @@ FigureOneNetwork::FigureOneNetwork(netsim::Simulator& sim,
                                 make_disc(params.placement, limit_nc,
                                           params.limiter, fifo_nc2),
                                 common_.get());
+
+  // Per-link utilization histograms ("link.<name>.utilization").
+  common_->set_obs_label("common");
+  nc1_->set_obs_label("nc1");
+  nc2_->set_obs_label("nc2");
+  if (access_) access_->set_obs_label("access");
 }
 
 FigureOneNetwork::~FigureOneNetwork() = default;
@@ -471,18 +477,43 @@ void FigureOneNetwork::snapshot_metrics() const {
   obs::Recorder* rec = obs::Recorder::current();
   if (rec == nullptr || !rec->metrics_on()) return;
   auto& m = rec->metrics();
-  const auto link = [&m](const char* name, const netsim::Link& l) {
+  const Time now = sim_.now();
+  const auto link = [&m, now](const char* name, const netsim::Link& l) {
     const std::string p = std::string("net.") + name;
     m.counter(p + ".delivered_packets").inc(l.delivered_packets());
     m.counter(p + ".delivered_bytes")
         .inc(static_cast<std::uint64_t>(l.delivered_bytes()));
     m.counter(p + ".drops").inc(l.disc().drop_count());
+    m.counter(p + ".busy_us")
+        .inc(static_cast<std::uint64_t>(l.busy_time() / kMicrosecond));
+    if (now > 0) {
+      m.gauge(p + ".utilization")
+          .set(static_cast<double>(l.busy_time()) /
+               static_cast<double>(now));
+    }
   };
   link("common", *common_);
   link("nc1", *nc1_);
   link("nc2", *nc2_);
   if (access_) link("access", *access_);
   m.counter("net.limiter_drops").inc(limiter_drops());
+
+  // Per-flow distributions: one observation per TCP sender (replays and
+  // background traffic). Iteration order is construction order, and the
+  // values are pure functions of the sim, so the bins are byte-identical
+  // across WEHEY_THREADS.
+  auto& flow_srtt = m.histogram("tcp.flow_srtt_ms", 0.0, 400.0, 80);
+  auto& flow_retx = m.histogram("tcp.flow_retx", 0.0, 200.0, 50);
+  const auto flow = [&](const transport::TcpSender& s) {
+    flow_srtt.observe(to_milliseconds(s.srtt()));
+    flow_retx.observe(static_cast<double>(s.retransmissions()));
+    m.counter("tcp.flows").inc();
+    m.counter("tcp.flow_timeouts").inc(s.timeouts());
+  };
+  for (const auto& r : tcp_replays_) {
+    for (const auto& s : r->senders) flow(*s);
+  }
+  for (const auto& b : background_) flow(*b->sender);
 }
 
 std::uint64_t FigureOneNetwork::limiter_drops() const {

@@ -239,6 +239,7 @@ PhaseReport run_phase(const ScenarioConfig& cfg, Phase phase) {
     rep.p2 = net.report(id2, kSecondReplayOffset, cfg.replay_duration);
   }
   rep.limiter_drops = net.limiter_drops();
+  rep.sim_duration = sim.now();
   if (injector.enabled()) {
     // The uploads of this phase's measurements to the gathering server
     // pass through the injector (truncation, corruption, clock skew).
@@ -269,18 +270,25 @@ PhaseReport run_phase(const ScenarioConfig& cfg, Phase phase) {
   return rep;
 }
 
-core::LocalizationInput run_full_experiment(
-    const ScenarioConfig& cfg, const std::vector<double>& t_diff_history) {
+namespace {
+
+constexpr Phase kFullPhases[] = {Phase::SimOriginal, Phase::SimInverted,
+                                 Phase::SingleOriginal,
+                                 Phase::SingleInverted};
+
+/// The four phases are independent simulations (each rebuilds the network
+/// from cfg with its own phase seed), so they run concurrently when the
+/// parallel engine has idle contexts; from inside an outer grid sweep
+/// this degrades to the serial loop.
+std::vector<PhaseReport> run_all_phases(const ScenarioConfig& cfg) {
+  return parallel::parallel_map(
+      4, [&](std::size_t i) { return run_phase(cfg, kFullPhases[i]); });
+}
+
+core::LocalizationInput assemble_input(
+    const std::vector<PhaseReport>& reports, const ScenarioConfig& cfg,
+    const std::vector<double>& t_diff_history) {
   core::LocalizationInput input;
-  // The four phases are independent simulations (each rebuilds the network
-  // from cfg with its own phase seed), so they run concurrently when the
-  // parallel engine has idle contexts; from inside an outer grid sweep
-  // this degrades to the serial loop.
-  static constexpr Phase kPhases[] = {Phase::SimOriginal, Phase::SimInverted,
-                                      Phase::SingleOriginal,
-                                      Phase::SingleInverted};
-  const auto reports = parallel::parallel_map(
-      4, [&](std::size_t i) { return run_phase(cfg, kPhases[i]); });
   const auto& sim_orig = reports[0];
   const auto& sim_inv = reports[1];
   const auto& single_orig = reports[2];
@@ -296,6 +304,62 @@ core::LocalizationInput run_full_experiment(
   input.base_rtt =
       std::max(milliseconds(cfg.rtt1_ms), milliseconds(cfg.rtt2_ms));
   return input;
+}
+
+}  // namespace
+
+core::LocalizationInput run_full_experiment(
+    const ScenarioConfig& cfg, const std::vector<double>& t_diff_history) {
+  return assemble_input(run_all_phases(cfg), cfg, t_diff_history);
+}
+
+FullExperimentResult run_full_experiment_reported(
+    const ScenarioConfig& cfg, const std::vector<double>& t_diff_history,
+    const std::string& run_name) {
+  FullExperimentResult out;
+  // A dedicated recorder guarantees populated histograms in the report
+  // even when the environment has observation off. Tracing stays tied to
+  // the outer recorder: spans are only worth collecting if someone will
+  // write them out.
+  obs::Recorder* outer = obs::Recorder::current();
+  obs::Recorder local(/*metrics_on=*/true,
+                      outer != nullptr && outer->trace_on());
+  std::vector<PhaseReport> reports;
+  {
+    obs::ScopedRecorder bind(&local);
+    reports = run_all_phases(cfg);
+  }
+  out.input = assemble_input(reports, cfg, t_diff_history);
+
+  Rng analysis_rng(cfg.seed * 2654435761ULL + 9);
+  out.localization = core::localize(out.input, analysis_rng);
+
+  auto& r = out.report;
+  r.run = run_name;
+  r.seed = cfg.seed;
+  if (cfg.fault_plan != nullptr) r.fault_plan = cfg.fault_plan->name;
+  r.verdict = core::to_string(out.localization.verdict);
+  if (out.localization.verdict == core::Verdict::Inconclusive) {
+    r.reason = core::to_string(out.localization.inconclusive_reason);
+  }
+  faults::InjectionStats injection;
+  std::uint64_t limiter_drops = 0;
+  int phases_faulted = 0;
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    r.add_stage(phase_name(kFullPhases[i]), 0, reports[i].sim_duration);
+    injection += reports[i].injection;
+    limiter_drops += reports[i].limiter_drops;
+    if (reports[i].faulted) ++phases_faulted;
+  }
+  for (const auto& [kind, count] : injection.by_kind()) {
+    r.injection[kind] = count;
+  }
+  r.values["limiter_drops"] = static_cast<double>(limiter_drops);
+  r.values["phases_faulted"] = phases_faulted;
+  r.values["degraded"] = out.localization.degraded ? 1.0 : 0.0;
+  out.metrics = local.metrics();
+  if (outer != nullptr) outer->absorb(std::move(local), run_name);
+  return out;
 }
 
 SimultaneousResult run_simultaneous_experiment(const ScenarioConfig& cfg) {

@@ -22,6 +22,7 @@
 #include "experiments/network.hpp"
 #include "faults/injector.hpp"
 #include "faults/plan.hpp"
+#include "obs/report.hpp"
 #include "trace/trace.hpp"
 
 namespace wehey::experiments {
@@ -87,6 +88,8 @@ struct PhaseReport {
   /// Per-kind counts of what the phase injector actually did (all zero on
   /// a fault-free phase).
   faults::InjectionStats injection;
+  /// Simulated time the phase's network ran for (replay + drain grace).
+  Time sim_duration = 0;
 };
 
 /// Derived quantities shared by phases and by the benches.
@@ -106,6 +109,27 @@ PhaseReport run_phase(const ScenarioConfig& cfg, Phase phase);
 /// into the localization input (generate it with experiments::history).
 core::LocalizationInput run_full_experiment(
     const ScenarioConfig& cfg, const std::vector<double>& t_diff_history);
+
+/// run_full_experiment, with the verdict drawn and the whole run packaged
+/// as a versioned RunReport ("wehey.run_report.v2").
+struct FullExperimentResult {
+  core::LocalizationInput input;
+  core::LocalizationResult localization;
+  /// Verdict, per-phase stage timings, injection counts, scalar values.
+  obs::RunReport report;
+  /// The four phases' merged registries (queue residency, per-flow RTT,
+  /// link utilization, ...) — pass to report.to_json(&metrics).
+  obs::MetricsRegistry metrics;
+};
+
+/// A full WeHeY experiment emitting a RunReport directly. The four phases
+/// run under a dedicated metrics recorder (regardless of the environment),
+/// so the report's histograms are always populated; if a recorder is
+/// already bound, the run's metrics and timeline are also absorbed into it
+/// under a `run_name` track. Deterministic across WEHEY_THREADS.
+FullExperimentResult run_full_experiment_reported(
+    const ScenarioConfig& cfg, const std::vector<double>& t_diff_history,
+    const std::string& run_name = "full_experiment");
 
 /// The two simultaneous phases only — enough for the FN/FP loss-trend
 /// experiments of §6.2/§6.3 (confirmation + Alg. 1).

@@ -101,6 +101,44 @@ bool FaultInjector::on_measurement_upload(int path,
   return touched;
 }
 
+bool FaultInjector::on_traceroute(int path,
+                                  topology::TracerouteRecord& record) {
+  if (!enabled() || record.hops.empty()) return false;
+  bool touched = false;
+  for (std::size_t i = 0; i < plan_.faults.size(); ++i) {
+    const auto& spec = plan_.faults[i];
+    if (spec.kind == FaultKind::TracerouteDrop) {
+      if (!fire(i, path)) continue;
+      // An ICMP black hole near the client: the tail of the path stops
+      // responding, so the last *responding* hop no longer carries the
+      // destination's ASN (filter condition (a)).
+      const double frac = std::clamp(spec.hop_fraction, 0.0, 1.0);
+      const auto n = record.hops.size();
+      auto dropped = static_cast<std::size_t>(
+          std::ceil(static_cast<double>(n) * frac));
+      dropped = std::clamp<std::size_t>(dropped, 1, n);
+      for (std::size_t h = n - dropped; h < n; ++h) {
+        record.hops[h].responded = false;
+      }
+      ++stats_.traceroutes_dropped;
+      touched = true;
+    } else if (spec.kind == FaultKind::TracerouteGarble) {
+      if (!fire(i, path)) continue;
+      // One hop answers with a second address across probes (IP
+      // aliasing), violating filter condition (b).
+      const auto h = static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<int>(record.hops.size()) - 1));
+      auto& hop = record.hops[h];
+      if (!hop.reported_ips.empty()) {
+        hop.reported_ips.push_back(hop.reported_ips.front() + "/alias");
+      }
+      ++stats_.traceroutes_garbled;
+      touched = true;
+    }
+  }
+  return touched;
+}
+
 void truncate_measurement(netsim::ReplayMeasurement& m,
                           double keep_fraction) {
   keep_fraction = std::clamp(keep_fraction, 0.0, 1.0);

@@ -18,6 +18,7 @@
 #include "common/time.hpp"
 #include "faults/plan.hpp"
 #include "netsim/measure.hpp"
+#include "topology/traceroute.hpp"
 
 namespace wehey::faults {
 
@@ -43,11 +44,13 @@ struct InjectionStats {
   int measurements_corrupted = 0;
   int clocks_skewed = 0;
   int topology_unavailable = 0;
+  int traceroutes_dropped = 0;
+  int traceroutes_garbled = 0;
 
   int total() const {
     return replays_aborted + controls_dropped + controls_delayed +
            measurements_truncated + measurements_corrupted + clocks_skewed +
-           topology_unavailable;
+           topology_unavailable + traceroutes_dropped + traceroutes_garbled;
   }
 
   /// Field-by-field accumulation (per-phase stats into a run total).
@@ -59,6 +62,8 @@ struct InjectionStats {
     measurements_corrupted += o.measurements_corrupted;
     clocks_skewed += o.clocks_skewed;
     topology_unavailable += o.topology_unavailable;
+    traceroutes_dropped += o.traceroutes_dropped;
+    traceroutes_garbled += o.traceroutes_garbled;
     return *this;
   }
 
@@ -71,7 +76,9 @@ struct InjectionStats {
             {"measurements_truncated", measurements_truncated},
             {"measurements_corrupted", measurements_corrupted},
             {"clocks_skewed", clocks_skewed},
-            {"topology_unavailable", topology_unavailable}};
+            {"topology_unavailable", topology_unavailable},
+            {"traceroutes_dropped", traceroutes_dropped},
+            {"traceroutes_garbled", traceroutes_garbled}};
   }
 };
 
@@ -97,6 +104,13 @@ class FaultInjector {
   /// Applies truncate/corrupt/skew faults for `path` to the uploaded
   /// measurement in place. Returns true if anything was modified.
   bool on_measurement_upload(int path, netsim::ReplayMeasurement& m);
+
+  /// Consulted per traceroute issued during the gathering step's topology
+  /// query. Damages `record` in place — TracerouteDrop marks tail hops
+  /// unresponsive (ICMP black hole), TracerouteGarble makes a hop report
+  /// a second IP (alias) — so the record fails the §3.3 filter conditions
+  /// downstream. Returns true if the record was modified.
+  bool on_traceroute(int path, topology::TracerouteRecord& record);
 
   const InjectionStats& stats() const { return stats_; }
 

@@ -13,6 +13,8 @@ const char* to_string(FaultKind kind) {
     case FaultKind::MeasurementCorrupt: return "measurement-corrupt";
     case FaultKind::ClockSkew: return "clock-skew";
     case FaultKind::TopologyUnavailable: return "topology-unavailable";
+    case FaultKind::TracerouteDrop: return "traceroute-drop";
+    case FaultKind::TracerouteGarble: return "traceroute-garble";
   }
   return "?";
 }
@@ -20,7 +22,8 @@ const char* to_string(FaultKind kind) {
 std::vector<std::string> shipped_plan_names() {
   return {"replay-abort",    "replay-abort-hard", "control-flaky",
           "control-dead",    "truncated-upload",  "corrupt-samples",
-          "clock-skew",      "topology-flap",     "kitchen-sink"};
+          "clock-skew",      "topology-flap",     "traceroute-damage",
+          "kitchen-sink"};
 }
 
 FaultPlan shipped_plan(const std::string& name, std::uint64_t seed) {
@@ -93,6 +96,19 @@ FaultPlan shipped_plan(const std::string& name, std::uint64_t seed) {
     abort.kind = FaultKind::ReplayAbort;
     abort.probability = 0.25;
     add(abort);
+  } else if (name == "traceroute-damage") {
+    // The gathering-step topology query comes back unusable: path 1's
+    // traceroute loses its tail hops (ICMP black hole), path 2's reports
+    // an aliased hop. Exercises the §3.3-filter re-check in the session.
+    FaultSpec drop;
+    drop.kind = FaultKind::TracerouteDrop;
+    drop.path = 1;
+    drop.hop_fraction = 0.6;
+    add(drop);
+    FaultSpec garble;
+    garble.kind = FaultKind::TracerouteGarble;
+    garble.path = 2;
+    add(garble);
   } else if (name == "kitchen-sink") {
     // A bit of everything at once, at moderate rates.
     FaultSpec abort;

@@ -29,6 +29,8 @@ enum class FaultKind {
   MeasurementCorrupt,   ///< a path's uploaded samples are garbled
   ClockSkew,            ///< one server's timestamps are offset
   TopologyUnavailable,  ///< the topology DB's pair is transiently down
+  TracerouteDrop,       ///< hops in the topology query stop responding
+  TracerouteGarble,     ///< a hop reports aliased (multiple) IPs
 };
 
 const char* to_string(FaultKind kind);
@@ -62,6 +64,11 @@ struct FaultSpec {
 
   /// MeasurementCorrupt: fraction of samples garbled.
   double corrupt_fraction = 0.15;
+
+  /// TracerouteDrop: fraction of a record's hops that stop responding
+  /// (at least one hop, drawn from the tail of the path where the §3.3
+  /// filters bite). TracerouteGarble ignores it (one hop per fire).
+  double hop_fraction = 0.4;
 };
 
 struct FaultPlan {

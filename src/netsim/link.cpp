@@ -39,15 +39,31 @@ void Link::try_transmit() {
   }
   transmitting_ = true;
   const Time tx = transmission_time(pkt->size, bandwidth_);
-  sim_.schedule(tx, [this, p = std::move(*pkt)]() mutable {
-    finish_transmit(std::move(p));
+  sim_.schedule(tx, [this, p = std::move(*pkt), tx]() mutable {
+    finish_transmit(std::move(p), tx);
   });
 }
 
-void Link::finish_transmit(Packet pkt) {
+void Link::account_transmit(Time tx_time, Time now) {
+  busy_time_ += tx_time;
+  if (obs::Recorder::current() == nullptr) return;
+  // Close every fully elapsed window (idle windows sample 0); a
+  // transmission counts toward the window it completes in.
+  while (now - util_window_start_ >= kLinkUtilizationWindow) {
+    util_obs_.observe(std::min(
+        1.0, static_cast<double>(util_window_busy_) /
+                 static_cast<double>(kLinkUtilizationWindow)));
+    util_window_start_ += kLinkUtilizationWindow;
+    util_window_busy_ = 0;
+  }
+  util_window_busy_ += tx_time;
+}
+
+void Link::finish_transmit(Packet pkt, Time tx_time) {
   transmitting_ = false;
   ++delivered_;
   delivered_bytes_ += pkt.size;
+  account_transmit(tx_time, sim_.now());
   if (on_tx_) on_tx_(pkt, sim_.now());
   if (next_ != nullptr) {
     if (delay_ > 0) {

@@ -19,8 +19,13 @@
 #include "netsim/packet.hpp"
 #include "netsim/queue.hpp"
 #include "netsim/simulator.hpp"
+#include "obs/hotpath.hpp"
 
 namespace wehey::netsim {
+
+/// Fixed accounting window for the per-link utilization histogram: each
+/// completed window contributes one sample of busy-fraction in [0, 1].
+inline constexpr Time kLinkUtilizationWindow = 100 * kMillisecond;
 
 class Link final : public PacketSink {
  public:
@@ -43,6 +48,14 @@ class Link final : public PacketSink {
 
   std::uint64_t delivered_packets() const { return delivered_; }
   std::int64_t delivered_bytes() const { return delivered_bytes_; }
+  /// Total simulated time spent transmitting (busy time).
+  Time busy_time() const { return busy_time_; }
+
+  /// Name this link's utilization histogram "link.<label>.utilization"
+  /// instead of the generic "link.utilization". Call before traffic flows.
+  void set_obs_label(const std::string& label) {
+    util_obs_.rename("link." + label + ".utilization");
+  }
 
   /// Observer invoked for every packet the link finishes transmitting
   /// (before propagation delay). For tracing/instrumentation.
@@ -52,7 +65,8 @@ class Link final : public PacketSink {
 
  private:
   void try_transmit();
-  void finish_transmit(Packet pkt);
+  void finish_transmit(Packet pkt, Time tx_time);
+  void account_transmit(Time tx_time, Time now);
 
   Simulator& sim_;
   Rate bandwidth_;
@@ -64,6 +78,12 @@ class Link final : public PacketSink {
   std::function<void(const Packet&, Time)> on_tx_;
   std::uint64_t delivered_ = 0;
   std::int64_t delivered_bytes_ = 0;
+  Time busy_time_ = 0;
+  // Utilization windows advance only while a recorder is bound; they are a
+  // pure function of sim time, so the histogram is thread-count stable.
+  Time util_window_start_ = 0;
+  Time util_window_busy_ = 0;
+  obs::HistogramHandle util_obs_{"link.utilization", 0.0, 1.0, 20};
 };
 
 class Pipe final : public PacketSink {

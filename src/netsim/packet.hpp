@@ -53,6 +53,9 @@ struct Packet {
   SackBlock sack[kMaxSackBlocks];  ///< selective-ACK blocks (ACKs only)
 
   Time sent_at = 0;           ///< stamped by the sender (for RTT samples)
+  /// Stamped by the queueing disc that accepted the packet; the dequeue
+  /// side observes (now - enqueued_at) as the queue-residency histogram.
+  Time enqueued_at = 0;
 };
 
 /// Anything that can accept a packet: links, rate-limiters, endpoints.

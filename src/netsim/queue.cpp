@@ -11,19 +11,22 @@ namespace wehey::netsim {
 
 bool FifoDisc::enqueue(Packet pkt, Time now) {
   if (limit_ > 0 && bytes_ + pkt.size > limit_) {
+    drop_obs_.inc();
     notify_drop(pkt, now);
     return false;
   }
   bytes_ += pkt.size;
+  pkt.enqueued_at = now;
   q_.push_back(std::move(pkt));
   return true;
 }
 
-std::optional<Packet> FifoDisc::dequeue(Time /*now*/) {
+std::optional<Packet> FifoDisc::dequeue(Time now) {
   if (q_.empty()) return std::nullopt;
   Packet pkt = std::move(q_.front());
   q_.pop_front();
   bytes_ -= pkt.size;
+  residency_obs_.observe(to_milliseconds(now - pkt.enqueued_at));
   return pkt;
 }
 
@@ -61,10 +64,12 @@ bool TbfDisc::enqueue(Packet pkt, Time now) {
   refill(now);
   if (bytes_ + pkt.size > limit_ + 0) {
     // Queue full while waiting for tokens: the packet is policed away.
+    drop_obs_.inc();
     notify_drop(pkt, now);
     return false;
   }
   bytes_ += pkt.size;
+  pkt.enqueued_at = now;
   q_.push_back(std::move(pkt));
   return true;
 }
@@ -77,6 +82,7 @@ std::optional<Packet> TbfDisc::dequeue(Time now) {
   q_.pop_front();
   bytes_ -= pkt.size;
   tokens_bytes_ -= static_cast<double>(pkt.size);
+  residency_obs_.observe(to_milliseconds(now - pkt.enqueued_at));
   return pkt;
 }
 
@@ -157,30 +163,37 @@ RedDisc::RedDisc(std::int64_t min_th_bytes, std::int64_t max_th_bytes,
 
 bool RedDisc::enqueue(Packet pkt, Time now) {
   avg_ = (1.0 - weight_) * avg_ + weight_ * static_cast<double>(bytes_);
-  bool drop = false;
+  bool early = false;
   if (avg_ >= static_cast<double>(max_th_)) {
-    drop = true;
+    early = true;
   } else if (avg_ > static_cast<double>(min_th_)) {
     const double p = max_p_ * (avg_ - static_cast<double>(min_th_)) /
                      static_cast<double>(max_th_ - min_th_);
-    drop = rng_.bernoulli(p);
+    early = rng_.bernoulli(p);
   }
   // Hard cap at 2x max_th as the physical queue limit.
-  if (bytes_ + pkt.size > 2 * max_th_) drop = true;
-  if (drop) {
+  const bool cap = bytes_ + pkt.size > 2 * max_th_;
+  if (early || cap) {
+    if (early) {
+      early_drop_obs_.inc();
+    } else {
+      cap_drop_obs_.inc();
+    }
     notify_drop(pkt, now);
     return false;
   }
   bytes_ += pkt.size;
+  pkt.enqueued_at = now;
   q_.push_back(std::move(pkt));
   return true;
 }
 
-std::optional<Packet> RedDisc::dequeue(Time /*now*/) {
+std::optional<Packet> RedDisc::dequeue(Time now) {
   if (q_.empty()) return std::nullopt;
   Packet pkt = std::move(q_.front());
   q_.pop_front();
   bytes_ -= pkt.size;
+  residency_obs_.observe(to_milliseconds(now - pkt.enqueued_at));
   return pkt;
 }
 

@@ -24,6 +24,7 @@
 #include "common/time.hpp"
 #include "common/units.hpp"
 #include "netsim/packet.hpp"
+#include "obs/hotpath.hpp"
 
 namespace wehey::netsim {
 
@@ -80,6 +81,10 @@ class FifoDisc final : public QueueDisc {
   std::int64_t limit_;
   std::int64_t bytes_ = 0;
   PacketRing q_;
+  // Hot-path observability (no-ops unless a Recorder is bound).
+  obs::HistogramHandle residency_obs_{"queue.fifo.residency_ms", 0.0, 500.0,
+                                      100};
+  obs::CounterHandle drop_obs_{"queue.fifo.drop.overflow"};
 };
 
 class TbfDisc final : public QueueDisc {
@@ -108,6 +113,10 @@ class TbfDisc final : public QueueDisc {
   Time last_refill_ = 0;
   std::int64_t bytes_ = 0;
   PacketRing q_;
+  // Residency covers shaping delay; the drop counter covers policing.
+  obs::HistogramHandle residency_obs_{"queue.tbf.residency_ms", 0.0, 500.0,
+                                      100};
+  obs::CounterHandle drop_obs_{"queue.tbf.drop.policed"};
 };
 
 /// Appendix C.1 rate-limiter: classifier + FIFO (default class) + TBF
@@ -166,6 +175,10 @@ class RedDisc final : public QueueDisc {
   double avg_ = 0.0;
   std::int64_t bytes_ = 0;
   PacketRing q_;
+  obs::HistogramHandle residency_obs_{"queue.red.residency_ms", 0.0, 500.0,
+                                      100};
+  obs::CounterHandle early_drop_obs_{"queue.red.drop.early"};
+  obs::CounterHandle cap_drop_obs_{"queue.red.drop.cap"};
 };
 
 /// Per-flow rate limiter: like RateLimiterDisc, but the differentiated

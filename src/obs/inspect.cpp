@@ -1,0 +1,501 @@
+#include "obs/inspect.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <map>
+
+namespace wehey::obs {
+
+// ------------------------------------------------------------- JSON parse
+
+namespace {
+
+struct Parser {
+  const char* p;
+  const char* end;
+  std::string error;
+
+  void skip_ws() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) {
+      ++p;
+    }
+  }
+
+  bool fail(const char* msg) {
+    error = msg;
+    return false;
+  }
+
+  bool parse_value(JsonValue& out) {
+    skip_ws();
+    if (p >= end) return fail("unexpected end of input");
+    switch (*p) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"':
+        out.type = JsonValue::Type::String;
+        return parse_string(out.str);
+      case 't':
+        if (end - p >= 4 && std::strncmp(p, "true", 4) == 0) {
+          out.type = JsonValue::Type::Bool;
+          out.boolean = true;
+          p += 4;
+          return true;
+        }
+        return fail("bad literal");
+      case 'f':
+        if (end - p >= 5 && std::strncmp(p, "false", 5) == 0) {
+          out.type = JsonValue::Type::Bool;
+          out.boolean = false;
+          p += 5;
+          return true;
+        }
+        return fail("bad literal");
+      case 'n':
+        if (end - p >= 4 && std::strncmp(p, "null", 4) == 0) {
+          out.type = JsonValue::Type::Null;
+          p += 4;
+          return true;
+        }
+        return fail("bad literal");
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    ++p;  // opening quote
+    out.clear();
+    while (p < end && *p != '"') {
+      if (*p == '\\') {
+        if (p + 1 >= end) return fail("bad escape");
+        ++p;
+        switch (*p) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u':
+            // Pass the escape through; the obs writers only emit \u00XX
+            // for control characters, which never matter to the analyzer.
+            if (end - p < 5) return fail("bad \\u escape");
+            out += "\\u";
+            out.append(p + 1, 4);
+            p += 4;
+            break;
+          default: return fail("bad escape");
+        }
+        ++p;
+      } else {
+        out += *p++;
+      }
+    }
+    if (p >= end) return fail("unterminated string");
+    ++p;  // closing quote
+    return true;
+  }
+
+  bool parse_number(JsonValue& out) {
+    char* after = nullptr;
+    const double v = std::strtod(p, &after);
+    if (after == p) return fail("bad number");
+    out.type = JsonValue::Type::Number;
+    out.number = v;
+    p = after;
+    return true;
+  }
+
+  bool parse_array(JsonValue& out) {
+    out.type = JsonValue::Type::Array;
+    ++p;
+    skip_ws();
+    if (p < end && *p == ']') {
+      ++p;
+      return true;
+    }
+    while (true) {
+      out.array.emplace_back();
+      if (!parse_value(out.array.back())) return false;
+      skip_ws();
+      if (p < end && *p == ',') {
+        ++p;
+        continue;
+      }
+      if (p < end && *p == ']') {
+        ++p;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parse_object(JsonValue& out) {
+    out.type = JsonValue::Type::Object;
+    ++p;
+    skip_ws();
+    if (p < end && *p == '}') {
+      ++p;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (p >= end || *p != '"') return fail("expected object key");
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (p >= end || *p != ':') return fail("expected ':'");
+      ++p;
+      out.object.emplace_back(std::move(key), JsonValue{});
+      if (!parse_value(out.object.back().second)) return false;
+      skip_ws();
+      if (p < end && *p == ',') {
+        ++p;
+        continue;
+      }
+      if (p < end && *p == '}') {
+        ++p;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (type != Type::Object) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+bool json_parse(const std::string& text, JsonValue& out,
+                std::string* error) {
+  Parser parser{text.data(), text.data() + text.size(), {}};
+  if (!parser.parse_value(out)) {
+    if (error != nullptr) *error = parser.error;
+    return false;
+  }
+  parser.skip_ws();
+  if (parser.p != parser.end) {
+    if (error != nullptr) *error = "trailing characters";
+    return false;
+  }
+  return true;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fseek(f, 0, SEEK_END);
+  const long len = std::ftell(f);
+  std::rewind(f);
+  out.resize(len > 0 ? static_cast<std::size_t>(len) : 0);
+  const std::size_t got = std::fread(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  out.resize(got);
+  return true;
+}
+
+bool is_run_report(const JsonValue& doc) {
+  const JsonValue* schema = doc.find("schema");
+  return schema != nullptr && schema->type == JsonValue::Type::String &&
+         schema->str.rfind("wehey.run_report.", 0) == 0;
+}
+
+bool is_chrome_trace(const JsonValue& doc) {
+  const JsonValue* events = doc.find("traceEvents");
+  return events != nullptr && events->type == JsonValue::Type::Array;
+}
+
+// ---------------------------------------------------------- report render
+
+namespace {
+
+/// histogram_quantile (metrics.cpp) re-implemented on the JSON shape, so
+/// v1 reports — which have bins but no "percentiles" section — inspect
+/// identically to v2.
+double bins_quantile(const JsonValue& h, double q) {
+  const JsonValue* bins = h.find("bins");
+  const double count = h.find("count") ? h.find("count")->num_or(0) : 0;
+  if (bins == nullptr || bins->type != JsonValue::Type::Array || count <= 0) {
+    return 0.0;
+  }
+  const double lo = h.find("lo") ? h.find("lo")->num_or(0) : 0;
+  const double hi = h.find("hi") ? h.find("hi")->num_or(1) : 1;
+  const double hmin = h.find("min") ? h.find("min")->num_or(0) : 0;
+  const double hmax = h.find("max") ? h.find("max")->num_or(0) : 0;
+  const std::size_t n = bins->array.size();
+  if (n < 3) return hmax;
+  const double width = (hi - lo) / static_cast<double>(n - 2);
+  const double target = std::clamp(q, 0.0, 1.0) * count;
+  double cum = 0.0;
+  double value = hmax;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double b = bins->array[i].num_or(0);
+    if (b <= 0) continue;
+    if (cum + b >= target) {
+      if (i == 0) {
+        value = hmin;
+      } else if (i == n - 1) {
+        value = hmax;
+      } else {
+        const double frac = (target - cum) / b;
+        value = lo + (static_cast<double>(i - 1) + frac) * width;
+      }
+      break;
+    }
+    cum += b;
+  }
+  return std::clamp(value, hmin, hmax);
+}
+
+const char* str_or(const JsonValue& doc, const char* key,
+                   const char* fallback = "") {
+  const JsonValue* v = doc.find(key);
+  return v != nullptr && v->type == JsonValue::Type::String ? v->str.c_str()
+                                                            : fallback;
+}
+
+void print_rule(std::FILE* out, const char* title) {
+  std::fprintf(out, "\n%s\n", title);
+  for (const char* c = title; *c != 0; ++c) std::fputc('-', out);
+  std::fputc('\n', out);
+}
+
+/// Counters whose names start with `prefix`, in registry (sorted) order.
+std::vector<std::pair<std::string, double>> counters_with_prefix(
+    const JsonValue& counters, const std::string& prefix) {
+  std::vector<std::pair<std::string, double>> out;
+  if (counters.type != JsonValue::Type::Object) return out;
+  for (const auto& [name, v] : counters.object) {
+    if (name.rfind(prefix, 0) == 0) out.emplace_back(name, v.num_or(0));
+  }
+  return out;
+}
+
+}  // namespace
+
+void render_report(const JsonValue& doc, std::FILE* out) {
+  std::fprintf(out, "run report  %s\n", str_or(doc, "schema"));
+  std::fprintf(out, "  run        %s\n", str_or(doc, "run"));
+  const JsonValue* seed = doc.find("seed");
+  if (seed != nullptr) {
+    std::fprintf(out, "  seed       %.0f\n", seed->num_or(0));
+  }
+  const char* plan = str_or(doc, "fault_plan");
+  std::fprintf(out, "  fault plan %s\n", plan[0] != 0 ? plan : "(none)");
+  std::fprintf(out, "  verdict    %s\n", str_or(doc, "verdict"));
+  const char* reason = str_or(doc, "reason");
+  if (reason[0] != 0) std::fprintf(out, "  reason     %s\n", reason);
+
+  const JsonValue* stages = doc.find("stages");
+  if (stages != nullptr && !stages->array.empty()) {
+    print_rule(out, "stages (sim time)");
+    for (const auto& st : stages->array) {
+      const JsonValue* ms = st.find("sim_ms");
+      const JsonValue* wall = st.find("wall_ms");
+      std::fprintf(out, "  %-24s %12.3f ms", str_or(st, "name"),
+                   ms != nullptr ? ms->num_or(0) : 0.0);
+      if (wall != nullptr) {
+        std::fprintf(out, "  (wall %.3f ms)", wall->num_or(0));
+      }
+      std::fputc('\n', out);
+    }
+  }
+
+  const JsonValue* metrics = doc.find("metrics");
+  const JsonValue* histograms =
+      metrics != nullptr ? metrics->find("histograms") : nullptr;
+  const JsonValue* counters =
+      metrics != nullptr ? metrics->find("counters") : nullptr;
+  const JsonValue* percentiles = doc.find("percentiles");
+
+  if (histograms != nullptr && !histograms->object.empty()) {
+    print_rule(out, "latency percentiles (from histogram bins)");
+    std::fprintf(out, "  %-28s %10s %10s %10s %10s %10s\n", "histogram",
+                 "count", "p50", "p90", "p99", "max");
+    for (const auto& [name, h] : histograms->object) {
+      const double count = h.find("count") ? h.find("count")->num_or(0) : 0;
+      if (count <= 0) continue;
+      double p50, p90, p99;
+      const JsonValue* pre =
+          percentiles != nullptr ? percentiles->find(name) : nullptr;
+      if (pre != nullptr) {
+        p50 = pre->find("p50") ? pre->find("p50")->num_or(0) : 0;
+        p90 = pre->find("p90") ? pre->find("p90")->num_or(0) : 0;
+        p99 = pre->find("p99") ? pre->find("p99")->num_or(0) : 0;
+      } else {
+        p50 = bins_quantile(h, 0.50);
+        p90 = bins_quantile(h, 0.90);
+        p99 = bins_quantile(h, 0.99);
+      }
+      const double hmax = h.find("max") ? h.find("max")->num_or(0) : 0;
+      std::fprintf(out, "  %-28s %10.0f %10.4g %10.4g %10.4g %10.4g\n",
+                   name.c_str(), count, p50, p90, p99, hmax);
+    }
+  }
+
+  if (counters != nullptr) {
+    const auto queue_drops = counters_with_prefix(*counters, "queue.");
+    if (!queue_drops.empty()) {
+      print_rule(out, "queue drops by reason");
+      for (const auto& [name, v] : queue_drops) {
+        if (name.find(".drop.") == std::string::npos) continue;
+        std::fprintf(out, "  %-28s %10.0f\n", name.c_str(), v);
+      }
+    }
+    const auto flows = counters_with_prefix(*counters, "tcp.");
+    if (!flows.empty()) {
+      print_rule(out, "per-flow RTT / loss");
+      for (const auto& [name, v] : flows) {
+        std::fprintf(out, "  %-28s %10.0f\n", name.c_str(), v);
+      }
+      if (histograms != nullptr) {
+        const JsonValue* srtt = histograms->find("tcp.flow_srtt_ms");
+        if (srtt != nullptr && srtt->find("count") != nullptr &&
+            srtt->find("count")->num_or(0) > 0) {
+          std::fprintf(out,
+                       "  flow srtt: p50 %.4g ms, p90 %.4g ms, p99 %.4g "
+                       "ms (over %.0f flow snapshots)\n",
+                       bins_quantile(*srtt, 0.5), bins_quantile(*srtt, 0.9),
+                       bins_quantile(*srtt, 0.99),
+                       srtt->find("count")->num_or(0));
+        }
+      }
+    }
+    const auto links = counters_with_prefix(*counters, "net.");
+    if (!links.empty()) {
+      print_rule(out, "links");
+      for (const auto& [name, v] : links) {
+        std::fprintf(out, "  %-28s %10.0f\n", name.c_str(), v);
+      }
+    }
+  }
+
+  const JsonValue* injection = doc.find("injection");
+  if (injection != nullptr && !injection->object.empty()) {
+    print_rule(out, "fault injection");
+    for (const auto& [kind, n] : injection->object) {
+      std::fprintf(out, "  %-28s %10.0f\n", kind.c_str(), n.num_or(0));
+    }
+  }
+}
+
+// ----------------------------------------------------------- trace render
+
+void render_trace(const JsonValue& doc, std::FILE* out) {
+  const JsonValue* events = doc.find("traceEvents");
+  if (events == nullptr) return;
+
+  struct SpanStats {
+    std::vector<double> durs_us;
+    double total_us = 0;
+  };
+  std::map<std::string, SpanStats> spans;
+  std::map<std::string, std::size_t> instants;
+  struct CounterStats {
+    std::size_t samples = 0;
+    double min = 0, max = 0, last = 0;
+  };
+  std::map<std::string, CounterStats> counters;
+  std::size_t total = 0;
+
+  for (const auto& ev : events->array) {
+    const char* ph = str_or(ev, "ph");
+    const char* name = str_or(ev, "name");
+    if (std::strcmp(ph, "M") == 0) continue;  // metadata
+    ++total;
+    if (std::strcmp(ph, "X") == 0) {
+      const double dur = ev.find("dur") ? ev.find("dur")->num_or(0) : 0;
+      auto& s = spans[name];
+      s.durs_us.push_back(dur);
+      s.total_us += dur;
+    } else if (std::strcmp(ph, "C") == 0) {
+      const JsonValue* args = ev.find("args");
+      const double v = args != nullptr && args->find("value") != nullptr
+                           ? args->find("value")->num_or(0)
+                           : 0;
+      auto& c = counters[name];
+      if (c.samples == 0 || v < c.min) c.min = v;
+      if (c.samples == 0 || v > c.max) c.max = v;
+      c.last = v;
+      ++c.samples;
+    } else {
+      ++instants[name];
+    }
+  }
+
+  std::fprintf(out, "trace  %zu events\n", total);
+
+  if (!spans.empty()) {
+    print_rule(out, "stage latency (span durations, sim ms)");
+    std::fprintf(out, "  %-28s %8s %10s %10s %10s %10s\n", "span", "count",
+                 "p50", "p90", "p99", "total");
+    for (auto& [name, s] : spans) {
+      std::sort(s.durs_us.begin(), s.durs_us.end());
+      const auto pct = [&s](double q) {
+        const std::size_t n = s.durs_us.size();
+        std::size_t idx = static_cast<std::size_t>(q * (n - 1) + 0.5);
+        if (idx >= n) idx = n - 1;
+        return s.durs_us[idx] / 1000.0;  // us -> ms
+      };
+      std::fprintf(out, "  %-28s %8zu %10.4g %10.4g %10.4g %10.4g\n",
+                   name.c_str(), s.durs_us.size(), pct(0.5), pct(0.9),
+                   pct(0.99), s.total_us / 1000.0);
+    }
+  }
+
+  if (!counters.empty()) {
+    print_rule(out, "counter series");
+    std::fprintf(out, "  %-28s %8s %10s %10s %10s\n", "series", "samples",
+                 "min", "max", "last");
+    for (const auto& [name, c] : counters) {
+      std::fprintf(out, "  %-28s %8zu %10.4g %10.4g %10.4g\n", name.c_str(),
+                   c.samples, c.min, c.max, c.last);
+    }
+  }
+
+  if (!instants.empty()) {
+    print_rule(out, "instant events");
+    for (const auto& [name, n] : instants) {
+      std::fprintf(out, "  %-28s %8zu\n", name.c_str(), n);
+    }
+  }
+}
+
+bool inspect_file(const std::string& path, std::FILE* out) {
+  std::string text;
+  if (!read_file(path, text)) {
+    std::fprintf(stderr, "inspect: cannot read %s\n", path.c_str());
+    return false;
+  }
+  JsonValue doc;
+  std::string error;
+  if (!json_parse(text, doc, &error)) {
+    std::fprintf(stderr, "inspect: %s: parse error: %s\n", path.c_str(),
+                 error.c_str());
+    return false;
+  }
+  if (is_run_report(doc)) {
+    render_report(doc, out);
+    return true;
+  }
+  if (is_chrome_trace(doc)) {
+    render_trace(doc, out);
+    return true;
+  }
+  std::fprintf(stderr,
+               "inspect: %s: neither a wehey run report nor a chrome "
+               "trace\n",
+               path.c_str());
+  return false;
+}
+
+}  // namespace wehey::obs

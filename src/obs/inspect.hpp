@@ -1,0 +1,58 @@
+// Offline analyzer behind `wehey_cli inspect <report|trace>`.
+//
+// Reads the JSON artifacts the obs layer emits — wehey.run_report.v1/v2
+// RunReports and Chrome-trace timelines — and renders human-readable
+// summaries: per-stage latency, p50/p90/p99 percentiles per histogram
+// (taken from the v2 "percentiles" section when present, re-derived from
+// the bins for v1 reports), per-flow RTT/loss tables, queue-residency and
+// drop-by-reason breakdowns, and link utilization.
+//
+// The JSON model is deliberately tiny (no external dependency): objects
+// preserve key order, numbers are doubles — exactly what the writers in
+// this directory produce.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wehey::obs {
+
+struct JsonValue {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const;
+  double num_or(double fallback) const {
+    return type == Type::Number ? number : fallback;
+  }
+};
+
+/// Strict-enough recursive-descent parse of `text` (the subset the obs
+/// writers emit: null/bool/number/string/array/object, \uXXXX escapes
+/// passed through verbatim). Returns false and fills `error` on bad input.
+bool json_parse(const std::string& text, JsonValue& out,
+                std::string* error = nullptr);
+
+bool is_run_report(const JsonValue& doc);
+bool is_chrome_trace(const JsonValue& doc);
+
+void render_report(const JsonValue& doc, std::FILE* out);
+void render_trace(const JsonValue& doc, std::FILE* out);
+
+/// Slurp a file; false on I/O error.
+bool read_file(const std::string& path, std::string& out);
+
+/// Convenience: read `path`, detect report vs trace, render to `out`.
+/// Returns false (with a message on stderr) on parse or format errors.
+bool inspect_file(const std::string& path, std::FILE* out);
+
+}  // namespace wehey::obs

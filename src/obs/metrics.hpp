@@ -128,6 +128,15 @@ class MetricsRegistry {
   std::map<std::string, Histogram> histograms_;
 };
 
+/// Quantile estimate (q in [0, 1]) from a histogram's fixed buckets,
+/// linearly interpolated within the bucket that crosses the target rank.
+/// Underflow mass resolves to the recorded min, overflow mass to the
+/// recorded max; the result is clamped to [min, max]. Returns 0 when the
+/// histogram is empty. Deterministic: a pure function of the bins, so
+/// p50/p90/p99 derived in reports match what any offline reader computes
+/// from the same JSON.
+double histogram_quantile(const Histogram& h, double q);
+
 /// Render a double the way every obs JSON writer does: shortest
 /// round-trippable decimal form, integral values without a trailing ".0"
 /// mess ("17" not "17.000000"). Stable across platforms for the value

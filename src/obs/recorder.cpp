@@ -48,7 +48,21 @@ RunObservation RunObservation::from_env() {
                           env_flag("WEHEY_REPORT_DIR");
   if (!metrics_on) return out;
   out.recorder = std::make_unique<Recorder>(metrics_on, trace_on);
-  if (trace_on) out.trace_path = trace;
+  if (trace_on) {
+    out.trace_path = trace;
+    // Bound the run-level timeline buffer; completed events spill to
+    // "<trace>.chunkNNN" and re-merge at write_trace(). Unset/0 keeps the
+    // historical everything-in-memory behaviour. Per-trial child
+    // timelines stay in memory either way (they are small and absorb in
+    // index order).
+    if (const char* buf = std::getenv("WEHEY_TRACE_BUFFER_EVENTS")) {
+      const long n = std::strtol(buf, nullptr, 10);
+      if (n > 0) {
+        out.recorder->timeline().configure_spill(
+            static_cast<std::size_t>(n), out.trace_path);
+      }
+    }
+  }
   return out;
 }
 

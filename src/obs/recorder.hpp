@@ -21,6 +21,11 @@
 //   WEHEY_METRICS=1    — collect metrics (implied by the other two),
 //   WEHEY_TRACE=path   — record a timeline; written as Chrome-trace JSON
 //                        at `path` plus a CSV sibling,
+//   WEHEY_TRACE_BUFFER_EVENTS=N — keep at most N completed events in
+//                        memory, spilling full chunks to
+//                        "<path>.chunkNNN" and re-merging them, in order,
+//                        when the trace is written (unset/0 = unbounded
+//                        in-memory buffering, the historical behaviour),
 //   WEHEY_REPORT=path / WEHEY_REPORT_DIR=dir — emit a RunReport (see
 //                        report.hpp; the bench_util writer drives this).
 #pragma once

@@ -11,7 +11,7 @@ namespace wehey::obs {
 std::string RunReport::to_json(const MetricsRegistry* metrics) const {
   std::ostringstream out;
   out << "{\n";
-  out << "  \"schema\": \"wehey.run_report.v1\",\n";
+  out << "  \"schema\": \"wehey.run_report.v2\",\n";
   out << "  \"run\": \"" << json_escape(run) << "\",\n";
   out << "  \"seed\": " << seed << ",\n";
   out << "  \"fault_plan\": \"" << json_escape(fault_plan) << "\",\n";
@@ -53,6 +53,23 @@ std::string RunReport::to_json(const MetricsRegistry* metrics) const {
   }
   if (!first) out << ",\n    \"total\": " << total << "\n  ";
   out << "},\n";
+  // v2: quantiles pre-derived from the histogram bins, so downstream
+  // readers (wehey_cli inspect, tools/trace_stats.py, dashboards) get
+  // p50/p90/p99 without re-walking the bins themselves.
+  out << "  \"percentiles\": {";
+  first = true;
+  if (metrics != nullptr) {
+    for (const auto& [name, h] : metrics->histograms()) {
+      if (h.count() == 0) continue;
+      out << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+          << "\": {\"p50\": " << json_number(histogram_quantile(h, 0.50))
+          << ", \"p90\": " << json_number(histogram_quantile(h, 0.90))
+          << ", \"p99\": " << json_number(histogram_quantile(h, 0.99))
+          << "}";
+      first = false;
+    }
+  }
+  out << (first ? "" : "\n  ") << "},\n";
   out << "  \"metrics\": ";
   if (metrics != nullptr) {
     out << metrics->to_json(2);

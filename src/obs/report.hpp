@@ -1,10 +1,10 @@
 // RunReport: the machine-readable result of one run — a session, a wild
 // test, or a whole bench binary. One shared schema
-// ("wehey.run_report.v1", JSON) replaces the ad-hoc JSON each bench used
+// ("wehey.run_report.v2", JSON) replaces the ad-hoc JSON each bench used
 // to emit:
 //
 //   {
-//     "schema": "wehey.run_report.v1",
+//     "schema": "wehey.run_report.v2",
 //     "run": "<binary or pipeline name>",
 //     "seed": 2,
 //     "fault_plan": "<plan name or empty>",
@@ -14,8 +14,13 @@
 //                 "sim_ms": ..., "wall_ms": ...?}, ...],
 //     "values": {"<scalar name>": <number>, ...},
 //     "injection": {"total": N, "<fault kind>": N, ...},
+//     "percentiles": {"<histogram>": {"p50": X, "p90": X, "p99": X}, ...},
 //     "metrics": {"counters": ..., "gauges": ..., "histograms": ...}
 //   }
+//
+// v2 adds "percentiles" (derived per non-empty histogram via
+// histogram_quantile); v1 reports, which lack it, still validate against
+// tools/run_report_schema.json.
 //
 // Determinism contract: everything except "wall_ms" is a pure function of
 // the run's seeds, so the serialized report is byte-identical across

@@ -1,6 +1,7 @@
 #include "obs/timeline.hpp"
 
 #include <sstream>
+#include <utility>
 
 #include "obs/metrics.hpp"
 
@@ -16,7 +17,7 @@ void Timeline::span(std::string name, std::string category, Time start,
   ev.name = std::move(name);
   ev.category = std::move(category);
   ev.args = std::move(args);
-  events_.push_back(std::move(ev));
+  sink_.append(std::move(ev));
 }
 
 void Timeline::instant(std::string name, std::string category, Time at,
@@ -28,7 +29,7 @@ void Timeline::instant(std::string name, std::string category, Time at,
   ev.name = std::move(name);
   ev.category = std::move(category);
   ev.args = std::move(args);
-  events_.push_back(std::move(ev));
+  sink_.append(std::move(ev));
 }
 
 void Timeline::counter(std::string name, Time at, double value,
@@ -39,25 +40,39 @@ void Timeline::counter(std::string name, Time at, double value,
   ev.tid = tid;
   ev.name = std::move(name);
   ev.args = "\"value\": " + json_number(value);
-  events_.push_back(std::move(ev));
+  sink_.append(std::move(ev));
 }
 
 void Timeline::name_track(std::int32_t pid, std::string name) {
   track_names_.emplace_back(pid, std::move(name));
 }
 
+void Timeline::configure_spill(std::size_t max_buffered_events,
+                               std::string spill_base) {
+  sink_.configure(max_buffered_events, std::move(spill_base));
+}
+
 void Timeline::absorb(Timeline&& child) {
   const std::int32_t base = pid_count_;
-  events_.reserve(events_.size() + child.events_.size());
-  for (auto& ev : child.events_) {
-    ev.pid += base;
-    events_.push_back(std::move(ev));
+  if (child.sink_.spilling()) {
+    // Rare (children normally buffer in memory): replay the child's full
+    // event stream, chunks included, in its append order.
+    child.sink_.for_each([&](const TimelineEvent& ev) {
+      TimelineEvent copy = ev;
+      copy.pid += base;
+      sink_.append(std::move(copy));
+    });
+  } else {
+    for (auto& ev : child.sink_.mutable_buffer()) {
+      ev.pid += base;
+      sink_.append(std::move(ev));
+    }
   }
   for (auto& [pid, name] : child.track_names_) {
     track_names_.emplace_back(pid + base, std::move(name));
   }
   pid_count_ += child.pid_count_;
-  child.events_.clear();
+  child.sink_.clear();
   child.track_names_.clear();
   child.pid_count_ = 1;
 }
@@ -107,13 +122,13 @@ void Timeline::write_chrome_json(std::FILE* out) const {
                  first ? "\n" : ",\n", pid, json_escape(name).c_str());
     first = false;
   }
-  for (const auto& ev : events_) write_event(out, ev, first);
+  sink_.for_each([&](const TimelineEvent& ev) { write_event(out, ev, first); });
   std::fprintf(out, "\n]}\n");
 }
 
 void Timeline::write_csv(std::FILE* out) const {
   std::fprintf(out, "kind,pid,tid,sim_us,dur_us,category,name,detail\n");
-  for (const auto& ev : events_) {
+  sink_.for_each([&](const TimelineEvent& ev) {
     const char* kind = ev.kind == TimelineEvent::Kind::Span      ? "span"
                        : ev.kind == TimelineEvent::Kind::Counter ? "counter"
                                                                  : "instant";
@@ -127,7 +142,7 @@ void Timeline::write_csv(std::FILE* out) const {
                      ? ts_us(ev.duration).c_str()
                      : "0",
                  ev.category.c_str(), ev.name.c_str(), detail.c_str());
-  }
+  });
 }
 
 std::string Timeline::chrome_json() const {

@@ -1,0 +1,28 @@
+// The one event shape shared by Timeline (the recording API) and
+// TraceSink (the storage / spill layer).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/time.hpp"
+
+namespace wehey::obs {
+
+struct TimelineEvent {
+  enum class Kind : std::uint8_t { Span, Instant, Counter };
+
+  Kind kind = Kind::Instant;
+  Time at = 0;        ///< sim time (span: start)
+  Time duration = 0;  ///< span only
+  std::int32_t pid = 0;
+  std::int32_t tid = 0;
+  std::string name;
+  std::string category;
+  /// Pre-rendered JSON object body for "args" (no braces), e.g.
+  /// "\"attempt\": 2"; empty = no args. Counter samples store the value
+  /// here as "\"value\": <v>".
+  std::string args;
+};
+
+}  // namespace wehey::obs

@@ -1,0 +1,155 @@
+#include "obs/trace_sink.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace wehey::obs {
+
+namespace {
+
+// Chunk framing, per event:
+//   u8  kind
+//   i64 at, i64 duration
+//   i32 pid, i32 tid
+//   u32 len + bytes, three times (name, category, args)
+// Host byte order: a chunk is written and read back by the same process.
+
+bool write_string(std::FILE* f, const std::string& s) {
+  const std::uint32_t len = static_cast<std::uint32_t>(s.size());
+  if (std::fwrite(&len, sizeof(len), 1, f) != 1) return false;
+  return len == 0 || std::fwrite(s.data(), 1, len, f) == len;
+}
+
+bool read_string(std::FILE* f, std::string& s) {
+  std::uint32_t len = 0;
+  if (std::fread(&len, sizeof(len), 1, f) != 1) return false;
+  s.resize(len);
+  return len == 0 || std::fread(s.data(), 1, len, f) == len;
+}
+
+bool write_event(std::FILE* f, const TimelineEvent& ev) {
+  const std::uint8_t kind = static_cast<std::uint8_t>(ev.kind);
+  const std::int64_t at = ev.at;
+  const std::int64_t duration = ev.duration;
+  return std::fwrite(&kind, sizeof(kind), 1, f) == 1 &&
+         std::fwrite(&at, sizeof(at), 1, f) == 1 &&
+         std::fwrite(&duration, sizeof(duration), 1, f) == 1 &&
+         std::fwrite(&ev.pid, sizeof(ev.pid), 1, f) == 1 &&
+         std::fwrite(&ev.tid, sizeof(ev.tid), 1, f) == 1 &&
+         write_string(f, ev.name) && write_string(f, ev.category) &&
+         write_string(f, ev.args);
+}
+
+bool read_event(std::FILE* f, TimelineEvent& ev) {
+  std::uint8_t kind = 0;
+  if (std::fread(&kind, sizeof(kind), 1, f) != 1) return false;  // clean EOF
+  std::int64_t at = 0;
+  std::int64_t duration = 0;
+  if (std::fread(&at, sizeof(at), 1, f) != 1 ||
+      std::fread(&duration, sizeof(duration), 1, f) != 1 ||
+      std::fread(&ev.pid, sizeof(ev.pid), 1, f) != 1 ||
+      std::fread(&ev.tid, sizeof(ev.tid), 1, f) != 1 ||
+      !read_string(f, ev.name) || !read_string(f, ev.category) ||
+      !read_string(f, ev.args)) {
+    return false;
+  }
+  ev.kind = static_cast<TimelineEvent::Kind>(kind);
+  ev.at = at;
+  ev.duration = duration;
+  return true;
+}
+
+}  // namespace
+
+TraceSink::~TraceSink() { remove_chunks(); }
+
+TraceSink::TraceSink(TraceSink&& other) noexcept
+    : buffer_(std::move(other.buffer_)),
+      capacity_(other.capacity_),
+      chunk_base_(std::move(other.chunk_base_)),
+      chunks_(other.chunks_),
+      spilled_(other.spilled_) {
+  // The moved-from sink must not delete the chunk files it handed over.
+  other.buffer_.clear();
+  other.chunk_base_.clear();
+  other.chunks_ = 0;
+  other.spilled_ = 0;
+}
+
+TraceSink& TraceSink::operator=(TraceSink&& other) noexcept {
+  if (this == &other) return *this;
+  remove_chunks();
+  buffer_ = std::move(other.buffer_);
+  capacity_ = other.capacity_;
+  chunk_base_ = std::move(other.chunk_base_);
+  chunks_ = other.chunks_;
+  spilled_ = other.spilled_;
+  other.buffer_.clear();
+  other.chunk_base_.clear();
+  other.chunks_ = 0;
+  other.spilled_ = 0;
+  return *this;
+}
+
+void TraceSink::configure(std::size_t capacity_events,
+                          std::string chunk_base) {
+  capacity_ = capacity_events;
+  chunk_base_ = std::move(chunk_base);
+}
+
+std::string TraceSink::chunk_path(const std::string& base,
+                                  std::size_t index) {
+  char suffix[24];
+  std::snprintf(suffix, sizeof(suffix), ".chunk%03zu", index);
+  return base + suffix;
+}
+
+void TraceSink::append(TimelineEvent ev) {
+  buffer_.push_back(std::move(ev));
+  if (spilling() && buffer_.size() >= capacity_) flush_chunk();
+}
+
+void TraceSink::flush_chunk() {
+  std::FILE* f = std::fopen(chunk_path(chunk_base_, chunks_).c_str(), "wb");
+  if (f == nullptr) return;  // keep buffering in memory; trace still valid
+  bool ok = true;
+  for (const auto& ev : buffer_) ok = ok && write_event(f, ev);
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::remove(chunk_path(chunk_base_, chunks_).c_str());
+    return;
+  }
+  spilled_ += buffer_.size();
+  ++chunks_;
+  buffer_.clear();
+}
+
+bool TraceSink::for_each(
+    const std::function<void(const TimelineEvent&)>& fn) const {
+  for (std::size_t i = 0; i < chunks_; ++i) {
+    std::FILE* f = std::fopen(chunk_path(chunk_base_, i).c_str(), "rb");
+    if (f == nullptr) return false;
+    TimelineEvent ev;
+    while (read_event(f, ev)) fn(ev);
+    const bool clean_eof = std::feof(f) != 0;
+    std::fclose(f);
+    if (!clean_eof) return false;
+  }
+  for (const auto& ev : buffer_) fn(ev);
+  return true;
+}
+
+void TraceSink::remove_chunks() {
+  for (std::size_t i = 0; i < chunks_; ++i) {
+    std::remove(chunk_path(chunk_base_, i).c_str());
+  }
+  chunks_ = 0;
+  spilled_ = 0;
+}
+
+void TraceSink::clear() {
+  buffer_.clear();
+  remove_chunks();
+}
+
+}  // namespace wehey::obs

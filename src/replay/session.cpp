@@ -79,6 +79,7 @@ const char* to_string(SessionOutcome outcome) {
       return "control plane unreachable";
     case SessionOutcome::InconclusiveMeasurements:
       return "inconclusive measurements";
+    case SessionOutcome::TracerouteFailed: return "traceroute failed";
   }
   return "?";
 }
@@ -490,8 +491,30 @@ SessionResult run_session(const SessionConfig& cfg,
     result.finished_at = t_gather;
     return result;
   }
-  const auto tr1 = net.traceroute(1);
-  const auto tr2 = net.traceroute(2);
+  auto tr1 = net.traceroute(1);
+  auto tr2 = net.traceroute(2);
+  if (injector.enabled()) {
+    // The topology query itself can come back damaged: probes black-holed
+    // near the client or hops reporting aliased addresses.
+    bool damaged = injector.on_traceroute(1, tr1);
+    damaged |= injector.on_traceroute(2, tr2);
+    if (damaged) log(t_gather, "gathering-step traceroutes arrived damaged");
+  }
+  // Re-apply the §3.3 filter conditions before the pair check: a record
+  // that fails them says nothing about the topology (the *query* failed),
+  // so the pair is kept in the database and the session ends with its own
+  // outcome instead of TopologyNoLongerSuitable.
+  const bool tr_usable =
+      tr1.last_hop_matches_dst_asn() && tr1.alias_consistent() &&
+      tr2.last_hop_matches_dst_asn() && tr2.alias_consistent();
+  if (!tr_usable) {
+    log(t_gather,
+        "end-of-replay traceroutes unusable (dropped or aliased hops); "
+        "measurements discarded");
+    result.outcome = SessionOutcome::TracerouteFailed;
+    result.finished_at = t_gather;
+    return result;
+  }
   std::string convergence;
   const bool still_suitable = topology::suitable_pair(
       tr1, tr2, FigureOneNetwork::kClientAsn, &convergence);

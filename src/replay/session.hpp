@@ -74,6 +74,8 @@ enum class SessionOutcome {
   ReplayRetriesExhausted,     ///< every replay attempt (and pair) aborted
   ControlPlaneUnreachable,    ///< control exchanges kept timing out
   InconclusiveMeasurements,   ///< analyses ran on unusably degraded data
+  TracerouteFailed,           ///< gathering-step traceroutes unusable
+                              ///< (dropped/garbled hops, §3.3 filters)
 };
 
 const char* to_string(SessionOutcome outcome);

@@ -143,6 +143,7 @@ void TcpSender::transmit(std::uint64_t seq, const Segment& seg,
     // now — not when the drop actually happened.
     meas_.loss_times.push_back(sim_.now());
     ++retx_count_;
+    retx_obs_.inc();
   }
 
   last_send_ = sim_.now();
@@ -390,6 +391,7 @@ void TcpSender::enter_loss_recovery(bool timeout) {
 void TcpSender::update_rtt(Time sample) {
   if (sample <= 0) sample = 1;
   meas_.rtt_ms.push_back(to_milliseconds(sample));
+  rtt_obs_.observe(to_milliseconds(sample));
   if (srtt_ == 0) {
     srtt_ = sample;
     rttvar_ = sample / 2;
@@ -398,6 +400,7 @@ void TcpSender::update_rtt(Time sample) {
     rttvar_ = (3 * rttvar_ + err) / 4;
     srtt_ = (7 * srtt_ + sample) / 8;
   }
+  srtt_obs_.observe(to_milliseconds(srtt_));
   rto_ = std::clamp(srtt_ + 4 * rttvar_, cfg_.min_rto, cfg_.max_rto);
 }
 
@@ -416,6 +419,7 @@ void TcpSender::on_rto() {
     return;
   }
   ++timeout_count_;
+  rto_obs_.inc();
   enter_loss_recovery(/*timeout=*/true);
   rto_ = std::min(rto_ * 2, cfg_.max_rto);  // exponential backoff
   retransmit_front(/*timeout=*/true);

@@ -31,6 +31,7 @@
 #include "netsim/measure.hpp"
 #include "netsim/packet.hpp"
 #include "netsim/simulator.hpp"
+#include "obs/hotpath.hpp"
 
 namespace wehey::transport {
 
@@ -236,6 +237,13 @@ class TcpSender final : public netsim::PacketSink {
   std::uint64_t timeout_count_ = 0;
   std::function<void()> on_complete_;
   bool completed_notified_ = false;
+
+  // Hot-path observability (no-ops unless a Recorder is bound): RTT
+  // sample and smoothed-RTT distributions, retransmit / timeout tallies.
+  obs::HistogramHandle rtt_obs_{"tcp.rtt_ms", 0.0, 400.0, 80};
+  obs::HistogramHandle srtt_obs_{"tcp.srtt_ms", 0.0, 400.0, 80};
+  obs::CounterHandle retx_obs_{"tcp.retx_segments"};
+  obs::CounterHandle rto_obs_{"tcp.rto_timeouts"};
 };
 
 class TcpReceiver final : public netsim::PacketSink {

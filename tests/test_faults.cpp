@@ -314,6 +314,24 @@ TEST(SessionFaults, HardAbortExhaustsRetries) {
   EXPECT_EQ(result.replay_retries, cfg.max_replay_attempts - 1);
 }
 
+TEST(SessionFaults, TracerouteDamageDiscardsWithoutInvalidatingPair) {
+  auto cfg = chaos_session_config();
+  // Guaranteed damage on both gathering-step traceroutes.
+  cfg.fault_plan = faults::shipped_plan("traceroute-damage", chaos_seed());
+  for (auto& spec : cfg.fault_plan.faults) spec.probability = 1.0;
+  topology::TopologyDatabase db;
+  replay::seed_topology_database(cfg.scenario, db);
+  const auto pairs_before = db.lookup("100.0.1.77").size();
+  const auto result = replay::run_session(cfg, db);
+
+  EXPECT_EQ(result.outcome, replay::SessionOutcome::TracerouteFailed);
+  EXPECT_GT(result.injection.traceroutes_dropped, 0);
+  EXPECT_GT(result.injection.traceroutes_garbled, 0);
+  // The *query* failed, not the topology: the pair stays in the database
+  // (unlike TopologyNoLongerSuitable, which invalidates it).
+  EXPECT_EQ(db.lookup("100.0.1.77").size(), pairs_before);
+}
+
 TEST(SessionFaults, ClockSkewDegradesButCompletes) {
   auto cfg = chaos_session_config();
   cfg.fault_plan = faults::shipped_plan("clock-skew", chaos_seed());

@@ -4,11 +4,13 @@
 // byte-identical regardless of how many threads executed the trials.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "experiments/params.hpp"
+#include "experiments/scenario.hpp"
 #include "faults/plan.hpp"
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
@@ -101,6 +103,28 @@ TEST(Metrics, JsonNumberAvoidsTrailingZeros) {
   EXPECT_EQ(json_number(2.5), "2.5");
 }
 
+TEST(Metrics, HistogramQuantileInterpolatesWithinBuckets) {
+  MetricsRegistry m;
+  Histogram& h = m.histogram("lat", 0.0, 100.0, 10);
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.5), 0.0);  // empty -> 0
+  for (int i = 0; i < 100; ++i) h.observe(i + 0.5);
+  // Uniform mass: quantiles land near q * range, within one bucket width.
+  EXPECT_NEAR(histogram_quantile(h, 0.5), 50.0, 10.0);
+  EXPECT_NEAR(histogram_quantile(h, 0.9), 90.0, 10.0);
+  EXPECT_LE(histogram_quantile(h, 0.99), h.max());
+  EXPECT_GE(histogram_quantile(h, 0.0), h.min());
+  // Quantiles are monotone in q.
+  EXPECT_LE(histogram_quantile(h, 0.5), histogram_quantile(h, 0.9));
+  EXPECT_LE(histogram_quantile(h, 0.9), histogram_quantile(h, 0.99));
+
+  // Under/overflow mass resolves to the recorded extrema.
+  Histogram& tails = m.histogram("tails", 0.0, 1.0, 2);
+  tails.observe(-5.0);
+  tails.observe(7.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(tails, 0.25), -5.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(tails, 1.0), 7.0);
+}
+
 TEST(Timeline, AbsorbRemapsChildPids) {
   Timeline parent;
   parent.span("stage", "session", 0, kSecond);
@@ -139,6 +163,65 @@ TEST(Timeline, ChromeJsonHasTraceEventsAndPhases) {
     ASSERT_GE(depth, 0);
   }
   EXPECT_EQ(depth, 0);
+}
+
+// Tentpole part 2: a bounded streaming sink must render byte-identically
+// to the unbounded in-memory path, and clean its chunk files up.
+TEST(Timeline, StreamingSinkMatchesUnboundedByteForByte) {
+  const auto build = [](Timeline& t) {
+    for (int i = 0; i < 37; ++i) {
+      t.span("stage" + std::to_string(i % 5), "test",
+             static_cast<Time>(i) * kMillisecond,
+             static_cast<Time>(i + 1) * kMillisecond);
+      if (i % 3 == 0) t.instant("mark", "test",
+                                static_cast<Time>(i) * kMillisecond);
+      if (i % 4 == 0) t.counter("depth", static_cast<Time>(i) * kMillisecond,
+                                static_cast<double>(i));
+    }
+  };
+  Timeline unbounded;
+  build(unbounded);
+  const std::string expected = unbounded.chrome_json();
+
+  const std::string base = testing::TempDir() + "wehey_sink_test.json";
+  const std::string chunk0 = TraceSink::chunk_path(base, 0);
+  {
+    Timeline spill;
+    spill.configure_spill(4, base);
+    build(spill);
+    // The tiny buffer actually spilled, kept only a bounded tail in
+    // memory, and still renders the identical trace.
+    EXPECT_GT(spill.spill_chunks(), 0u);
+    EXPECT_GT(spill.spilled_events(), 0u);
+    EXPECT_LE(spill.events().size(), 4u);
+    EXPECT_EQ(spill.size(), unbounded.size());
+    EXPECT_EQ(spill.chrome_json(), expected);
+    // Rendering is repeatable (chunks re-read, not consumed).
+    EXPECT_EQ(spill.chrome_json(), expected);
+    std::FILE* f = std::fopen(chunk0.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fclose(f);
+  }
+  // Destroying the sink removes its chunk files.
+  EXPECT_EQ(std::fopen(chunk0.c_str(), "rb"), nullptr);
+}
+
+// A spilling parent still absorbs in-memory children deterministically.
+TEST(Timeline, StreamingSinkAbsorbsChildren) {
+  const std::string base = testing::TempDir() + "wehey_sink_absorb.json";
+  const auto run = [&](bool spill) {
+    Timeline parent;
+    if (spill) parent.configure_spill(3, base);
+    for (int c = 0; c < 4; ++c) {
+      parent.span("parent", "test", 0, kSecond);
+      Timeline child;
+      child.span("child" + std::to_string(c), "test", 0, kMillisecond);
+      child.instant("tick", "test", kMillisecond);
+      parent.absorb(std::move(child));
+    }
+    return parent.chrome_json();
+  };
+  EXPECT_EQ(run(true), run(false));
 }
 
 TEST(Timeline, JsonEscape) {
@@ -275,7 +358,7 @@ TEST(Report, SessionReportIsDeterministicAndComplete) {
   const auto jb = replay::make_run_report(cfg, b, "test_session")
                       .to_json(nullptr);
   EXPECT_EQ(ja, jb);
-  EXPECT_NE(ja.find("\"schema\": \"wehey.run_report.v1\""),
+  EXPECT_NE(ja.find("\"schema\": \"wehey.run_report.v2\""),
             std::string::npos);
   EXPECT_NE(ja.find("\"run\": \"test_session\""), std::string::npos);
   EXPECT_NE(ja.find("\"verdict\": \"localized within ISP\""),
@@ -287,6 +370,31 @@ TEST(Report, SessionReportIsDeterministicAndComplete) {
   EXPECT_NE(ja.find("\"total\": 0"), std::string::npos);
 }
 
+TEST(Report, V2PercentilesDerivedFromHistograms) {
+  MetricsRegistry m;
+  Histogram& h = m.histogram("lat_ms", 0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.observe(i * 0.1);
+  m.histogram("never_observed", 0.0, 1.0, 4);  // empty -> no percentiles
+  RunReport rep;
+  rep.run = "r";
+  const std::string json = rep.to_json(&m);
+  EXPECT_NE(json.find("\"percentiles\""), std::string::npos);
+  const auto section = json.find("\"percentiles\"");
+  const auto entry = json.find("\"lat_ms\"", section);
+  EXPECT_NE(entry, std::string::npos);
+  EXPECT_NE(json.find("\"p50\"", entry), std::string::npos);
+  EXPECT_NE(json.find("\"p90\"", entry), std::string::npos);
+  EXPECT_NE(json.find("\"p99\"", entry), std::string::npos);
+  // Empty histograms are skipped in the percentile section (they still
+  // appear under "metrics").
+  const auto metrics_at = json.find("\"metrics\"");
+  EXPECT_GT(json.find("\"never_observed\""), metrics_at);
+  // Without metrics there is still a (possibly empty) section, so the
+  // schema's key set is stable.
+  EXPECT_NE(rep.to_json(nullptr).find("\"percentiles\""),
+            std::string::npos);
+}
+
 TEST(Report, StageWallTimesOmittedByDefault) {
   RunReport rep;
   rep.run = "r";
@@ -295,6 +403,84 @@ TEST(Report, StageWallTimesOmittedByDefault) {
   const std::string json = rep.to_json(nullptr);
   EXPECT_EQ(json.find("\"wall_ms\""), json.rfind("\"wall_ms\""));
   EXPECT_NE(json.find("\"wall_ms\": 3.5"), std::string::npos);
+}
+
+// Tentpole part 1: the simulator hot paths (queues, links, TCP) populate
+// their histograms whenever a recorder is bound.
+TEST(Obs, HotPathHistogramsPopulated) {
+  Recorder rec(true, false);
+  {
+    ScopedRecorder bind(&rec);
+    run_one_session(2);
+  }
+  const auto& hists = rec.metrics().histograms();
+  for (const char* name :
+       {"queue.fifo.residency_ms", "tcp.rtt_ms", "tcp.srtt_ms",
+        "tcp.flow_srtt_ms", "tcp.flow_retx", "link.common.utilization"}) {
+    const auto it = hists.find(name);
+    ASSERT_NE(it, hists.end()) << name;
+    EXPECT_GT(it->second.count(), 0u) << name;
+  }
+  EXPECT_GT(rec.metrics().counter("net.common.busy_us").value(), 0u);
+  EXPECT_GT(rec.metrics().counter("tcp.flows").value(), 0u);
+}
+
+// The same histograms merge bit-identically across thread counts, with
+// fault injection on (the hardest case: retries, damaged uploads and
+// traceroutes all fold into the same registries).
+TEST(Obs, HotPathHistogramsIdenticalAcrossThreadCountsWithFaults) {
+  const auto observe = [](unsigned threads) {
+    Recorder rec(true, false);
+    {
+      ScopedRecorder bind(&rec);
+      parallel::parallel_map(
+          4,
+          [](std::size_t i) {
+            auto cfg = session_config(2 + i);
+            cfg.fault_plan =
+                faults::shipped_plan(i % 2 == 0 ? "kitchen-sink"
+                                                : "traceroute-damage",
+                                     5 + i);
+            topology::TopologyDatabase db;
+            replay::seed_topology_database(cfg.scenario, db);
+            return replay::run_session(cfg, db).outcome;
+          },
+          threads);
+    }
+    return rec.metrics().to_json(2);
+  };
+  const auto serial = observe(1);
+  const auto pooled = observe(4);
+  EXPECT_EQ(serial, pooled);
+  EXPECT_NE(serial.find("queue.fifo.residency_ms"), std::string::npos);
+  EXPECT_NE(serial.find("link.common.utilization"), std::string::npos);
+  EXPECT_NE(serial.find("tcp.srtt_ms"), std::string::npos);
+}
+
+// run_full_experiment_reported: a populated v2 report regardless of the
+// environment (no recorder bound here), byte-stable across reruns.
+TEST(Obs, FullExperimentReportIsPopulatedAndDeterministic) {
+  experiments::ScenarioConfig cfg =
+      experiments::default_scenario("Netflix", 3);
+  cfg.replay_duration = seconds(30);
+  const std::vector<double> t_diff = {0.06, -0.09, 0.12, -0.04,
+                                      0.08, -0.11, 0.05, -0.07,
+                                      0.10, -0.03, 0.09, -0.06};
+  const auto run_json = [&] {
+    const auto res =
+        experiments::run_full_experiment_reported(cfg, t_diff, "test_full");
+    EXPECT_FALSE(res.report.verdict.empty());
+    return res.report.to_json(&res.metrics);
+  };
+  const std::string first = run_json();
+  EXPECT_NE(first.find("\"schema\": \"wehey.run_report.v2\""),
+            std::string::npos);
+  EXPECT_NE(first.find("\"run\": \"test_full\""), std::string::npos);
+  EXPECT_NE(first.find("sim_original"), std::string::npos);
+  EXPECT_NE(first.find("single_inverted"), std::string::npos);
+  EXPECT_NE(first.find("queue.fifo.residency_ms"), std::string::npos);
+  EXPECT_NE(first.find("\"percentiles\""), std::string::npos);
+  EXPECT_EQ(first, run_json());
 }
 
 // Satellite 3: with >= 2 suitable pairs per prefix, a pair that keeps

@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Offline statistics over wehey observability artifacts.
+
+Stdlib only. Reads any mix of RunReport JSON files (wehey.run_report.v1/v2)
+and Chrome-trace JSON files (the WEHEY_TRACE output), auto-detecting each,
+and prints deterministic plain-text summaries:
+
+  * per-histogram p50/p90/p99 (v2 reports carry these precomputed; for v1
+    reports and for cross-checking they are re-derived from the bins with
+    the same interpolation the C++ writer uses),
+  * queue drop-by-reason and per-flow RTT/loss counters,
+  * per-stage simulated time,
+  * per-span-name duration percentiles for traces.
+
+The output is a pure function of the artifact bytes — no timestamps, no
+environment — so CI can diff the rendering of a WEHEY_THREADS=1 run
+against a WEHEY_THREADS=8 run to prove the artifacts are equivalent.
+
+Usage:
+  tools/trace_stats.py report.json trace.json [...]
+"""
+
+import json
+import sys
+
+
+def bins_quantile(hist, q):
+    """Quantile from a fixed-bucket histogram dict ({lo, hi, count, min,
+    max, bins}); mirrors obs::histogram_quantile bit-for-bit: linear
+    interpolation inside the crossing bucket, underflow resolves to the
+    recorded min, overflow to the recorded max, clamped to [min, max]."""
+    count = hist.get("count", 0)
+    bins = hist.get("bins", [])
+    if count <= 0 or not bins:
+        return 0.0
+    q = min(max(q, 0.0), 1.0)
+    lo, hi = hist["lo"], hist["hi"]
+    width = (hi - lo) / (len(bins) - 2)
+    target = q * count
+    cum = 0.0
+    value = hist["max"]
+    for i, n in enumerate(bins):
+        if n == 0:
+            continue
+        nxt = cum + n
+        if nxt >= target:
+            if i == 0:
+                value = hist["min"]
+            elif i == len(bins) - 1:
+                value = hist["max"]
+            else:
+                frac = (target - cum) / n
+                value = lo + (i - 1 + frac) * width
+            break
+        cum = nxt
+    return min(max(value, hist["min"]), hist["max"])
+
+
+def fmt(v):
+    """Match the C++ json_number rendering closely enough to diff: shortest
+    repr, integral values without a decimal point."""
+    if v == int(v) and abs(v) < 1e15:
+        return str(int(v))
+    return repr(float(v))
+
+
+def render_report(doc, out):
+    print(f"report {doc.get('run', '?')} "
+          f"(schema {doc.get('schema', '?')}, seed {doc.get('seed', '?')})",
+          file=out)
+    verdict = doc.get("verdict", "")
+    reason = doc.get("reason", "")
+    print(f"  verdict: {verdict}" + (f" ({reason})" if reason else ""),
+          file=out)
+    for stage in doc.get("stages", []):
+        print(f"  stage {stage['name']}: {fmt(stage['sim_ms'])} sim-ms",
+              file=out)
+
+    metrics = doc.get("metrics", {})
+    hists = metrics.get("histograms", {})
+    shipped = doc.get("percentiles", {})
+    if hists:
+        print("  percentiles (p50 / p90 / p99):", file=out)
+        for name in sorted(hists):
+            h = hists[name]
+            if h.get("count", 0) == 0:
+                continue
+            ps = [bins_quantile(h, q) for q in (0.5, 0.9, 0.99)]
+            line = (f"    {name}: {fmt(ps[0])} / {fmt(ps[1])} / {fmt(ps[2])}"
+                    f"  (n={h['count']})")
+            pre = shipped.get(name)
+            if pre is not None:
+                derived = {"p50": ps[0], "p90": ps[1], "p99": ps[2]}
+                if any(abs(pre[k] - derived[k]) > 1e-9 for k in derived):
+                    line += "  [MISMATCH vs report percentiles]"
+            print(line, file=out)
+
+    counters = metrics.get("counters", {})
+    drops = {k: v for k, v in counters.items()
+             if k.startswith("queue.") and ".drop." in k}
+    if drops:
+        print("  queue drops:", file=out)
+        for name in sorted(drops):
+            print(f"    {name}: {drops[name]}", file=out)
+    flow = {k: v for k, v in counters.items() if k.startswith("tcp.")}
+    if flow:
+        print("  tcp counters:", file=out)
+        for name in sorted(flow):
+            print(f"    {name}: {flow[name]}", file=out)
+    links = {k: v for k, v in counters.items() if k.startswith("net.")}
+    if links:
+        print("  link counters:", file=out)
+        for name in sorted(links):
+            print(f"    {name}: {links[name]}", file=out)
+
+    injection = doc.get("injection", {})
+    injected = {k: v for k, v in injection.items()
+                if v > 0 and k != "total"}
+    if injected:
+        print("  injected faults:", file=out)
+        for name in sorted(injected):
+            print(f"    {name}: {injected[name]}", file=out)
+
+
+def percentile(sorted_values, q):
+    """Nearest-rank percentile over a sorted list."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(q * len(sorted_values) + 0.5) - 1))
+    return sorted_values[rank]
+
+
+def render_trace(doc, out):
+    events = doc.get("traceEvents", [])
+    spans = {}
+    instants = {}
+    for ev in events:
+        if ev.get("ph") == "X":
+            spans.setdefault(ev["name"], []).append(ev.get("dur", 0))
+        elif ev.get("ph") == "i":
+            instants[ev["name"]] = instants.get(ev["name"], 0) + 1
+    print(f"trace: {len(events)} events, {len(spans)} span names", file=out)
+    for name in sorted(spans):
+        durs = sorted(spans[name])
+        ps = [percentile(durs, q) / 1000.0 for q in (0.5, 0.9, 0.99)]
+        total = sum(durs) / 1000.0
+        print(f"  span {name}: n={len(durs)} "
+              f"p50={fmt(ps[0])}ms p90={fmt(ps[1])}ms p99={fmt(ps[2])}ms "
+              f"total={fmt(total)}ms", file=out)
+    for name in sorted(instants):
+        print(f"  instant {name}: n={instants[name]}", file=out)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        with open(path) as f:
+            doc = json.load(f)
+        if isinstance(doc, dict) and str(doc.get("schema", "")).startswith(
+                "wehey.run_report."):
+            render_report(doc, sys.stdout)
+        elif isinstance(doc, dict) and isinstance(
+                doc.get("traceEvents"), list):
+            render_trace(doc, sys.stdout)
+        else:
+            print(f"{path}: neither a RunReport nor a Chrome trace",
+                  file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -3,7 +3,12 @@
 
 Stdlib only (no jsonschema dependency): implements the small JSON-Schema
 subset that tools/run_report_schema.json actually uses — type, const,
-required, properties, additionalProperties, items, minimum.
+enum, required, properties, additionalProperties, items, minimum.
+
+Unknown keys fail loudly: any object whose schema declares "properties"
+rejects keys it does not name unless the schema *explicitly* sets
+"additionalProperties" — the permissive JSON-Schema default would let a
+renamed or drifted report field slide through CI silently.
 
 Usage:
   tools/validate_report.py report.json [more.json ...]
@@ -45,6 +50,12 @@ def validate(value, schema, path="$"):
         if value != schema["const"]:
             errors.append(f"{path}: expected {schema['const']!r}, got {value!r}")
             return errors
+    if "enum" in schema:
+        if value not in schema["enum"]:
+            errors.append(
+                f"{path}: {value!r} not one of {schema['enum']!r}"
+            )
+            return errors
     if "type" in schema and not _type_ok(value, schema["type"]):
         errors.append(
             f"{path}: expected {schema['type']}, got {type(value).__name__}"
@@ -58,13 +69,16 @@ def validate(value, schema, path="$"):
             if key not in value:
                 errors.append(f"{path}: missing required key {key!r}")
         props = schema.get("properties", {})
-        extra = schema.get("additionalProperties", True)
+        # Strict by default wherever the schema names its keys: a report
+        # field that drifts (renamed, misspelled, new-but-undeclared) must
+        # fail validation, not vanish into the permissive default.
+        extra = schema.get("additionalProperties", not props)
         for key, sub in value.items():
             if key in props:
                 errors.extend(validate(sub, props[key], f"{path}.{key}"))
             elif isinstance(extra, dict):
                 errors.extend(validate(sub, extra, f"{path}.{key}"))
-            elif extra is False:
+            elif extra is not True:
                 errors.append(f"{path}: unexpected key {key!r}")
     if isinstance(value, list) and "items" in schema:
         for i, item in enumerate(value):
