@@ -63,7 +63,7 @@ struct PlanSummary {
 
 int main() {
   using namespace wehey;
-  bench::ObservedRun obs_run("bench_robustness");
+  bench::ObservedSweep obs_run("bench_robustness");
 
   int runs = std::getenv("WEHEY_FULL") != nullptr &&
                      std::string(std::getenv("WEHEY_FULL")) != "0"

@@ -16,7 +16,7 @@ using namespace wehey::experiments;
 
 int main() {
   bench::print_header("Table 1", "localization success rate per ISP (wild)");
-  bench::ObservedRun obs_run("bench_table1_wild");
+  bench::ObservedSweep obs_run("bench_table1_wild");
   const auto scale = run_scale();
   const std::size_t tests_per_isp = scale.full ? 50 : 12;
   const std::size_t sanity_per_isp = scale.full ? 10 : 3;
@@ -42,36 +42,46 @@ int main() {
 
     // Basic and sanity-check tests are independent full WeHeY runs; fan
     // them out as one batch on the parallel engine (first tests_per_isp
-    // entries are basic tests, the rest sanity checks).
+    // entries are basic tests, the rest sanity checks). Each test comes
+    // back as a reported run, absorbed into the sweep aggregate in index
+    // order below.
     const auto& services = trace::tcp_app_names();
-    const auto wild_outcomes = parallel::parallel_map(
+    const auto wild_results = parallel::parallel_map(
         tests_per_isp + sanity_per_isp, [&](std::size_t i) {
           WildConfig cfg = base;
+          char run_id[64];
+          std::snprintf(run_id, sizeof(run_id), "bench_table1_wild.%s.r%03zu",
+                        isp.name.c_str(), i);
           if (i < tests_per_isp) {
             cfg.seed = 1000 + i * 17;
             cfg.app = services[i % services.size()];  // §5: five services
-            return run_wild_test(cfg, t_diff);
+            return run_wild_test_reported(cfg, t_diff,
+                                          /*sanity_check=*/false, run_id);
           }
           cfg.seed = 5000 + (i - tests_per_isp) * 13;
-          return run_wild_sanity_check(cfg, t_diff);
+          return run_wild_test_reported(cfg, t_diff, /*sanity_check=*/true,
+                                        run_id);
         });
     std::size_t localized = 0;
     for (std::size_t i = 0; i < tests_per_isp; ++i) {
-      const auto& out = wild_outcomes[i];
+      const auto& out = wild_results[i].outcome;
       localized += out.localized &&
                    out.localization.mechanism ==
                        core::Mechanism::PerClientThrottling;
     }
-    for (const auto& out : wild_outcomes) obs_run.record_injection(out.injection);
+    for (const auto& res : wild_results) {
+      obs_run.record_injection(res.outcome.injection);
+      obs_run.add_run(res.report, &res.metrics);
+    }
     obs_run.report().values[isp.name + ".localized"] =
         static_cast<double>(localized);
     obs_run.report().values[isp.name + ".tests"] =
         static_cast<double>(tests_per_isp);
     std::size_t wrong_sanity = 0;
-    for (std::size_t i = tests_per_isp; i < wild_outcomes.size(); ++i) {
+    for (std::size_t i = tests_per_isp; i < wild_results.size(); ++i) {
       // Wrong behaviour: detecting a (per-client) common bottleneck while
       // a third flow shares it.
-      wrong_sanity += wild_outcomes[i].localization.mechanism ==
+      wrong_sanity += wild_results[i].outcome.localization.mechanism ==
                       core::Mechanism::PerClientThrottling;
     }
     const auto ci = stats::wilson_interval(localized, tests_per_isp);

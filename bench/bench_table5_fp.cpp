@@ -4,6 +4,7 @@
 //
 // Paper shape: FP close to or better than the 5% target for the TCP trace
 // and all five UDP apps (1.13-3.75%).
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
@@ -16,7 +17,7 @@ using namespace wehey::experiments;
 int main() {
   bench::print_header("Table 5",
                       "FP under identical rate-limiters on l1 and l2");
-  bench::ObservedRun obs_run("bench_table5_fp");
+  bench::ObservedSweep obs_run("bench_table5_fp");
   const auto scale = run_scale();
 
   // WEHEY_FAULT_PLAN injects a shipped chaos plan into every trial of the
@@ -49,12 +50,65 @@ int main() {
       }
     }
   }
-  const auto outcomes = parallel::run_trials(configs, bench::run_detectors);
+  // Each trial comes back as a reported run (cell = app) so the sweep
+  // aggregate carries per-app grid summaries and cross-cell percentiles.
+  struct TrialResult {
+    bench::DetectorOutcome outcome;
+    obs::RunReport report;
+    obs::MetricsRegistry metrics;
+  };
+  const auto results =
+      parallel::parallel_map(configs.size(), [&](std::size_t i) {
+        TrialResult res;
+        obs::Recorder* outer = obs::Recorder::current();
+        obs::Recorder local(/*metrics_on=*/true,
+                            outer != nullptr && outer->trace_on());
+        {
+          obs::ScopedRecorder bind(&local);
+          res.outcome = bench::run_detectors(configs[i]);
+        }
+        char run_id[64];
+        std::snprintf(run_id, sizeof(run_id), "bench_table5_fp.%s.r%03zu",
+                      apps[app_of[i]].c_str(), i);
+        auto& r = res.report;
+        r.run = run_id;
+        r.cell = apps[app_of[i]];
+        r.seed = configs[i].seed;
+        if (plan.has_value()) r.fault_plan = plan->name;
+        r.verdict = res.outcome.loss_trend ? "common bottleneck detected"
+                                           : "no common bottleneck";
+        std::vector<obs::ProfileSpan> spans;
+        const char* phase_names[] = {"sim_original", "sim_inverted"};
+        const Time durations[] = {res.outcome.original_duration,
+                                  res.outcome.inverted_duration};
+        for (std::int64_t p = 0; p < 2; ++p) {
+          r.add_stage(phase_names[p], 0, durations[p]);
+          spans.push_back({p, phase_names[p], 0, durations[p]});
+          spans.push_back({p, "replay_window", 0,
+                           std::min(configs[i].replay_duration,
+                                    durations[p])});
+        }
+        r.profile = obs::profile_from_spans(std::move(spans));
+        r.values["wehe_detected"] = res.outcome.wehe_detected ? 1.0 : 0.0;
+        r.values["loss_trend"] = res.outcome.loss_trend ? 1.0 : 0.0;
+        r.values["tomo_no_params"] =
+            res.outcome.tomo_no_params ? 1.0 : 0.0;
+        r.values["retx_rate"] = res.outcome.retx_rate;
+        r.values["queue_delay_ms"] = res.outcome.queue_delay_ms;
+        r.values["tput1_mbps"] = res.outcome.tput1_mbps;
+        for (const auto& [kind, count] : res.outcome.injection.by_kind()) {
+          r.injection[kind] = count;
+        }
+        res.metrics = local.metrics();
+        if (outer != nullptr) outer->absorb(std::move(local), run_id);
+        return res;
+      });
 
   std::vector<bench::FpStats> stats(apps.size());
-  for (std::size_t i = 0; i < outcomes.size(); ++i) {
-    stats[app_of[i]].add(outcomes[i]);
-    obs_run.record_injection(outcomes[i].injection);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    stats[app_of[i]].add(results[i].outcome);
+    obs_run.record_injection(results[i].outcome.injection);
+    obs_run.add_run(results[i].report, &results[i].metrics);
   }
 
   std::printf("%-9s | %-6s | %-8s | %s\n", "app", "runs", "FP rate",

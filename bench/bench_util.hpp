@@ -22,6 +22,7 @@
 #include "experiments/scenario.hpp"
 #include "faults/injector.hpp"
 #include "faults/plan.hpp"
+#include "obs/aggregate.hpp"
 #include "obs/recorder.hpp"
 #include "obs/report.hpp"
 
@@ -46,6 +47,10 @@ struct DetectorOutcome {
   double retx_rate = 0.0;       ///< p1 original-replay loss rate
   double queue_delay_ms = 0.0;  ///< p1 original-replay avg queueing delay
   double tput1_mbps = 0.0;
+  /// Simulated durations of the two phases (replay + drain), for stage
+  /// timings in per-trial reports.
+  Time original_duration = 0;
+  Time inverted_duration = 0;
   /// Summed injector tallies of the two simultaneous phases (all zero
   /// without a fault plan).
   faults::InjectionStats injection;
@@ -68,6 +73,8 @@ inline DetectorOutcome run_detectors(const experiments::ScenarioConfig& cfg) {
       core::bin_loss_tomo_no_params(sim.original.p1.meas,
                                     sim.original.p2.meas, rtt)
           .common_bottleneck;
+  out.original_duration = sim.original.sim_duration;
+  out.inverted_duration = sim.inverted.sim_duration;
   out.injection = sim.original.injection;
   out.injection += sim.inverted.injection;
   return out;
@@ -123,26 +130,39 @@ inline std::optional<faults::FaultPlan> fault_plan_from_env() {
   return faults::shipped_plan(name, seed);
 }
 
-/// The run-level observability harness every bench binary opens first
+/// The sweep-level observability harness every bench binary opens first
 /// thing: reads the obs environment (WEHEY_TRACE / WEHEY_METRICS /
-/// WEHEY_REPORT / WEHEY_REPORT_DIR), binds a run-wide obs::Recorder to
-/// the main thread for the binary's lifetime, and on destruction writes
-/// the trace artifacts and the RunReport. With none of the variables set
-/// this is a few getenv calls and nothing else.
-class ObservedRun {
+/// WEHEY_REPORT / WEHEY_REPORT_DIR / WEHEY_REPORT_MODE), binds a
+/// run-wide obs::Recorder to the main thread for the binary's lifetime,
+/// and on destruction writes the trace artifacts and the report(s). With
+/// none of the variables set this is a few getenv calls and nothing
+/// else.
+///
+/// Grid benches additionally feed every run of the sweep through
+/// add_run(): the runs fold into a SweepAggregator, and
+/// WEHEY_REPORT_MODE picks what lands on disk —
+///   per-run (default): the binary's own RunReport, plus one file per
+///                      absorbed run under WEHEY_REPORT_DIR;
+///   sweep:             only the aggregated wehey.sweep_report.v1;
+///   both:              everything.
+class ObservedSweep {
  public:
-  explicit ObservedRun(std::string run_name)
+  explicit ObservedSweep(std::string run_name)
       : obs_(obs::RunObservation::from_env()),
         bind_(obs_.recorder.get()),
+        mode_(obs::report_mode_from_env()),
+        aggregator_(run_name),
         wall_start_(std::chrono::steady_clock::now()) {
     report_.run = std::move(run_name);
   }
-  ObservedRun(const ObservedRun&) = delete;
-  ObservedRun& operator=(const ObservedRun&) = delete;
+  ObservedSweep(const ObservedSweep&) = delete;
+  ObservedSweep& operator=(const ObservedSweep&) = delete;
 
   bool enabled() const { return obs_.enabled(); }
   obs::RunReport& report() { return report_; }
   obs::Recorder* recorder() { return obs_.recorder.get(); }
+  obs::ReportMode mode() const { return mode_; }
+  obs::SweepAggregator& aggregator() { return aggregator_; }
 
   /// Fold a session's / test's injector tallies into the report.
   void record_injection(const faults::InjectionStats& stats) {
@@ -151,7 +171,27 @@ class ObservedRun {
     }
   }
 
-  ~ObservedRun() {
+  /// Absorb one run of the sweep. In per-run / both modes the run's own
+  /// report is also written as "<WEHEY_REPORT_DIR>/<run.run>.report.json"
+  /// (run names must be unique within the sweep). Call in a
+  /// deterministic order — the sweep file is byte-identical across
+  /// absorb orders anyway, but the per-run files overwrite by name.
+  void add_run(const obs::RunReport& run,
+               const obs::MetricsRegistry* metrics) {
+    aggregator_.add_run(run, metrics);
+    if (mode_ == obs::ReportMode::kSweep) return;
+    const char* dir = std::getenv("WEHEY_REPORT_DIR");
+    if (dir == nullptr || dir[0] == 0) return;
+    const std::string path =
+        std::string(dir) + "/" + run.run + ".report.json";
+    if (!obs::write_report_file(path, run.to_json(metrics))) {
+      std::fprintf(stderr, "report: FAILED to write %s\n", path.c_str());
+    }
+  }
+
+  std::size_t runs() const { return aggregator_.runs(); }
+
+  ~ObservedSweep() {
     if (obs_.enabled() && !obs_.trace_path.empty()) {
       if (obs_.write_trace()) {
         std::printf("trace: %s (+ %s)\n", obs_.trace_path.c_str(),
@@ -161,26 +201,65 @@ class ObservedRun {
                      obs_.trace_path.c_str());
       }
     }
-    const std::string path = obs::report_path_from_env(report_.run);
-    if (path.empty()) return;
+    const obs::MetricsRegistry* metrics =
+        obs_.recorder != nullptr ? &obs_.recorder->metrics() : nullptr;
+    // Profile the binary's own report if nothing filled it explicitly:
+    // from the finalized timeline when tracing (every (pid, tid) pair is
+    // its own track), else from the recorded stages (one track each —
+    // conservative: no cross-stage nesting assumed).
+    if (report_.profile.empty()) {
+      if (obs_.recorder != nullptr && obs_.recorder->trace_on()) {
+        report_.profile = obs::profile_from_spans(
+            obs::profile_spans_from_timeline(obs_.recorder->timeline()));
+      } else if (!report_.stages.empty()) {
+        std::vector<obs::ProfileSpan> spans;
+        for (std::size_t i = 0; i < report_.stages.size(); ++i) {
+          const auto& s = report_.stages[i];
+          spans.push_back({static_cast<std::int64_t>(i), s.name, s.sim_start,
+                           s.sim_end, s.wall_ms});
+        }
+        report_.profile = obs::profile_from_spans(std::move(spans));
+      }
+    }
     if (obs::report_wall_times()) {
       report_.values["wall_ms_total"] =
           std::chrono::duration<double, std::milli>(
               std::chrono::steady_clock::now() - wall_start_)
               .count();
     }
-    const obs::MetricsRegistry* metrics =
-        obs_.recorder != nullptr ? &obs_.recorder->metrics() : nullptr;
-    if (obs::write_report_file(path, report_.to_json(metrics))) {
-      std::printf("report: %s\n", path.c_str());
-    } else {
-      std::fprintf(stderr, "report: FAILED to write %s\n", path.c_str());
+    if (mode_ != obs::ReportMode::kSweep) {
+      const std::string path = obs::report_path_from_env(report_.run);
+      if (!path.empty()) {
+        if (obs::write_report_file(path, report_.to_json(metrics))) {
+          std::printf("report: %s\n", path.c_str());
+        } else {
+          std::fprintf(stderr, "report: FAILED to write %s\n", path.c_str());
+        }
+      }
+    }
+    if (mode_ != obs::ReportMode::kPerRun) {
+      const std::string path = obs::sweep_path_from_env(report_.run);
+      if (!path.empty()) {
+        // A sweep of zero absorbed runs (a single-run binary under
+        // sweep mode) aggregates its own report, so the file is never
+        // an empty shell.
+        if (aggregator_.runs() == 0) aggregator_.add_run(report_, metrics);
+        if (obs::write_report_file(path, aggregator_.to_json())) {
+          std::printf("sweep report: %s (%zu runs)\n", path.c_str(),
+                      aggregator_.runs());
+        } else {
+          std::fprintf(stderr, "sweep report: FAILED to write %s\n",
+                       path.c_str());
+        }
+      }
     }
   }
 
  private:
   obs::RunObservation obs_;
   obs::ScopedRecorder bind_;
+  obs::ReportMode mode_;
+  obs::SweepAggregator aggregator_;
   obs::RunReport report_;
   std::chrono::steady_clock::time_point wall_start_;
 };

@@ -9,20 +9,27 @@
 //   wehey_cli sweep    [--app NAME] [--runs N] [--fp]
 //   wehey_cli trace    [--seed N] [--max-events N]   (ascii packet trace)
 //   wehey_cli full     [--app NAME] [--seed N] [--out PATH] [--faults NAME]
-//                      (full 4-phase experiment -> RunReport v2; JSON to
+//                      (full 4-phase experiment -> RunReport; JSON to
 //                      stdout when no --out/WEHEY_REPORT destination)
-//   wehey_cli inspect  FILE...   (render report/trace JSON as tables)
+//   wehey_cli inspect  FILE...   (render report/sweep/trace JSON as tables)
+//   wehey_cli merge    FILE... [--out PATH] [--name SWEEP]
+//                      (offline per-run reports -> one sweep_report.v1)
+//   wehey_cli compare  BASELINE CANDIDATE [--tol X] [--tol-key RE=X]...
+//                      [--ignore RE]... [--min-key RE=X]...
+//                      (regression gate: nonzero exit on drift)
 //
 // The wild and session commands honour the observability environment
 // (WEHEY_TRACE=path, WEHEY_METRICS=1, WEHEY_REPORT=path /
-// WEHEY_REPORT_DIR=dir) and inject a shipped chaos plan with
-// --faults NAME (or WEHEY_FAULT_PLAN=NAME; seed: WEHEY_CHAOS_SEED).
+// WEHEY_REPORT_DIR=dir, WEHEY_REPORT_MODE=per-run|sweep|both) and inject
+// a shipped chaos plan with --faults NAME (or WEHEY_FAULT_PLAN=NAME;
+// seed: WEHEY_CHAOS_SEED).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/loss_correlation.hpp"
 #include "core/coupling.hpp"
@@ -32,6 +39,7 @@
 #include "faults/plan.hpp"
 #include "experiments/scenario.hpp"
 #include "netsim/tracer.hpp"
+#include "obs/aggregate.hpp"
 #include "obs/inspect.hpp"
 #include "obs/recorder.hpp"
 #include "obs/report.hpp"
@@ -81,11 +89,13 @@ class Args {
 
 /// Process-level observation shared by the subcommands. Commands fill
 /// `report`; main() binds the recorder and writes the artifacts on exit.
+/// WEHEY_REPORT_MODE picks what finish() writes: the per-run report
+/// (default), a single-run wehey.sweep_report.v1 (sweep), or both.
 struct CliObservation {
   obs::RunObservation run;
   obs::RunReport report;
 
-  void finish() const {
+  void finish() {
     if (!run.enabled()) return;
     if (!run.trace_path.empty()) {
       if (run.write_trace()) {
@@ -97,13 +107,45 @@ struct CliObservation {
       }
     }
     if (report.run.empty()) return;  // command doesn't emit a report
-    const std::string path = obs::report_path_from_env(report.run);
-    if (path.empty()) return;
-    if (obs::write_report_file(path,
-                               report.to_json(&run.recorder->metrics()))) {
-      std::fprintf(stderr, "report: %s\n", path.c_str());
-    } else {
-      std::fprintf(stderr, "report: FAILED to write %s\n", path.c_str());
+    if (report.profile.empty()) {
+      if (run.recorder != nullptr && run.recorder->trace_on()) {
+        report.profile = obs::profile_from_spans(
+            obs::profile_spans_from_timeline(run.recorder->timeline()));
+      } else if (!report.stages.empty()) {
+        std::vector<obs::ProfileSpan> spans;
+        for (std::size_t i = 0; i < report.stages.size(); ++i) {
+          const auto& s = report.stages[i];
+          spans.push_back({static_cast<std::int64_t>(i), s.name,
+                           s.sim_start, s.sim_end, s.wall_ms});
+        }
+        report.profile = obs::profile_from_spans(std::move(spans));
+      }
+    }
+    const obs::MetricsRegistry* metrics = &run.recorder->metrics();
+    const obs::ReportMode mode = obs::report_mode_from_env();
+    if (mode != obs::ReportMode::kSweep) {
+      const std::string path = obs::report_path_from_env(report.run);
+      if (!path.empty()) {
+        if (obs::write_report_file(path, report.to_json(metrics))) {
+          std::fprintf(stderr, "report: %s\n", path.c_str());
+        } else {
+          std::fprintf(stderr, "report: FAILED to write %s\n", path.c_str());
+        }
+      }
+    }
+    if (mode != obs::ReportMode::kPerRun) {
+      const std::string path = obs::sweep_path_from_env(report.run);
+      if (!path.empty()) {
+        obs::SweepAggregator agg(report.run);
+        agg.add_run(report, metrics);
+        if (obs::write_report_file(path, agg.to_json())) {
+          std::fprintf(stderr, "sweep report: %s (%zu runs)\n", path.c_str(),
+                       agg.runs());
+        } else {
+          std::fprintf(stderr, "sweep report: FAILED to write %s\n",
+                       path.c_str());
+        }
+      }
     }
   }
 };
@@ -126,12 +168,6 @@ std::optional<faults::FaultPlan> fault_plan_from(const Args& args) {
   }
   if (seed == 0) seed = 1;
   return faults::shipped_plan(name, seed);
-}
-
-void record_injection(const faults::InjectionStats& stats) {
-  for (const auto& [kind, count] : stats.by_kind()) {
-    g_obs->report.injection[kind] += count;
-  }
 }
 
 ScenarioConfig scenario_from(const Args& args) {
@@ -204,8 +240,12 @@ int cmd_wild(const Args& args) {
                 static_cast<unsigned long long>(plan->seed));
   }
   const auto t_diff = build_wild_t_diff(cfg, 12);
-  const auto out = args.has("sanity") ? run_wild_sanity_check(cfg, t_diff)
-                                      : run_wild_test(cfg, t_diff);
+  // The reported runner fills the report (stages, self-time profile,
+  // verdict, injection) and absorbs its metrics into the CLI recorder.
+  const auto res = run_wild_test_reported(cfg, t_diff,
+                                          /*sanity_check=*/args.has("sanity"),
+                                          "wehey_cli_wild");
+  const auto& out = res.outcome;
   std::printf("%s %s: confirmed=%s localized=%s (throughput p=%.3g)\n",
               cfg.isp.name.c_str(), cfg.app.c_str(),
               out.localization.confirmation_passed ? "yes" : "no",
@@ -219,14 +259,7 @@ int cmd_wild(const Args& args) {
     std::printf(" (%d phase%s hit)\n", out.faulted_phases,
                 out.faulted_phases == 1 ? "" : "s");
   }
-  g_obs->report.run = "wehey_cli_wild";
-  g_obs->report.seed = cfg.seed;
-  if (plan.has_value()) g_obs->report.fault_plan = plan->name;
-  g_obs->report.verdict = out.localized ? "localized" : "not localized";
-  g_obs->report.values["localized"] = out.localized ? 1.0 : 0.0;
-  g_obs->report.values["throughput_p"] = out.localization.throughput.p_value;
-  g_obs->report.values["faulted_phases"] = out.faulted_phases;
-  record_injection(out.injection);
+  g_obs->report = res.report;
   return 0;
 }
 
@@ -353,13 +386,176 @@ int cmd_trace(const Args& args) {
   return 0;
 }
 
+/// Parse one per-run report file into `doc`; prints its own errors.
+bool load_run_report(const std::string& path, obs::JsonValue& doc) {
+  std::string text;
+  if (!obs::read_file(path, text)) {
+    std::fprintf(stderr, "merge: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::string error;
+  if (!obs::json_parse(text, doc, &error)) {
+    std::fprintf(stderr, "merge: %s: parse error: %s\n", path.c_str(),
+                 error.c_str());
+    return false;
+  }
+  if (!obs::is_run_report(doc)) {
+    std::fprintf(stderr, "merge: %s: not a wehey run report\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Offline sweep aggregation: per-run report files in, one
+/// wehey.sweep_report.v1 out. Byte-identical to the in-process sweep the
+/// emitting binary writes under WEHEY_REPORT_MODE=sweep over the same
+/// runs — CI diffs the two.
+int cmd_merge(int argc, char** argv) {
+  std::vector<std::string> files;
+  std::string out_path;
+  std::string name;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (a == "--name" && i + 1 < argc) {
+      name = argv[++i];
+    } else if (a.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "merge: unknown flag %s\n", a.c_str());
+      return 2;
+    } else {
+      files.push_back(a);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "usage: wehey_cli merge FILE... [--out PATH] [--name "
+                 "SWEEP]\n");
+    return 2;
+  }
+  std::optional<obs::SweepAggregator> agg;
+  for (const auto& path : files) {
+    obs::JsonValue doc;
+    if (!load_run_report(path, doc)) return 1;
+    if (!agg.has_value()) {
+      // Default sweep name: the first run name up to its first '.' —
+      // per-run names follow "<sweep>.<cell>.r<index>".
+      if (name.empty()) {
+        const obs::JsonValue* run = doc.find("run");
+        if (run != nullptr) name = run->str.substr(0, run->str.find('.'));
+      }
+      agg.emplace(name);
+    }
+    std::string error;
+    if (!agg->add_run_json(doc, &error)) {
+      std::fprintf(stderr, "merge: %s: %s\n", path.c_str(), error.c_str());
+      return 1;
+    }
+  }
+  const std::string json = agg->to_json();
+  if (out_path.empty()) {
+    std::fputs(json.c_str(), stdout);
+    return 0;
+  }
+  if (!obs::write_report_file(out_path, json)) {
+    std::fprintf(stderr, "merge: FAILED to write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "sweep report: %s (%zu runs)\n", out_path.c_str(),
+               agg->runs());
+  return 0;
+}
+
+/// Split a "REGEX=VALUE" flag operand at its last '='.
+bool split_key_value(const std::string& arg, std::string& key,
+                     double& value) {
+  const auto eq = arg.rfind('=');
+  if (eq == std::string::npos || eq == 0) return false;
+  key = arg.substr(0, eq);
+  value = std::atof(arg.c_str() + eq + 1);
+  return true;
+}
+
+/// Regression gate: diff a candidate report (run or sweep) against a
+/// committed baseline with relative tolerances. Exit 0 = within
+/// tolerance, 1 = drift, 2 = usage/parse error.
+int cmd_compare(int argc, char** argv) {
+  std::vector<std::string> files;
+  obs::CompareOptions opts;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    std::string key;
+    double value = 0.0;
+    if (a == "--tol" && i + 1 < argc) {
+      opts.tolerance = std::atof(argv[++i]);
+    } else if (a == "--tol-key" && i + 1 < argc) {
+      if (!split_key_value(argv[++i], key, value)) {
+        std::fprintf(stderr, "compare: --tol-key wants REGEX=TOL\n");
+        return 2;
+      }
+      opts.key_tolerances.emplace_back(key, value);
+    } else if (a == "--ignore" && i + 1 < argc) {
+      opts.ignore.emplace_back(argv[++i]);
+    } else if (a == "--min-key" && i + 1 < argc) {
+      if (!split_key_value(argv[++i], key, value)) {
+        std::fprintf(stderr, "compare: --min-key wants REGEX=BOUND\n");
+        return 2;
+      }
+      opts.min_keys.emplace_back(key, value);
+    } else if (a.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "compare: unknown flag %s\n", a.c_str());
+      return 2;
+    } else {
+      files.push_back(a);
+    }
+  }
+  if (files.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: wehey_cli compare BASELINE CANDIDATE [--tol X] "
+                 "[--tol-key RE=X]... [--ignore RE]... [--min-key "
+                 "RE=X]...\n");
+    return 2;
+  }
+  obs::JsonValue docs[2];
+  for (int i = 0; i < 2; ++i) {
+    std::string text;
+    if (!obs::read_file(files[static_cast<std::size_t>(i)], text)) {
+      std::fprintf(stderr, "compare: cannot read %s\n",
+                   files[static_cast<std::size_t>(i)].c_str());
+      return 2;
+    }
+    std::string error;
+    if (!obs::json_parse(text, docs[i], &error)) {
+      std::fprintf(stderr, "compare: %s: parse error: %s\n",
+                   files[static_cast<std::size_t>(i)].c_str(),
+                   error.c_str());
+      return 2;
+    }
+  }
+  const auto result = obs::compare_reports(docs[0], docs[1], opts);
+  for (const auto& note : result.notes) {
+    std::fprintf(stderr, "note: %s\n", note.c_str());
+  }
+  for (const auto& failure : result.failures) {
+    std::printf("FAIL: %s\n", failure.c_str());
+  }
+  if (result.ok) {
+    std::printf("compare: OK (%s vs %s, tol %.3g)\n", files[1].c_str(),
+                files[0].c_str(), opts.tolerance);
+    return 0;
+  }
+  std::printf("compare: %zu metric(s) out of tolerance\n",
+              result.failures.size());
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: wehey_cli <testbed|wild|session|topology|sweep|"
-                 "trace|full|inspect> [--flags]\n");
+                 "trace|full|inspect|merge|compare> [--flags]\n");
     return 2;
   }
   const std::string cmd = argv[1];
@@ -367,7 +563,8 @@ int main(int argc, char** argv) {
     // Positional file arguments, no observation setup: a pure reader.
     if (argc < 3) {
       std::fprintf(stderr,
-                   "usage: wehey_cli inspect <report.json|trace.json>...\n");
+                   "usage: wehey_cli inspect "
+                   "<report.json|sweep.json|trace.json>...\n");
       return 2;
     }
     int rc = 0;
@@ -376,6 +573,8 @@ int main(int argc, char** argv) {
     }
     return rc;
   }
+  if (cmd == "merge") return cmd_merge(argc, argv);
+  if (cmd == "compare") return cmd_compare(argc, argv);
   const Args args(argc, argv, 2);
   CliObservation observation;
   observation.run = obs::RunObservation::from_env();

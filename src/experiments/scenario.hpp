@@ -111,7 +111,7 @@ core::LocalizationInput run_full_experiment(
     const ScenarioConfig& cfg, const std::vector<double>& t_diff_history);
 
 /// run_full_experiment, with the verdict drawn and the whole run packaged
-/// as a versioned RunReport ("wehey.run_report.v2").
+/// as a versioned RunReport (obs::kRunReportSchema).
 struct FullExperimentResult {
   core::LocalizationInput input;
   core::LocalizationResult localization;

@@ -184,6 +184,7 @@ PhaseReport run_wild_phase(const WildConfig& cfg, Phase phase,
     rep.p2 = net.report(id2, kSecondReplayOffset, cfg.replay_duration);
   }
   rep.limiter_drops = net.limiter_drops();
+  rep.sim_duration = sim.now();
   if (injector.enabled()) {
     bool upload_faulted = injector.on_measurement_upload(1, rep.p1.meas);
     if (simultaneous) {
@@ -238,17 +239,19 @@ std::vector<double> build_wild_t_diff(const WildConfig& cfg,
 
 namespace {
 
+constexpr Phase kWildPhases[] = {Phase::SimOriginal, Phase::SimInverted,
+                                 Phase::SingleOriginal,
+                                 Phase::SingleInverted};
+
 WildTestOutcome run_wild(const WildConfig& cfg,
                          const std::vector<double>& t_diff,
-                         bool third_replay) {
+                         bool third_replay,
+                         std::vector<PhaseReport>* phases_out = nullptr) {
   core::LocalizationInput input;
   // The four wild phases are independent simulations; run them through the
   // parallel engine (serial when nested inside an outer sweep).
-  static constexpr Phase kPhases[] = {Phase::SimOriginal, Phase::SimInverted,
-                                      Phase::SingleOriginal,
-                                      Phase::SingleInverted};
   const auto reports = parallel::parallel_map(4, [&](std::size_t i) {
-    return run_wild_phase(cfg, kPhases[i],
+    return run_wild_phase(cfg, kWildPhases[i],
                           i == 0 ? third_replay : false);
   });
   const auto& sim_orig = reports[0];
@@ -273,6 +276,7 @@ WildTestOutcome run_wild(const WildConfig& cfg,
     outcome.injection += rep.injection;
     if (rep.faulted) ++outcome.faulted_phases;
   }
+  if (phases_out != nullptr) *phases_out = reports;
   return outcome;
 }
 
@@ -286,6 +290,57 @@ WildTestOutcome run_wild_test(const WildConfig& cfg,
 WildTestOutcome run_wild_sanity_check(const WildConfig& cfg,
                                       const std::vector<double>& t_diff) {
   return run_wild(cfg, t_diff, /*third_replay=*/true);
+}
+
+WildTestResult run_wild_test_reported(const WildConfig& cfg,
+                                      const std::vector<double>& t_diff,
+                                      bool sanity_check,
+                                      const std::string& run_name) {
+  WildTestResult out;
+  // Same recorder discipline as run_full_experiment_reported: a dedicated
+  // metrics recorder keeps the report's histograms populated regardless
+  // of the environment; tracing follows the outer recorder.
+  obs::Recorder* outer = obs::Recorder::current();
+  obs::Recorder local(/*metrics_on=*/true,
+                      outer != nullptr && outer->trace_on());
+  std::vector<PhaseReport> phases;
+  {
+    obs::ScopedRecorder bind(&local);
+    out.outcome = run_wild(cfg, t_diff, /*third_replay=*/sanity_check,
+                           &phases);
+  }
+
+  auto& r = out.report;
+  r.run = run_name;
+  r.cell = cfg.isp.name;
+  r.seed = cfg.seed;
+  if (cfg.fault_plan != nullptr) r.fault_plan = cfg.fault_plan->name;
+  r.verdict = core::to_string(out.outcome.localization.verdict);
+  if (out.outcome.localization.verdict == core::Verdict::Inconclusive) {
+    r.reason =
+        core::to_string(out.outcome.localization.inconclusive_reason);
+  }
+  std::vector<obs::ProfileSpan> spans;
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const char* name = wild_phase_name(kWildPhases[i]);
+    r.add_stage(name, 0, phases[i].sim_duration);
+    // Each phase on its own track (they all start at sim time 0); the
+    // replay window is its child, so the phase's self time is the drain.
+    const std::int64_t track = static_cast<std::int64_t>(i);
+    spans.push_back({track, name, 0, phases[i].sim_duration});
+    spans.push_back({track, "replay_window", 0,
+                     std::min(cfg.replay_duration, phases[i].sim_duration)});
+  }
+  r.profile = obs::profile_from_spans(std::move(spans));
+  for (const auto& [kind, count] : out.outcome.injection.by_kind()) {
+    r.injection[kind] = count;
+  }
+  r.values["localized"] = out.outcome.localized ? 1.0 : 0.0;
+  r.values["throughput_p"] = out.outcome.localization.throughput.p_value;
+  r.values["faulted_phases"] = out.outcome.faulted_phases;
+  out.metrics = local.metrics();
+  if (outer != nullptr) outer->absorb(std::move(local), run_name);
+  return out;
 }
 
 }  // namespace wehey::experiments

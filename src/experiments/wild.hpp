@@ -85,4 +85,27 @@ WildTestOutcome run_wild_test(const WildConfig& cfg,
 WildTestOutcome run_wild_sanity_check(const WildConfig& cfg,
                                       const std::vector<double>& t_diff);
 
+/// run_wild_test / run_wild_sanity_check with the run packaged as a
+/// versioned RunReport (stages = the four wild phases, profile with
+/// replay-window self times, per-kind injection, scalar values) plus the
+/// phases' merged metrics registries.
+struct WildTestResult {
+  WildTestOutcome outcome;
+  obs::RunReport report;
+  /// The four phases' merged registries — pass to
+  /// report.to_json(&metrics).
+  obs::MetricsRegistry metrics;
+};
+
+/// Like run_full_experiment_reported: the phases run under a dedicated
+/// metrics recorder (regardless of the environment) so the report's
+/// histograms are always populated; if a recorder is already bound, the
+/// run is also absorbed into it under a `run_name` track. Deterministic
+/// across WEHEY_THREADS.
+WildTestResult run_wild_test_reported(const WildConfig& cfg,
+                                      const std::vector<double>& t_diff,
+                                      bool sanity_check = false,
+                                      const std::string& run_name =
+                                          "wild_test");
+
 }  // namespace wehey::experiments

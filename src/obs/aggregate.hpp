@@ -1,0 +1,177 @@
+// SweepAggregator: deterministic merge of per-run RunReports into one
+// "wehey.sweep_report.v1" JSON document — the sweep-scale counterpart of
+// MetricsRegistry::merge.
+//
+//   {
+//     "schema": "wehey.sweep_report.v1",
+//     "sweep": "<bench or pipeline name>",
+//     "runs": N,
+//     "fault_plans": {"(none)": N, "replay-abort": N, ...},
+//     "verdicts": {"<verdict>": N, ...},
+//     "reasons": {"<reason>": N, ...},
+//     "injection": {"<fault kind>": N, ..., "total": N},
+//     "values": {"<name>": {"count", "min", "max", "mean", "sum",
+//                            "p50", "p90", "p99"}, ...},
+//     "stages": {"<stage>": {<same summary over per-run sim_ms>}, ...},
+//     "profile": {"<stage>": {"spans": N, "sim_ms": {<summary>},
+//                              "self_sim_ms": {<summary>}}, ...},
+//     "cells": {"<cell>": {"runs": N, "verdicts": {...},
+//                           "values": {<name>: <summary>}}, ...},
+//     "cell_percentiles": {"<value>": {"cells": N, "p50", "p90", "p99"}},
+//     "percentiles": {"<histogram>": {"p50", "p90", "p99"}, ...},
+//     "metrics": {"counters": {...}, "gauges": {name: {"min", "max"}},
+//                 "histograms": {<registry layout>}}
+//   }
+//
+// Determinism contract (same as the rest of src/obs): the serialized
+// sweep report is a pure function of the *set* of absorbed runs — byte
+// identical across WEHEY_THREADS and across absorb orders. Integer
+// tallies are associative; double-valued samples are collected per run
+// and sorted numerically before any summation, so floating-point
+// non-associativity cannot leak into the output. Gauge "last" values
+// (inherently order-dependent) are dropped; only min/max survive.
+//
+// Runs can be absorbed in-process (add_run, from the live RunReport and
+// its registry) or offline (add_run_json, from a written per-run report
+// file). Because every obs writer serializes doubles via json_number
+// (shortest round-trippable decimal), the two paths absorb bit-equal
+// values and the resulting sweep files are byte-identical — CI diffs the
+// in-process sweep against `wehey_cli merge` over the per-run files.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/inspect.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+
+namespace wehey::obs {
+
+class SweepAggregator {
+ public:
+  explicit SweepAggregator(std::string sweep_name)
+      : sweep_(std::move(sweep_name)) {}
+
+  /// Absorb one run (in-process path). `metrics` is the run's registry
+  /// (may be null). The cell tally uses `report.cell`.
+  void add_run(const RunReport& report, const MetricsRegistry* metrics);
+
+  /// Absorb one run from a parsed per-run report document (offline
+  /// path, `wehey_cli merge`). Accepts any wehey.run_report.* version;
+  /// returns false and fills `error` on structural problems.
+  bool add_run_json(const JsonValue& doc, std::string* error = nullptr);
+
+  std::size_t runs() const { return runs_; }
+  const std::string& sweep_name() const { return sweep_; }
+
+  /// Serialize the aggregate (see the schema sketch above).
+  std::string to_json() const;
+
+ private:
+  /// Per-metric sample set; all statistics are derived from the sorted
+  /// samples at render time, making them independent of absorb order.
+  struct Samples {
+    std::vector<double> values;
+  };
+
+  struct ProfileAgg {
+    std::uint64_t spans = 0;
+    Samples sim_ms;
+    Samples self_sim_ms;
+  };
+
+  struct GaugeAgg {
+    bool seen = false;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
+  /// Mirror of Histogram for merged cross-run state; per-run sums stay
+  /// unsummed until render (see Samples).
+  struct HistAgg {
+    double lo = 0.0;
+    double hi = 1.0;
+    std::uint64_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    std::vector<std::uint64_t> bins;
+    Samples run_sums;  ///< one entry per contributing non-empty run
+  };
+
+  struct CellAgg {
+    std::uint64_t runs = 0;
+    std::map<std::string, std::uint64_t> verdicts;
+    std::map<std::string, Samples> values;
+  };
+
+  void tally_run(const std::string& cell, const std::string& fault_plan,
+                 const std::string& verdict, const std::string& reason);
+  void absorb_value(const std::string& cell, const std::string& name,
+                    double v);
+  void absorb_stage(const std::string& name, double sim_ms);
+  void absorb_profile(const std::string& name, std::uint64_t count,
+                      double sim_ms, double self_sim_ms);
+  void absorb_histogram(const std::string& name, double lo, double hi,
+                        std::uint64_t count, double sum, double min,
+                        double max, const std::vector<std::uint64_t>& bins);
+
+  std::string sweep_;
+  std::size_t runs_ = 0;
+  std::map<std::string, std::uint64_t> fault_plans_;
+  std::map<std::string, std::uint64_t> verdicts_;
+  std::map<std::string, std::uint64_t> reasons_;
+  std::map<std::string, std::int64_t> injection_;
+  std::map<std::string, Samples> values_;
+  std::map<std::string, Samples> stages_;
+  std::map<std::string, ProfileAgg> profile_;
+  std::map<std::string, CellAgg> cells_;
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, GaugeAgg> gauges_;
+  std::map<std::string, HistAgg> histograms_;
+};
+
+/// True when `doc` looks like a wehey.sweep_report.v1 document.
+bool is_sweep_report(const JsonValue& doc);
+
+// ---------------------------------------------------------------------------
+// Baseline comparison (`wehey_cli compare`, mirrored by
+// tools/bench_compare.py).
+
+struct CompareOptions {
+  /// Default relative tolerance for numeric drift (|cand - base| /
+  /// max(|base|, 1e-12) must stay <= tolerance; near-zero baselines fall
+  /// back to the same bound taken absolutely).
+  double tolerance = 0.05;
+  /// Per-key overrides: first regex (std::regex, searched against the
+  /// dotted key path) that matches wins.
+  std::vector<std::pair<std::string, double>> key_tolerances;
+  /// Key paths (regex) excluded from comparison entirely — wall-clock
+  /// seconds, host-dependent throughput numbers, ...
+  std::vector<std::string> ignore;
+  /// Floors: the candidate value at every key matching the regex must be
+  /// >= the given bound (used for speedup gates, independent of the
+  /// baseline value).
+  std::vector<std::pair<std::string, double>> min_keys;
+};
+
+struct CompareResult {
+  bool ok = true;
+  /// Human-readable, deterministic (key-sorted) failure lines.
+  std::vector<std::string> failures;
+  /// Non-fatal remarks (keys only present on one side, ...).
+  std::vector<std::string> notes;
+};
+
+/// Diff `candidate` against `baseline`: both documents are flattened to
+/// dotted key paths; numbers are compared with relative tolerance,
+/// strings for equality. Keys present only in the baseline fail (a
+/// metric disappeared); keys only in the candidate are notes (the schema
+/// grew).
+CompareResult compare_reports(const JsonValue& baseline,
+                              const JsonValue& candidate,
+                              const CompareOptions& options);
+
+}  // namespace wehey::obs

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <map>
 
+#include "obs/aggregate.hpp"
+
 namespace wehey::obs {
 
 // ------------------------------------------------------------- JSON parse
@@ -379,11 +381,154 @@ void render_report(const JsonValue& doc, std::FILE* out) {
     }
   }
 
+  const JsonValue* profile = doc.find("profile");
+  if (profile != nullptr && !profile->object.empty()) {
+    print_rule(out, "stage profile (sim time, self = minus children)");
+    std::fprintf(out, "  %-24s %6s %12s %12s %12s %12s\n", "stage", "count",
+                 "sim ms", "self ms", "wall ms", "self wall");
+    for (const auto& [name, e] : profile->object) {
+      const JsonValue* wall = e.find("wall_ms");
+      const JsonValue* self_wall = e.find("self_wall_ms");
+      std::fprintf(out, "  %-24s %6.0f %12.3f %12.3f",
+                   name.c_str(),
+                   e.find("count") ? e.find("count")->num_or(0) : 0.0,
+                   e.find("sim_ms") ? e.find("sim_ms")->num_or(0) : 0.0,
+                   e.find("self_sim_ms") ? e.find("self_sim_ms")->num_or(0)
+                                         : 0.0);
+      if (wall != nullptr) {
+        std::fprintf(out, " %12.3f", wall->num_or(0));
+      } else {
+        std::fprintf(out, " %12s", "-");
+      }
+      if (self_wall != nullptr) {
+        std::fprintf(out, " %12.3f", self_wall->num_or(0));
+      } else {
+        std::fprintf(out, " %12s", "-");
+      }
+      std::fputc('\n', out);
+    }
+  }
+
   const JsonValue* injection = doc.find("injection");
   if (injection != nullptr && !injection->object.empty()) {
     print_rule(out, "fault injection");
     for (const auto& [kind, n] : injection->object) {
       std::fprintf(out, "  %-28s %10.0f\n", kind.c_str(), n.num_or(0));
+    }
+  }
+}
+
+// ----------------------------------------------------------- sweep render
+
+namespace {
+
+/// One row of a {"count","min","max","mean","sum","p50","p90","p99"}
+/// summary object (sweep-report "values"/"stages" sections).
+void print_summary_row(std::FILE* out, const std::string& name,
+                       const JsonValue& s, int name_width) {
+  const auto field = [&s](const char* key) {
+    const JsonValue* v = s.find(key);
+    return v != nullptr ? v->num_or(0) : 0.0;
+  };
+  std::fprintf(out, "  %-*s %6.0f %11.4g %11.4g %11.4g %11.4g %11.4g\n",
+               name_width, name.c_str(), field("count"), field("min"),
+               field("mean"), field("p50"), field("p90"), field("max"));
+}
+
+void print_summary_header(std::FILE* out, const char* what, int name_width) {
+  std::fprintf(out, "  %-*s %6s %11s %11s %11s %11s %11s\n", name_width,
+               what, "count", "min", "mean", "p50", "p90", "max");
+}
+
+void print_tally(std::FILE* out, const JsonValue& doc, const char* key,
+                 const char* title) {
+  const JsonValue* tally = doc.find(key);
+  if (tally == nullptr || tally->object.empty()) return;
+  print_rule(out, title);
+  for (const auto& [name, n] : tally->object) {
+    std::fprintf(out, "  %-28s %10.0f\n", name.c_str(), n.num_or(0));
+  }
+}
+
+}  // namespace
+
+void render_sweep(const JsonValue& doc, std::FILE* out) {
+  std::fprintf(out, "sweep report  %s\n", str_or(doc, "schema"));
+  std::fprintf(out, "  sweep      %s\n", str_or(doc, "sweep"));
+  const JsonValue* runs = doc.find("runs");
+  std::fprintf(out, "  runs       %.0f\n",
+               runs != nullptr ? runs->num_or(0) : 0.0);
+
+  print_tally(out, doc, "verdicts", "verdicts");
+  print_tally(out, doc, "fault_plans", "fault plans");
+  print_tally(out, doc, "reasons", "reasons");
+  print_tally(out, doc, "injection", "fault injection (all runs)");
+
+  const JsonValue* stages = doc.find("stages");
+  if (stages != nullptr && !stages->object.empty()) {
+    print_rule(out, "stages (per-run sim ms)");
+    print_summary_header(out, "stage", 24);
+    for (const auto& [name, s] : stages->object) {
+      print_summary_row(out, name, s, 24);
+    }
+  }
+
+  const JsonValue* profile = doc.find("profile");
+  if (profile != nullptr && !profile->object.empty()) {
+    print_rule(out, "stage profile (self sim ms across runs)");
+    std::fprintf(out, "  %-24s %6s %11s %11s %11s %11s\n", "stage", "spans",
+                 "self mean", "self p50", "self p90", "self max");
+    for (const auto& [name, e] : profile->object) {
+      const JsonValue* self = e.find("self_sim_ms");
+      const auto field = [&self](const char* key) {
+        const JsonValue* v = self != nullptr ? self->find(key) : nullptr;
+        return v != nullptr ? v->num_or(0) : 0.0;
+      };
+      std::fprintf(out, "  %-24s %6.0f %11.4g %11.4g %11.4g %11.4g\n",
+                   name.c_str(),
+                   e.find("spans") ? e.find("spans")->num_or(0) : 0.0,
+                   field("mean"), field("p50"), field("p90"), field("max"));
+    }
+  }
+
+  const JsonValue* values = doc.find("values");
+  if (values != nullptr && !values->object.empty()) {
+    print_rule(out, "values (across runs)");
+    print_summary_header(out, "value", 28);
+    for (const auto& [name, s] : values->object) {
+      print_summary_row(out, name, s, 28);
+    }
+  }
+
+  const JsonValue* cells = doc.find("cells");
+  if (cells != nullptr && !cells->object.empty()) {
+    print_rule(out, "grid cells");
+    for (const auto& [name, cell] : cells->object) {
+      const JsonValue* cell_runs = cell.find("runs");
+      std::fprintf(out, "  %-24s %6.0f runs", name.c_str(),
+                   cell_runs != nullptr ? cell_runs->num_or(0) : 0.0);
+      const JsonValue* verdicts = cell.find("verdicts");
+      if (verdicts != nullptr) {
+        for (const auto& [verdict, n] : verdicts->object) {
+          std::fprintf(out, "  %s=%.0f", verdict.c_str(), n.num_or(0));
+        }
+      }
+      std::fputc('\n', out);
+    }
+  }
+
+  const JsonValue* percentiles = doc.find("percentiles");
+  if (percentiles != nullptr && !percentiles->object.empty()) {
+    print_rule(out, "histogram percentiles (merged bins)");
+    std::fprintf(out, "  %-28s %11s %11s %11s\n", "histogram", "p50", "p90",
+                 "p99");
+    for (const auto& [name, p] : percentiles->object) {
+      const auto field = [&p](const char* key) {
+        const JsonValue* v = p.find(key);
+        return v != nullptr ? v->num_or(0) : 0.0;
+      };
+      std::fprintf(out, "  %-28s %11.4g %11.4g %11.4g\n", name.c_str(),
+                   field("p50"), field("p90"), field("p99"));
     }
   }
 }
@@ -487,13 +632,17 @@ bool inspect_file(const std::string& path, std::FILE* out) {
     render_report(doc, out);
     return true;
   }
+  if (is_sweep_report(doc)) {
+    render_sweep(doc, out);
+    return true;
+  }
   if (is_chrome_trace(doc)) {
     render_trace(doc, out);
     return true;
   }
   std::fprintf(stderr,
-               "inspect: %s: neither a wehey run report nor a chrome "
-               "trace\n",
+               "inspect: %s: neither a wehey report (run or sweep) nor a "
+               "chrome trace\n",
                path.c_str());
   return false;
 }

@@ -1,11 +1,14 @@
-// Offline analyzer behind `wehey_cli inspect <report|trace>`.
+// Offline analyzer behind `wehey_cli inspect <report|trace|sweep>`.
 //
-// Reads the JSON artifacts the obs layer emits — wehey.run_report.v1/v2
-// RunReports and Chrome-trace timelines — and renders human-readable
-// summaries: per-stage latency, p50/p90/p99 percentiles per histogram
-// (taken from the v2 "percentiles" section when present, re-derived from
-// the bins for v1 reports), per-flow RTT/loss tables, queue-residency and
-// drop-by-reason breakdowns, and link utilization.
+// Reads the JSON artifacts the obs layer emits — wehey.run_report.v1/v2/v3
+// RunReports, wehey.sweep_report.v1 aggregates and Chrome-trace timelines —
+// and renders human-readable summaries: per-stage latency and v3 self-time
+// profiles, p50/p90/p99 percentiles per histogram (taken from the v2+
+// "percentiles" section when present, re-derived from the bins for v1
+// reports), per-flow RTT/loss tables, queue-residency and drop-by-reason
+// breakdowns, and link utilization. Every optional section may be absent
+// (older schema versions, fault-free runs): the renderer skips what is
+// missing instead of failing.
 //
 // The JSON model is deliberately tiny (no external dependency): objects
 // preserve key order, numbers are doubles — exactly what the writers in
@@ -46,6 +49,7 @@ bool is_run_report(const JsonValue& doc);
 bool is_chrome_trace(const JsonValue& doc);
 
 void render_report(const JsonValue& doc, std::FILE* out);
+void render_sweep(const JsonValue& doc, std::FILE* out);
 void render_trace(const JsonValue& doc, std::FILE* out);
 
 /// Slurp a file; false on I/O error.

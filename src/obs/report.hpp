@@ -1,25 +1,30 @@
 // RunReport: the machine-readable result of one run — a session, a wild
 // test, or a whole bench binary. One shared schema
-// ("wehey.run_report.v2", JSON) replaces the ad-hoc JSON each bench used
+// ("wehey.run_report.v3", JSON) replaces the ad-hoc JSON each bench used
 // to emit:
 //
 //   {
-//     "schema": "wehey.run_report.v2",
+//     "schema": "wehey.run_report.v3",
 //     "run": "<binary or pipeline name>",
+//     "cell": "<grid-cell label, omitted when empty>",
 //     "seed": 2,
 //     "fault_plan": "<plan name or empty>",
 //     "verdict": "<outcome string>",
 //     "reason": "<machine-readable reason, empty when n/a>",
 //     "stages": [{"name": ..., "sim_start_us": ..., "sim_end_us": ...,
 //                 "sim_ms": ..., "wall_ms": ...?}, ...],
+//     "profile": {"<stage>": {"count": N, "sim_ms": X, "self_sim_ms": X,
+//                             "wall_ms": X?, "self_wall_ms": X?}, ...},
 //     "values": {"<scalar name>": <number>, ...},
 //     "injection": {"total": N, "<fault kind>": N, ...},
 //     "percentiles": {"<histogram>": {"p50": X, "p90": X, "p99": X}, ...},
 //     "metrics": {"counters": ..., "gauges": ..., "histograms": ...}
 //   }
 //
-// v2 adds "percentiles" (derived per non-empty histogram via
-// histogram_quantile); v1 reports, which lack it, still validate against
+// v2 added "percentiles" (derived per non-empty histogram via
+// histogram_quantile); v3 adds "profile" (per-stage self time: span
+// duration minus enclosed child spans) and the optional "cell" grid
+// label. v1/v2 reports, which lack them, still validate against
 // tools/run_report_schema.json.
 //
 // Determinism contract: everything except "wall_ms" is a pure function of
@@ -28,6 +33,7 @@
 // WEHEY_REPORT_WALL=1 (stage.wall_ms < 0 suppresses the field).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -37,6 +43,16 @@
 
 namespace wehey::obs {
 
+/// The report schema emitted by RunReport::to_json. The single source of
+/// truth for the version string; tools/run_report_schema.json must list
+/// this value in its "schema" enum (asserted by tests/test_sweep.cpp).
+inline constexpr char kRunReportSchema[] = "wehey.run_report.v3";
+/// Older versions this codebase still reads (wehey_cli inspect,
+/// SweepAggregator::add_run_json).
+inline constexpr char kRunReportSchemaPrefix[] = "wehey.run_report.";
+/// Schema of the aggregated sweep report (src/obs/aggregate.hpp).
+inline constexpr char kSweepReportSchema[] = "wehey.sweep_report.v1";
+
 struct StageTiming {
   std::string name;
   Time sim_start = 0;
@@ -44,13 +60,54 @@ struct StageTiming {
   double wall_ms = -1.0;  ///< < 0: omitted from the JSON
 };
 
+/// One interval on a profiling track. Spans on the same track nest by
+/// interval containment (a span whose [start,end] lies inside another's
+/// is its child); spans on different tracks never nest. Tracks let
+/// parallel phases that all start at sim time 0 coexist without falsely
+/// appearing contained in one another.
+struct ProfileSpan {
+  std::int64_t track = 0;
+  std::string name;
+  Time start = 0;
+  Time end = 0;
+  double wall_ms = -1.0;  ///< < 0: wall time unknown
+};
+
+/// Aggregated per-stage-name profile: total time and *self* time (total
+/// minus directly enclosed child spans), on the sim clock and — when
+/// every contributing span carries one — the wall clock.
+struct ProfileEntry {
+  std::string name;
+  std::uint64_t count = 0;
+  double sim_ms = 0.0;
+  double self_sim_ms = 0.0;
+  double wall_ms = -1.0;       ///< < 0: omitted from the JSON
+  double self_wall_ms = -1.0;  ///< < 0: omitted from the JSON
+};
+
+/// Compute per-name self-time profiles from a set of spans. Deterministic:
+/// the result is sorted by name and independent of the input order.
+std::vector<ProfileEntry> profile_from_spans(std::vector<ProfileSpan> spans);
+
+class Timeline;
+
+/// Extract every complete span of a finalized timeline as a profiling
+/// interval; each (pid, tid) pair becomes its own track, so absorbed
+/// trials never falsely nest in one another.
+std::vector<ProfileSpan> profile_spans_from_timeline(const Timeline& tl);
+
 struct RunReport {
   std::string run;         ///< binary / pipeline name
+  std::string cell;        ///< grid-cell label ("ISP1", "Zoom", ...); may be
+                           ///< empty (omitted from the JSON)
   std::uint64_t seed = 0;
   std::string fault_plan;  ///< empty = fault-free
   std::string verdict;     ///< outcome string ("localized within ISP", ...)
   std::string reason;      ///< machine-readable refinement, may be empty
   std::vector<StageTiming> stages;
+  /// v3: per-stage self-time profile (see profile_from_spans). Always
+  /// emitted, possibly empty.
+  std::vector<ProfileEntry> profile;
   /// Scalar results (retry counters, success rates, ...). Sorted on
   /// output.
   std::map<std::string, double> values;
@@ -68,10 +125,27 @@ struct RunReport {
   std::string to_json(const MetricsRegistry* metrics) const;
 };
 
+/// How reports are written at the end of a sweep (WEHEY_REPORT_MODE):
+///   per-run (default) — one RunReport file per run, as before;
+///   sweep             — only the aggregated wehey.sweep_report.v1 file;
+///   both              — per-run files plus the aggregate.
+enum class ReportMode { kPerRun, kSweep, kBoth };
+
+/// Parse WEHEY_REPORT_MODE ("per-run" | "sweep" | "both"; default
+/// per-run; unknown values fall back to per-run).
+ReportMode report_mode_from_env();
+
 /// Resolve the report output path from the environment: WEHEY_REPORT
 /// (exact path) wins over WEHEY_REPORT_DIR (directory; the file is named
 /// "<run>.report.json"). Empty = reporting off.
 std::string report_path_from_env(const std::string& run_name);
+
+/// Resolve the sweep-report output path. In mode "sweep", WEHEY_REPORT
+/// names the sweep file directly; in mode "both" it names the per-run
+/// file and the sweep lands next to it at "<WEHEY_REPORT>.sweep.json".
+/// Under WEHEY_REPORT_DIR the sweep file is "<run>.sweep.json". Empty =
+/// reporting off.
+std::string sweep_path_from_env(const std::string& run_name);
 
 /// Whether per-stage wall-clock times should be recorded
 /// (WEHEY_REPORT_WALL=1; off by default to keep reports deterministic).

@@ -52,6 +52,11 @@ void Timeline::configure_spill(std::size_t max_buffered_events,
   sink_.configure(max_buffered_events, std::move(spill_base));
 }
 
+bool Timeline::for_each_event(
+    const std::function<void(const TimelineEvent&)>& fn) const {
+  return sink_.for_each(fn);
+}
+
 void Timeline::absorb(Timeline&& child) {
   const std::int32_t base = pid_count_;
   if (child.sink_.spilling()) {

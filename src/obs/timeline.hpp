@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -68,6 +69,11 @@ class Timeline {
   std::size_t spill_chunks() const { return sink_.chunk_count(); }
   /// Number of pid tracks this timeline spans (>= 1 once non-empty).
   std::int32_t pid_count() const { return pid_count_; }
+
+  /// Visit every recorded event in order — the in-memory tail plus any
+  /// spilled chunks. Returns false if a chunk file went missing.
+  bool for_each_event(
+      const std::function<void(const TimelineEvent&)>& fn) const;
 
   /// Chrome trace format: {"traceEvents": [...]} with stable field order.
   void write_chrome_json(std::FILE* out) const;

@@ -1,6 +1,7 @@
 #include "replay/session.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <optional>
 #include <string>
@@ -135,6 +136,18 @@ SessionResult run_session(const SessionConfig& cfg,
   // result.stages — and publishes counters and timeline spans to the
   // obs::Recorder bound to this thread, if any — on every return path.
   Time wehe_done = -1, lookup_done = -1, replays_done = -1, gather_done = -1;
+  // Wall-clock stamps of the same boundaries, only under
+  // WEHEY_REPORT_WALL=1 (wall times are nondeterministic by nature and
+  // would break the byte-identity contract otherwise).
+  const bool wall_on = obs::report_wall_times();
+  const auto wall_start = std::chrono::steady_clock::now();
+  double wehe_wall = -1.0, lookup_wall = -1.0, replays_wall = -1.0,
+         gather_wall = -1.0;
+  const auto wall_now = [wall_start] {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - wall_start)
+        .count();
+  };
   struct ObsFinalizer {
     SessionResult& result;
     const FigureOneNetwork& net;
@@ -143,19 +156,38 @@ SessionResult run_session(const SessionConfig& cfg,
     const Time& lookup_done;
     const Time& replays_done;
     const Time& gather_done;
+    const bool wall_on;
+    const std::chrono::steady_clock::time_point wall_start;
+    const double& wehe_wall;
+    const double& lookup_wall;
+    const double& replays_wall;
+    const double& gather_wall;
     ~ObsFinalizer() {
       result.injection = injector.stats();
-      auto add = [this](const char* name, Time s, Time e) {
+      const double end_wall =
+          wall_on ? std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - wall_start)
+                        .count()
+                  : -1.0;
+      auto add = [this, end_wall](const char* name, Time s, Time e,
+                                  double ws, double we) {
         if (s < 0) return;
-        // An unreached boundary means the session died inside this stage.
+        // An unreached boundary means the session died inside this stage
+        // (on both clocks).
+        double wall = -1.0;
+        if (wall_on && ws >= 0.0) {
+          wall = (we >= ws ? we : end_wall) - ws;
+        }
         result.stages.push_back(
-            {name, s, e >= s ? e : result.finished_at, -1.0});
+            {name, s, e >= s ? e : result.finished_at, wall});
       };
-      add("wehe_test", 0, wehe_done);
-      add("topology_query", wehe_done, lookup_done);
-      add("simultaneous_replays", lookup_done, replays_done);
-      add("gathering", replays_done, gather_done);
-      add("analysis", gather_done, result.finished_at);
+      add("wehe_test", 0, wehe_done, 0.0, wehe_wall);
+      add("topology_query", wehe_done, lookup_done, wehe_wall, lookup_wall);
+      add("simultaneous_replays", lookup_done, replays_done, lookup_wall,
+          replays_wall);
+      add("gathering", replays_done, gather_done, replays_wall, gather_wall);
+      add("analysis", gather_done, result.finished_at, gather_wall,
+          end_wall);
       obs::Recorder* rec = obs::Recorder::current();
       if (rec == nullptr) return;
       net.snapshot_metrics();
@@ -183,13 +215,18 @@ SessionResult run_session(const SessionConfig& cfg,
         for (const auto& st : result.stages) {
           tl.span(st.name, "session", st.sim_start, st.sim_end);
         }
+        for (const auto& st : result.replay_attempts) {
+          tl.span(st.name, "replay", st.sim_start, st.sim_end);
+        }
         for (const auto& ev : result.events) {
           tl.instant(ev.what, "session", ev.at);
         }
       }
     }
-  } obs_finalizer{result,      net,          injector,   wehe_done,
-                  lookup_done, replays_done, gather_done};
+  } obs_finalizer{result,       net,        injector,     wehe_done,
+                  lookup_done,  replays_done, gather_done, wall_on,
+                  wall_start,   wehe_wall,  lookup_wall,  replays_wall,
+                  gather_wall};
 
   // Background spans the whole session (all four replays plus gaps).
   // Retried replays stretch the timeline, so a faulted session needs a
@@ -268,6 +305,10 @@ SessionResult run_session(const SessionConfig& cfg,
     const int id_p0_orig = start_replay(1, false, t_orig);
     const Time t_inv = t_orig + duration + gap;
     const int id_p0_inv = start_replay(1, true, t_inv);
+    result.replay_attempts.push_back(
+        {"replay_attempt", t_orig, t_orig + duration, -1.0});
+    result.replay_attempts.push_back(
+        {"replay_attempt", t_inv, t_inv + duration, -1.0});
     t_analysis = t_inv + duration + rpc;
     sim.run(t_analysis);
     log(t_orig, "s0: original single replay");
@@ -283,6 +324,8 @@ SessionResult run_session(const SessionConfig& cfg,
       for (int attempt = 1; attempt <= max_replay_attempts; ++attempt) {
         arm_cut(1);
         const int id = start_replay(1, inverted, t);
+        result.replay_attempts.push_back(
+            {"replay_attempt", t, t + duration, -1.0});
         sim.run(t + duration);
         auto rep = net.report(id, t, duration);
         log(t, std::string("s0: ") + what + " single replay");
@@ -322,6 +365,7 @@ SessionResult run_session(const SessionConfig& cfg,
   }
 
   wehe_done = t_analysis;
+  if (wall_on) wehe_wall = wall_now();
   result.initial_wehe =
       core::detect_differentiation(p0_orig.meas, p0_inv.meas);
   if (!result.initial_wehe.differentiation) {
@@ -382,6 +426,7 @@ SessionResult run_session(const SessionConfig& cfg,
                     pair->server2 + " (converge at " +
                     pair->convergence_ip + ")");
   lookup_done = t_lookup;
+  if (wall_on) lookup_wall = wall_now();
 
   if (cfg.route_churn) {
     net.set_route_churn(true);
@@ -401,6 +446,12 @@ SessionResult run_session(const SessionConfig& cfg,
     const int id_p1_inv = start_replay(1, true, t_sim_inv);
     const int id_p2_inv =
         start_replay(2, true, t_sim_inv + kBackToBackOffset);
+    result.replay_attempts.push_back(
+        {"replay_attempt", t_sim_orig,
+         t_sim_orig + kBackToBackOffset + duration, -1.0});
+    result.replay_attempts.push_back(
+        {"replay_attempt", t_sim_inv,
+         t_sim_inv + kBackToBackOffset + duration, -1.0});
     t_end = t_sim_inv + duration + seconds(3);
     sim.run(t_end);
     log(t_sim_orig, "s1+s2: original simultaneous replay");
@@ -424,6 +475,8 @@ SessionResult run_session(const SessionConfig& cfg,
         const int id1 = start_replay(1, inverted, t);
         arm_cut(2);
         const int id2 = start_replay(2, inverted, t + kBackToBackOffset);
+        result.replay_attempts.push_back(
+            {"replay_attempt", t, t + kBackToBackOffset + duration, -1.0});
         sim.run(t + kBackToBackOffset + duration);
         const auto r1 = net.report(id1, t, duration);
         const auto r2 = net.report(id2, t + kBackToBackOffset, duration);
@@ -485,6 +538,7 @@ SessionResult run_session(const SessionConfig& cfg,
 
   // --- End-of-replay traceroutes, gathered at s1 (§3.4 steps 3-4). ---
   replays_done = t_end;
+  if (wall_on) replays_wall = wall_now();
   Time t_gather = t_end + 2 * rpc;
   if (!control_exchange(t_gather, "measurement gathering")) {
     result.outcome = SessionOutcome::ControlPlaneUnreachable;
@@ -530,6 +584,7 @@ SessionResult run_session(const SessionConfig& cfg,
   log(t_gather, "end-of-replay traceroutes: topology still suitable "
                 "(converging at " + convergence + ")");
   gather_done = t_gather;
+  if (wall_on) gather_wall = wall_now();
 
   // --- Analyses (§3.1 operations 3 and 4), run at the gathering server. ---
   core::LocalizationInput input;
@@ -588,6 +643,17 @@ obs::RunReport make_run_report(const SessionConfig& cfg,
         core::to_string(result.localization.inconclusive_reason);
   }
   report.stages = result.stages;
+  // v3 profile: the five stages tile the session's sim timeline on one
+  // track; replay-attempt windows nest inside their stage, so a stage's
+  // self time is what it spent outside actual replay traffic.
+  std::vector<obs::ProfileSpan> spans;
+  for (const auto& st : result.stages) {
+    spans.push_back({0, st.name, st.sim_start, st.sim_end, st.wall_ms});
+  }
+  for (const auto& st : result.replay_attempts) {
+    spans.push_back({0, st.name, st.sim_start, st.sim_end, st.wall_ms});
+  }
+  report.profile = obs::profile_from_spans(std::move(spans));
   report.values["replay_retries"] = result.replay_retries;
   report.values["control_retries"] = result.control_retries;
   report.values["pair_fallbacks"] = result.pair_fallbacks;

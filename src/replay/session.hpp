@@ -102,6 +102,11 @@ struct SessionResult {
   /// simultaneous_replays, gathering, analysis); stages the session never
   /// reached are absent, the stage it died in ends at finished_at.
   std::vector<obs::StageTiming> stages;
+  /// One "replay_attempt" sub-span per scheduled replay window (retries
+  /// included), nested inside the wehe_test / simultaneous_replays
+  /// stages. Feeds the RunReport v3 self-time profile and, when tracing,
+  /// the timeline.
+  std::vector<obs::StageTiming> replay_attempts;
 };
 
 /// Seed a topology database from the servers' current traceroutes to the

@@ -358,7 +358,7 @@ TEST(Report, SessionReportIsDeterministicAndComplete) {
   const auto jb = replay::make_run_report(cfg, b, "test_session")
                       .to_json(nullptr);
   EXPECT_EQ(ja, jb);
-  EXPECT_NE(ja.find("\"schema\": \"wehey.run_report.v2\""),
+  EXPECT_NE(ja.find("\"schema\": \"wehey.run_report.v3\""),
             std::string::npos);
   EXPECT_NE(ja.find("\"run\": \"test_session\""), std::string::npos);
   EXPECT_NE(ja.find("\"verdict\": \"localized within ISP\""),
@@ -473,7 +473,7 @@ TEST(Obs, FullExperimentReportIsPopulatedAndDeterministic) {
     return res.report.to_json(&res.metrics);
   };
   const std::string first = run_json();
-  EXPECT_NE(first.find("\"schema\": \"wehey.run_report.v2\""),
+  EXPECT_NE(first.find("\"schema\": \"wehey.run_report.v3\""),
             std::string::npos);
   EXPECT_NE(first.find("\"run\": \"test_full\""), std::string::npos);
   EXPECT_NE(first.find("sim_original"), std::string::npos);

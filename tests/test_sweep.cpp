@@ -1,0 +1,452 @@
+// Sweep-scale observability: the SweepAggregator merge algebra (order-
+// and thread-count-insensitive, offline == in-process), the v3 self-time
+// profile, the baseline comparator behind `wehey_cli compare`, and the
+// schema-version constants' agreement with the JSON Schema files under
+// tools/.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "experiments/wild.hpp"
+#include "obs/aggregate.hpp"
+#include "obs/inspect.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace wehey::obs {
+namespace {
+
+// ------------------------------------------------------------ profile
+
+const ProfileEntry* entry(const std::vector<ProfileEntry>& profile,
+                          const std::string& name) {
+  for (const auto& e : profile) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+TEST(Profile, SelfTimeSubtractsDirectChildrenOnly) {
+  // parent [0,10s] > child [2,5s] > grandchild [3,4s], one track: the
+  // parent's self time excludes the child but not the grandchild (which
+  // the child already pays for).
+  std::vector<ProfileSpan> spans = {
+      {0, "parent", 0, 10 * kSecond},
+      {0, "child", 2 * kSecond, 5 * kSecond},
+      {0, "grandchild", 3 * kSecond, 4 * kSecond},
+  };
+  const auto profile = profile_from_spans(spans);
+  ASSERT_EQ(profile.size(), 3u);
+  const ProfileEntry* parent = entry(profile, "parent");
+  const ProfileEntry* child = entry(profile, "child");
+  const ProfileEntry* grandchild = entry(profile, "grandchild");
+  ASSERT_NE(parent, nullptr);
+  ASSERT_NE(child, nullptr);
+  ASSERT_NE(grandchild, nullptr);
+  EXPECT_DOUBLE_EQ(parent->sim_ms, 10000.0);
+  EXPECT_DOUBLE_EQ(parent->self_sim_ms, 7000.0);
+  EXPECT_DOUBLE_EQ(child->sim_ms, 3000.0);
+  EXPECT_DOUBLE_EQ(child->self_sim_ms, 2000.0);
+  EXPECT_DOUBLE_EQ(grandchild->self_sim_ms, 1000.0);
+  // No wall times were provided, so none are reported.
+  EXPECT_LT(parent->wall_ms, 0.0);
+  EXPECT_LT(parent->self_wall_ms, 0.0);
+
+  // Input order must not matter.
+  std::vector<ProfileSpan> reversed(spans.rbegin(), spans.rend());
+  const auto again = profile_from_spans(std::move(reversed));
+  ASSERT_EQ(again.size(), profile.size());
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    EXPECT_EQ(again[i].name, profile[i].name);
+    EXPECT_DOUBLE_EQ(again[i].self_sim_ms, profile[i].self_sim_ms);
+  }
+}
+
+TEST(Profile, TracksPreventFalseNestingOfParallelPhases) {
+  // Two phases both starting at sim time 0 — the short one would look
+  // contained in the long one if they shared a track.
+  const auto same_track = profile_from_spans({
+      {0, "long", 0, 10 * kSecond},
+      {0, "short", 0, 4 * kSecond},
+  });
+  EXPECT_DOUBLE_EQ(entry(same_track, "long")->self_sim_ms, 6000.0);
+  const auto two_tracks = profile_from_spans({
+      {0, "long", 0, 10 * kSecond},
+      {1, "short", 0, 4 * kSecond},
+  });
+  EXPECT_DOUBLE_EQ(entry(two_tracks, "long")->self_sim_ms, 10000.0);
+  EXPECT_DOUBLE_EQ(entry(two_tracks, "short")->self_sim_ms, 4000.0);
+}
+
+TEST(Profile, WallTimesOnlyWhenEverySpanCarriesThem) {
+  const auto with_wall = profile_from_spans({
+      {0, "stage", 0, 2 * kSecond, 50.0},
+      {0, "inner", 0, kSecond, 30.0},
+  });
+  const ProfileEntry* stage = entry(with_wall, "stage");
+  ASSERT_NE(stage, nullptr);
+  EXPECT_DOUBLE_EQ(stage->wall_ms, 50.0);
+  EXPECT_DOUBLE_EQ(stage->self_wall_ms, 20.0);
+
+  // One span without a wall stamp poisons that name's wall columns (a
+  // partial sum would be a lie) but not its sim columns.
+  const auto partial = profile_from_spans({
+      {0, "stage", 0, 2 * kSecond, 50.0},
+      {1, "stage", 0, 2 * kSecond, -1.0},
+  });
+  const ProfileEntry* p = entry(partial, "stage");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->count, 2u);
+  EXPECT_DOUBLE_EQ(p->sim_ms, 4000.0);
+  EXPECT_LT(p->wall_ms, 0.0);
+}
+
+// ------------------------------------------------------- merge algebra
+
+/// A small synthetic per-run report + registry, deterministic in `i` and
+/// deliberately awkward: non-associative double values, per-cell labels,
+/// histograms with under/overflow.
+std::pair<RunReport, MetricsRegistry> synthetic_run(std::size_t i) {
+  RunReport r;
+  char name[32];
+  std::snprintf(name, sizeof(name), "sweep_test.c%zu.r%03zu", i % 3, i);
+  r.run = name;
+  std::snprintf(name, sizeof(name), "cell%zu", i % 3);
+  r.cell = name;
+  r.seed = 100 + i;
+  r.verdict = i % 2 == 0 ? "localized" : "no evidence";
+  if (i % 4 == 3) r.reason = "degraded measurements";
+  if (i % 5 == 0) r.fault_plan = "kitchen-sink";
+  r.values["score"] = 0.1 * static_cast<double>(i) + 1e-3 / (i + 1.0);
+  r.values["tput_mbps"] = 40.0 / (1.0 + static_cast<double>(i % 7));
+  r.injection["replays_aborted"] = static_cast<int>(i % 2);
+  r.add_stage("wehe_test", 0, (1 + Time(i)) * kSecond);
+  r.add_stage("analysis", (1 + Time(i)) * kSecond,
+              (2 + Time(i)) * kSecond);
+  r.profile = profile_from_spans({
+      {0, "wehe_test", 0, (1 + Time(i)) * kSecond},
+      {0, "replay_window", 0, kSecond / 2},
+  });
+
+  MetricsRegistry m;
+  m.counter("sim.events").inc(1000 + i);
+  m.gauge("queue.depth").set(static_cast<double>(i % 5));
+  m.gauge("queue.depth").set(static_cast<double>(10 - (i % 4)));
+  Histogram& h = m.histogram("lat_ms", 0.0, 10.0, 8);
+  h.observe(-0.5);
+  h.observe(0.07 * static_cast<double>(i % 17));
+  h.observe(0.9 * static_cast<double>(i % 13));
+  h.observe(42.0);
+  return {std::move(r), std::move(m)};
+}
+
+TEST(Sweep, AggregateIsAbsorbOrderInsensitive) {
+  const std::size_t n = 12;
+  std::vector<std::pair<RunReport, MetricsRegistry>> runs;
+  for (std::size_t i = 0; i < n; ++i) runs.push_back(synthetic_run(i));
+
+  SweepAggregator forward("sweep_test");
+  for (const auto& [r, m] : runs) forward.add_run(r, &m);
+  SweepAggregator reverse("sweep_test");
+  for (auto it = runs.rbegin(); it != runs.rend(); ++it) {
+    reverse.add_run(it->first, &it->second);
+  }
+  // An interleaved order as a third witness.
+  SweepAggregator shuffled("sweep_test");
+  for (std::size_t i = 0; i < n; i += 2) {
+    shuffled.add_run(runs[i].first, &runs[i].second);
+  }
+  for (std::size_t i = 1; i < n; i += 2) {
+    shuffled.add_run(runs[i].first, &runs[i].second);
+  }
+  const std::string json = forward.to_json();
+  EXPECT_EQ(json, reverse.to_json());
+  EXPECT_EQ(json, shuffled.to_json());
+  EXPECT_EQ(forward.runs(), n);
+  EXPECT_NE(json.find("\"schema\": \"wehey.sweep_report.v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"cells\""), std::string::npos);
+  EXPECT_NE(json.find("\"cell0\""), std::string::npos);
+  EXPECT_NE(json.find("\"profile\""), std::string::npos);
+}
+
+TEST(Sweep, OfflineJsonMergeMatchesInProcessMergeByteForByte) {
+  const std::size_t n = 9;
+  SweepAggregator in_process("sweep_test");
+  SweepAggregator offline("sweep_test");
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto [r, m] = synthetic_run(i);
+    in_process.add_run(r, &m);
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(json_parse(r.to_json(&m), doc, &error)) << error;
+    ASSERT_TRUE(offline.add_run_json(doc, &error)) << error;
+  }
+  EXPECT_EQ(in_process.to_json(), offline.to_json());
+}
+
+TEST(Sweep, RejectsNonReportDocuments) {
+  SweepAggregator agg("sweep_test");
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(json_parse("{\"schema\": \"wehey.sweep_report.v1\"}", doc));
+  EXPECT_FALSE(agg.add_run_json(doc, &error));
+  EXPECT_FALSE(error.empty());
+  ASSERT_TRUE(json_parse("[1, 2]", doc));
+  EXPECT_FALSE(agg.add_run_json(doc, &error));
+  EXPECT_EQ(agg.runs(), 0u);
+}
+
+// The acceptance property: a real grid sweep aggregated from parallel
+// trials is byte-identical across thread counts.
+TEST(Sweep, WildSweepByteIdenticalAcrossThreadCounts) {
+  using experiments::WildConfig;
+  const auto isps = experiments::default_isp_models();
+  WildConfig base;
+  base.isp = isps[0];
+  base.seed = 1;
+  const auto t_diff = experiments::build_wild_t_diff(base, 8);
+
+  const auto sweep_json = [&](unsigned threads) {
+    const auto results = parallel::parallel_map(
+        3,
+        [&](std::size_t i) {
+          WildConfig cfg = base;
+          cfg.seed = 1000 + i * 17;
+          char run_id[48];
+          std::snprintf(run_id, sizeof(run_id), "wild_sweep.r%03zu", i);
+          return experiments::run_wild_test_reported(
+              cfg, t_diff, /*sanity_check=*/false, run_id);
+        },
+        threads);
+    SweepAggregator agg("wild_sweep");
+    for (const auto& res : results) agg.add_run(res.report, &res.metrics);
+    return agg.to_json();
+  };
+  const std::string serial = sweep_json(1);
+  const std::string pooled = sweep_json(4);
+  EXPECT_EQ(serial, pooled);
+  EXPECT_NE(serial.find("\"runs\": 3"), std::string::npos);
+  EXPECT_NE(serial.find("single_original"), std::string::npos);
+  // The per-phase self time excludes the nested replay window.
+  EXPECT_NE(serial.find("\"replay_window\""), std::string::npos);
+}
+
+// ------------------------------------------------------------ compare
+
+JsonValue parse(const std::string& text) {
+  JsonValue doc;
+  std::string error;
+  EXPECT_TRUE(json_parse(text, doc, &error)) << error;
+  return doc;
+}
+
+TEST(Compare, WithinToleranceAndDriftDetected) {
+  const JsonValue base =
+      parse("{\"values\": {\"score\": {\"mean\": 100.0}}, \"runs\": 10}");
+  CompareOptions opts;
+  opts.tolerance = 0.05;
+  // 2% drift: fine.
+  const auto ok = compare_reports(
+      base, parse("{\"values\": {\"score\": {\"mean\": 102.0}}, "
+                  "\"runs\": 10}"),
+      opts);
+  EXPECT_TRUE(ok.ok) << (ok.failures.empty() ? "" : ok.failures[0]);
+  // 10% drift: out of tolerance.
+  const auto drift = compare_reports(
+      base, parse("{\"values\": {\"score\": {\"mean\": 110.0}}, "
+                  "\"runs\": 10}"),
+      opts);
+  EXPECT_FALSE(drift.ok);
+  ASSERT_EQ(drift.failures.size(), 1u);
+  EXPECT_NE(drift.failures[0].find("values.score.mean"), std::string::npos);
+  // Integer drift (runs changed) is caught by the same machinery.
+  const auto fewer = compare_reports(
+      base, parse("{\"values\": {\"score\": {\"mean\": 100.0}}, "
+                  "\"runs\": 7}"),
+      opts);
+  EXPECT_FALSE(fewer.ok);
+}
+
+TEST(Compare, MissingKeysIgnoreAndFloors) {
+  const JsonValue base =
+      parse("{\"a\": 1.0, \"wall_ms\": 5.0, \"verdict\": \"ok\"}");
+  CompareOptions opts;
+  opts.ignore.push_back("wall");
+  // Candidate dropped "a" -> failure; changed wall_ms -> ignored; new key
+  // -> note only.
+  const auto res = compare_reports(
+      base, parse("{\"wall_ms\": 500.0, \"verdict\": \"ok\", \"b\": 2}"),
+      opts);
+  EXPECT_FALSE(res.ok);
+  ASSERT_EQ(res.failures.size(), 1u);
+  EXPECT_NE(res.failures[0].find("missing in candidate: a"),
+            std::string::npos);
+  ASSERT_EQ(res.notes.size(), 1u);
+  EXPECT_NE(res.notes[0].find("b"), std::string::npos);
+  // Verdict strings compare exactly.
+  const auto verdict = compare_reports(
+      base, parse("{\"a\": 1.0, \"wall_ms\": 5.0, \"verdict\": \"bad\"}"),
+      opts);
+  EXPECT_FALSE(verdict.ok);
+
+  // min-key floors judge the candidate alone.
+  CompareOptions floors;
+  floors.min_keys.emplace_back("tput", 10.0);
+  EXPECT_TRUE(compare_reports(parse("{\"tput\": 50.0}"),
+                              parse("{\"tput\": 49.0}"), floors)
+                  .ok);
+  EXPECT_FALSE(compare_reports(parse("{\"tput\": 50.0}"),
+                               parse("{\"tput\": 9.0}"), floors)
+                   .ok);
+  // A floor that matches nothing must fail loudly, not silently pass.
+  CompareOptions dangling;
+  dangling.min_keys.emplace_back("no_such_key", 1.0);
+  EXPECT_FALSE(
+      compare_reports(parse("{\"a\": 1}"), parse("{\"a\": 1}"), dangling)
+          .ok);
+}
+
+TEST(Compare, PerKeyToleranceOverride) {
+  CompareOptions opts;
+  opts.tolerance = 0.01;
+  opts.key_tolerances.emplace_back("noisy", 0.5);
+  const auto res = compare_reports(
+      parse("{\"noisy_metric\": 100.0, \"stable\": 100.0}"),
+      parse("{\"noisy_metric\": 140.0, \"stable\": 100.5}"), opts);
+  ASSERT_EQ(res.failures.size(), 0u) << res.failures[0];
+}
+
+// ----------------------------------------------- schema single-sourcing
+
+/// The C++ constants and the JSON Schema files under tools/ must agree —
+/// a version bump that misses one side fails here, not in CI archaeology.
+TEST(Schema, ToolsSchemasNameTheCppConstants) {
+  const std::string root = WEHEY_SOURCE_DIR;
+  std::string text;
+  ASSERT_TRUE(read_file(root + "/tools/run_report_schema.json", text));
+  JsonValue run_schema;
+  std::string error;
+  ASSERT_TRUE(json_parse(text, run_schema, &error)) << error;
+  const JsonValue* run_enum = run_schema.find("properties");
+  ASSERT_NE(run_enum, nullptr);
+  run_enum = run_enum->find("schema");
+  ASSERT_NE(run_enum, nullptr);
+  run_enum = run_enum->find("enum");
+  ASSERT_NE(run_enum, nullptr);
+  bool current_listed = false;
+  for (const auto& v : run_enum->array) {
+    EXPECT_EQ(v.str.rfind(kRunReportSchemaPrefix, 0), 0u) << v.str;
+    current_listed |= v.str == kRunReportSchema;
+  }
+  EXPECT_TRUE(current_listed)
+      << "tools/run_report_schema.json enum lacks " << kRunReportSchema;
+
+  ASSERT_TRUE(read_file(root + "/tools/sweep_report_schema.json", text));
+  JsonValue sweep_schema;
+  ASSERT_TRUE(json_parse(text, sweep_schema, &error)) << error;
+  const JsonValue* sweep_const = sweep_schema.find("properties");
+  ASSERT_NE(sweep_const, nullptr);
+  sweep_const = sweep_const->find("schema");
+  ASSERT_NE(sweep_const, nullptr);
+  sweep_const = sweep_const->find("const");
+  ASSERT_NE(sweep_const, nullptr);
+  EXPECT_EQ(sweep_const->str, kSweepReportSchema);
+}
+
+// -------------------------------------------------- inspect hardening
+
+TEST(Inspect, MalformedAndUnknownFilesFailWithoutPartialOutput) {
+  const std::string dir = ::testing::TempDir();
+  const std::string bad = dir + "/bad.json";
+  ASSERT_TRUE(write_report_file(bad, "{\"schema\": \"wehey.run_report.v3\","));
+  std::FILE* sink = std::fopen((dir + "/sink.txt").c_str(), "w");
+  ASSERT_NE(sink, nullptr);
+  EXPECT_FALSE(inspect_file(bad, sink));
+  EXPECT_FALSE(inspect_file(dir + "/does_not_exist.json", sink));
+  const std::string alien = dir + "/alien.json";
+  ASSERT_TRUE(write_report_file(alien, "{\"hello\": 1}"));
+  EXPECT_FALSE(inspect_file(alien, sink));
+  // Nothing was rendered for any of the failures.
+  std::fclose(sink);
+  std::string rendered;
+  ASSERT_TRUE(read_file(dir + "/sink.txt", rendered));
+  EXPECT_TRUE(rendered.empty());
+}
+
+TEST(Inspect, DegradesGracefullyOnMissingOptionalSections) {
+  // A v1-era report: no percentiles, no profile, no cell, no metrics.
+  const std::string dir = ::testing::TempDir();
+  const std::string v1 = dir + "/v1.json";
+  ASSERT_TRUE(write_report_file(
+      v1,
+      "{\"schema\": \"wehey.run_report.v1\", \"run\": \"old\", "
+      "\"seed\": 1, \"fault_plan\": \"\", \"verdict\": \"done\", "
+      "\"reason\": \"\", \"stages\": [], \"values\": {}, "
+      "\"injection\": {}, \"metrics\": {\"counters\": {}, \"gauges\": {}, "
+      "\"histograms\": {}}}"));
+  std::FILE* sink = std::fopen((dir + "/v1.txt").c_str(), "w");
+  ASSERT_NE(sink, nullptr);
+  EXPECT_TRUE(inspect_file(v1, sink));
+  std::fclose(sink);
+  std::string rendered;
+  ASSERT_TRUE(read_file(dir + "/v1.txt", rendered));
+  EXPECT_NE(rendered.find("wehey.run_report.v1"), std::string::npos);
+  EXPECT_NE(rendered.find("old"), std::string::npos);
+}
+
+TEST(Inspect, RendersSweepReports) {
+  SweepAggregator agg("render_me");
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto [r, m] = synthetic_run(i);
+    agg.add_run(r, &m);
+  }
+  const std::string dir = ::testing::TempDir();
+  const std::string path = dir + "/sweep.json";
+  ASSERT_TRUE(write_report_file(path, agg.to_json()));
+  std::FILE* sink = std::fopen((dir + "/sweep.txt").c_str(), "w");
+  ASSERT_NE(sink, nullptr);
+  EXPECT_TRUE(inspect_file(path, sink));
+  std::fclose(sink);
+  std::string rendered;
+  ASSERT_TRUE(read_file(dir + "/sweep.txt", rendered));
+  EXPECT_NE(rendered.find("sweep report"), std::string::npos);
+  EXPECT_NE(rendered.find("render_me"), std::string::npos);
+  EXPECT_NE(rendered.find("cell0"), std::string::npos);
+  EXPECT_NE(rendered.find("stage profile"), std::string::npos);
+}
+
+// ----------------------------------------------------- report mode env
+
+TEST(ReportMode, ParsesEnvironmentKnob) {
+  ::unsetenv("WEHEY_REPORT_MODE");
+  EXPECT_EQ(report_mode_from_env(), ReportMode::kPerRun);
+  ::setenv("WEHEY_REPORT_MODE", "sweep", 1);
+  EXPECT_EQ(report_mode_from_env(), ReportMode::kSweep);
+  ::setenv("WEHEY_REPORT_MODE", "both", 1);
+  EXPECT_EQ(report_mode_from_env(), ReportMode::kBoth);
+  ::setenv("WEHEY_REPORT_MODE", "wat", 1);
+  EXPECT_EQ(report_mode_from_env(), ReportMode::kPerRun);
+  ::unsetenv("WEHEY_REPORT_MODE");
+
+  // Sweep-path resolution per mode.
+  ::setenv("WEHEY_REPORT", "/tmp/x.json", 1);
+  ::setenv("WEHEY_REPORT_MODE", "sweep", 1);
+  EXPECT_EQ(sweep_path_from_env("r"), "/tmp/x.json");
+  ::setenv("WEHEY_REPORT_MODE", "both", 1);
+  EXPECT_EQ(sweep_path_from_env("r"), "/tmp/x.json.sweep.json");
+  ::unsetenv("WEHEY_REPORT");
+  ::setenv("WEHEY_REPORT_DIR", "/tmp", 1);
+  EXPECT_EQ(sweep_path_from_env("r"), "/tmp/r.sweep.json");
+  ::unsetenv("WEHEY_REPORT_DIR");
+  ::unsetenv("WEHEY_REPORT_MODE");
+  EXPECT_EQ(sweep_path_from_env("r"), "");
+}
+
+}  // namespace
+}  // namespace wehey::obs

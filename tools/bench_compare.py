@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: diff a wehey report against a committed baseline.
+
+Stdlib-only mirror of `wehey_cli compare` (src/obs/aggregate.cpp):
+
+  * both JSON documents are flattened to dotted key paths (arrays as
+    "key[i]");
+  * numbers must stay within a relative tolerance of the baseline value
+    (|cand - base| / |base| <= tol; near-zero baselines compare the
+    difference absolutely against the same bound);
+  * strings / bools must match exactly;
+  * a key present in the baseline but missing from the candidate fails
+    (a metric disappeared); candidate-only keys are printed as notes
+    (the schema grew) but do not fail;
+  * --min-key REGEX=BOUND asserts a floor on every matching candidate
+    value, independent of the baseline (speedup gates).
+
+Usage:
+  tools/bench_compare.py BASELINE CANDIDATE [--tol 0.05]
+      [--tol-key REGEX=TOL]... [--ignore REGEX]... [--min-key REGEX=BOUND]...
+
+Exit status: 0 within tolerance, 1 on drift, 2 on usage errors.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+def flatten(value, path="", out=None):
+    if out is None:
+        out = {}
+    if isinstance(value, dict):
+        for key, child in value.items():
+            flatten(child, f"{path}.{key}" if path else key, out)
+    elif isinstance(value, list):
+        for i, child in enumerate(value):
+            flatten(child, f"{path}[{i}]", out)
+    else:
+        out[path] = value
+    return out
+
+
+def parse_key_value(arg, flag):
+    key, eq, value = arg.rpartition("=")
+    if not key:
+        raise SystemExit(f"bench_compare: {flag} wants REGEX=VALUE, got {arg!r}")
+    return key, float(value)
+
+
+def compare(base, cand, tol, key_tols, ignore, min_keys):
+    """Returns (failures, notes); both are key-sorted string lists."""
+    failures, notes = [], []
+
+    def ignored(key):
+        return any(re.search(p, key) for p in ignore)
+
+    def tolerance_for(key):
+        for pattern, key_tol in key_tols:
+            if re.search(pattern, key):
+                return key_tol
+        return tol
+
+    def fmt(x):
+        return json.dumps(x)
+
+    for key in sorted(base):
+        if ignored(key):
+            continue
+        if key not in cand:
+            failures.append(f"missing in candidate: {key}")
+            continue
+        b, c = base[key], cand[key]
+        if isinstance(b, bool) or isinstance(c, bool):
+            if b is not c:
+                failures.append(f"bool changed at {key}")
+        elif isinstance(b, (int, float)) and isinstance(c, (int, float)):
+            key_tol = tolerance_for(key)
+            diff = abs(c - b)
+            denom = abs(b)
+            bad = diff > key_tol if denom < 1e-12 else diff / denom > key_tol
+            if bad:
+                failures.append(
+                    f"out of tolerance at {key}: {fmt(b)} -> {fmt(c)} "
+                    f"(tol {key_tol:g})"
+                )
+        elif type(b) is not type(c):
+            failures.append(f"type changed at {key}")
+        elif b != c:
+            failures.append(f"string changed at {key}: {fmt(b)} -> {fmt(c)}")
+    for key in sorted(cand):
+        if key not in base and not ignored(key):
+            notes.append(f"new key (not in baseline): {key}")
+    for pattern, floor in min_keys:
+        matched = False
+        for key in sorted(cand):
+            value = cand[key]
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            if not re.search(pattern, key):
+                continue
+            matched = True
+            if value < floor:
+                failures.append(
+                    f"below floor at {key}: {fmt(value)} < {floor:g}"
+                )
+        if not matched:
+            failures.append(f"min-key pattern matched nothing: {pattern}")
+    return failures, notes
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("candidate", help="freshly produced JSON")
+    parser.add_argument("--tol", type=float, default=0.05,
+                        help="default relative tolerance (default 0.05)")
+    parser.add_argument("--tol-key", action="append", default=[],
+                        metavar="REGEX=TOL",
+                        help="per-key tolerance override (first match wins)")
+    parser.add_argument("--ignore", action="append", default=[],
+                        metavar="REGEX", help="key paths to skip entirely")
+    parser.add_argument("--min-key", action="append", default=[],
+                        metavar="REGEX=BOUND",
+                        help="floor for every matching candidate value")
+    args = parser.parse_args()
+
+    docs = []
+    for path in (args.baseline, args.candidate):
+        try:
+            with open(path) as f:
+                docs.append(flatten(json.load(f)))
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"bench_compare: {path}: {err}", file=sys.stderr)
+            return 2
+
+    key_tols = [parse_key_value(a, "--tol-key") for a in args.tol_key]
+    min_keys = [parse_key_value(a, "--min-key") for a in args.min_key]
+    failures, notes = compare(docs[0], docs[1], args.tol, key_tols,
+                              args.ignore, min_keys)
+    for note in notes:
+        print(f"note: {note}", file=sys.stderr)
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if failures:
+        print(f"bench_compare: {len(failures)} metric(s) out of tolerance")
+        return 1
+    print(f"bench_compare: OK ({args.candidate} vs {args.baseline}, "
+          f"tol {args.tol:g})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,17 +1,22 @@
 #!/usr/bin/env python3
-"""Validate wehey RunReport JSON files against the checked-in schema.
+"""Validate wehey report JSON files against the checked-in schemas.
 
 Stdlib only (no jsonschema dependency): implements the small JSON-Schema
-subset that tools/run_report_schema.json actually uses — type, const,
-enum, required, properties, additionalProperties, items, minimum.
+subset that tools/*_schema.json actually use — type, const, enum,
+required, properties, additionalProperties, items, minimum.
 
 Unknown keys fail loudly: any object whose schema declares "properties"
 rejects keys it does not name unless the schema *explicitly* sets
 "additionalProperties" — the permissive JSON-Schema default would let a
 renamed or drifted report field slide through CI silently.
 
+Each file picks its schema from its own "schema" field —
+wehey.run_report.* validates against run_report_schema.json,
+wehey.sweep_report.* against sweep_report_schema.json. --schema forces
+one schema for every file instead.
+
 Usage:
-  tools/validate_report.py report.json [more.json ...]
+  tools/validate_report.py report.json sweep.json [more.json ...]
   tools/validate_report.py --schema tools/run_report_schema.json report.json
   tools/validate_report.py --trace trace.json          # chrome-trace sanity
   tools/validate_report.py --bench-overhead BENCH_parallel.json --max 0.02
@@ -86,20 +91,42 @@ def validate(value, schema, path="$"):
     return errors
 
 
-def check_report(path, schema):
+def pick_schema(report, schemas, forced):
+    """The checked-in schema matching the document's own 'schema' field."""
+    if forced is not None:
+        return forced
+    tag = report.get("schema", "") if isinstance(report, dict) else ""
+    if tag.startswith("wehey.sweep_report."):
+        return schemas["sweep"]
+    return schemas["run"]
+
+
+def check_report(path, schemas, forced=None):
     with open(path) as f:
         report = json.load(f)
-    errors = validate(report, schema)
+    errors = validate(report, pick_schema(report, schemas, forced))
     for err in errors:
         print(f"{path}: {err}", file=sys.stderr)
-    if not errors:
+    if errors:
+        return False
+    if isinstance(report, dict) and "sweep" in report:
+        verdicts = ", ".join(
+            f"{v}={n}" for v, n in report.get("verdicts", {}).items()
+        )
+        print(
+            f"{path}: OK (sweep={report['sweep']!r}, "
+            f"runs={report.get('runs', 0)}"
+            + (f", verdicts: {verdicts}" if verdicts else "")
+            + ")"
+        )
+    else:
         stages = ", ".join(s["name"] for s in report.get("stages", []))
         print(
             f"{path}: OK (run={report['run']!r}, verdict={report['verdict']!r}"
             + (f", stages: {stages}" if stages else "")
             + f", injected={report['injection'].get('total', 0)})"
         )
-    return not errors
+    return True
 
 
 def check_trace(path):
@@ -151,10 +178,11 @@ def check_bench_overhead(path, max_overhead):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("reports", nargs="*", help="RunReport JSON files")
-    parser.add_argument("--schema",
-                        default=os.path.join(os.path.dirname(__file__),
-                                             "run_report_schema.json"))
+    parser.add_argument("reports", nargs="*",
+                        help="RunReport / sweep report JSON files")
+    parser.add_argument("--schema", default=None,
+                        help="force one schema file instead of picking by "
+                             "each document's 'schema' field")
     parser.add_argument("--trace", action="append", default=[],
                         help="chrome-trace JSON file to sanity-check")
     parser.add_argument("--bench-overhead", metavar="BENCH_JSON",
@@ -168,10 +196,17 @@ def main():
 
     ok = True
     if args.reports:
-        with open(args.schema) as f:
-            schema = json.load(f)
+        here = os.path.dirname(__file__)
+        schemas = {}
+        for kind in ("run", "sweep"):
+            with open(os.path.join(here, f"{kind}_report_schema.json")) as f:
+                schemas[kind] = json.load(f)
+        forced = None
+        if args.schema is not None:
+            with open(args.schema) as f:
+                forced = json.load(f)
         for path in args.reports:
-            ok &= check_report(path, schema)
+            ok &= check_report(path, schemas, forced)
     for path in args.trace:
         ok &= check_trace(path)
     if args.bench_overhead:
