@@ -279,43 +279,44 @@ int main() {
                 threads == 1 ? "  [baseline]" : "");
   }
 
-  // (3) Persist the trajectory.
-  const char* path_env = std::getenv("WEHEY_BENCH_JSON");
-  const std::string path =
-      path_env != nullptr && path_env[0] != 0 ? path_env
-                                              : "BENCH_parallel.json";
-  std::ofstream json(path);
-  if (json) {
-    json << "{\n";
-    json << "  \"event_loop\": {\n";
-    json << "    \"events\": " << kEvents << ",\n";
-    json << "    \"legacy_small_eps\": " << legacy_small << ",\n";
-    json << "    \"new_small_eps\": " << new_small << ",\n";
-    json << "    \"small_speedup\": " << new_small / legacy_small << ",\n";
-    json << "    \"legacy_packet_eps\": " << legacy_heavy << ",\n";
-    json << "    \"new_packet_eps\": " << new_heavy << ",\n";
-    json << "    \"packet_speedup\": " << new_heavy / legacy_heavy << "\n";
-    json << "  },\n";
-    json << "  \"observability\": {\n";
-    json << "    \"obs_idle_eps\": " << obs_idle << ",\n";
-    json << "    \"obs_active_eps\": " << obs_active << ",\n";
-    json << "    \"obs_idle_overhead\": " << obs_idle_overhead << "\n";
-    json << "  },\n";
-    json << "  \"grid\": {\n";
-    json << "    \"trials\": " << configs.size() << ",\n";
-    json << "    \"hardware_threads\": " << hw << ",\n";
-    json << "    \"runs\": [";
-    for (std::size_t i = 0; i < timings.size(); ++i) {
-      if (i > 0) json << ", ";
-      json << "{\"threads\": " << timings[i].threads
-           << ", \"seconds\": " << timings[i].seconds
-           << ", \"speedup\": " << timings[i].speedup << "}";
-    }
-    json << "]\n  }\n}\n";
-    std::printf("\nwrote %s\n", path.c_str());
-  } else {
-    std::printf("\ncould not write %s\n", path.c_str());
+  // (3) Persist the trajectory. Block-wise update: any other bench's
+  // blocks in the file (e.g. bench_background's) are preserved.
+  const std::string path = bench::bench_json_path();
+  auto event_loop = bench::jobj();
+  bench::jset(event_loop, "events", bench::jnum(kEvents));
+  bench::jset(event_loop, "legacy_small_eps", bench::jnum(legacy_small));
+  bench::jset(event_loop, "new_small_eps", bench::jnum(new_small));
+  bench::jset(event_loop, "small_speedup",
+              bench::jnum(new_small / legacy_small));
+  bench::jset(event_loop, "legacy_packet_eps", bench::jnum(legacy_heavy));
+  bench::jset(event_loop, "new_packet_eps", bench::jnum(new_heavy));
+  bench::jset(event_loop, "packet_speedup",
+              bench::jnum(new_heavy / legacy_heavy));
+  auto observability = bench::jobj();
+  bench::jset(observability, "obs_idle_eps", bench::jnum(obs_idle));
+  bench::jset(observability, "obs_active_eps", bench::jnum(obs_active));
+  bench::jset(observability, "obs_idle_overhead",
+              bench::jnum(obs_idle_overhead));
+  auto grid_block = bench::jobj();
+  bench::jset(grid_block, "trials",
+              bench::jnum(static_cast<double>(configs.size())));
+  bench::jset(grid_block, "hardware_threads", bench::jnum(hw));
+  auto runs = bench::jarr();
+  for (const auto& t : timings) {
+    auto run = bench::jobj();
+    bench::jset(run, "threads", bench::jnum(t.threads));
+    bench::jset(run, "seconds", bench::jnum(t.seconds));
+    bench::jset(run, "speedup", bench::jnum(t.speedup));
+    runs.array.push_back(std::move(run));
   }
+  bench::jset(grid_block, "runs", std::move(runs));
+  const bool wrote =
+      bench::update_bench_block(path, "event_loop", std::move(event_loop)) &&
+      bench::update_bench_block(path, "observability",
+                                std::move(observability)) &&
+      bench::update_bench_block(path, "grid", std::move(grid_block));
+  std::printf(wrote ? "\nwrote %s\n" : "\ncould not write %s\n",
+              path.c_str());
   obs_run.report().verdict = "completed";
   obs_run.report().values["event_loop.events"] = static_cast<double>(kEvents);
   obs_run.report().values["grid.trials"] = static_cast<double>(configs.size());

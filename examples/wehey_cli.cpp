@@ -532,6 +532,28 @@ int cmd_compare(int argc, char** argv) {
       return 2;
     }
   }
+  // Surface trial-grid multi-thread timings (BENCH_parallel.json "grid"
+  // blocks, recorded under bench/baselines/) so a drift verdict comes
+  // with the wall-clock context of both sides.
+  for (int i = 0; i < 2; ++i) {
+    const obs::JsonValue* grid = docs[i].find("grid");
+    const obs::JsonValue* runs = grid != nullptr ? grid->find("runs") : nullptr;
+    if (runs == nullptr || runs->type != obs::JsonValue::Type::Array) continue;
+    std::string line = i == 0 ? "grid timings (baseline):" :
+                                "grid timings (candidate):";
+    for (const auto& run : runs->array) {
+      const obs::JsonValue* threads = run.find("threads");
+      const obs::JsonValue* secs = run.find("seconds");
+      const obs::JsonValue* speedup = run.find("speedup");
+      if (threads == nullptr || secs == nullptr) continue;
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), " %dT=%.3fs(%.2fx)",
+                    static_cast<int>(threads->number), secs->number,
+                    speedup != nullptr ? speedup->number : 0.0);
+      line += buf;
+    }
+    std::fprintf(stderr, "note: %s\n", line.c_str());
+  }
   const auto result = obs::compare_reports(docs[0], docs[1], opts);
   for (const auto& note : result.notes) {
     std::fprintf(stderr, "note: %s\n", note.c_str());
