@@ -38,7 +38,24 @@ int main() {
     base.isp = isp;
     base.seed = 1;
     if (plan.has_value()) base.fault_plan = &*plan;
-    const auto t_diff = build_wild_t_diff(base, scale.full ? 14 : 10);
+    const std::size_t total = tests_per_isp + sanity_per_isp;
+
+    // Checkpoint resume (WEHEY_CHECKPOINT): runs already journaled by a
+    // killed sweep are skipped below and their reports re-absorbed
+    // byte-for-byte, so only the remainder executes.
+    std::vector<std::string> run_ids(total);
+    std::size_t live = 0;
+    for (std::size_t i = 0; i < total; ++i) {
+      char run_id[64];
+      std::snprintf(run_id, sizeof(run_id), "bench_table1_wild.%s.r%03zu",
+                    isp.name.c_str(), i);
+      run_ids[i] = run_id;
+      live += obs_run.cached(run_ids[i]) == nullptr;
+    }
+    // T_diff feeds only the tests that actually execute.
+    const auto t_diff = live > 0
+                            ? build_wild_t_diff(base, scale.full ? 14 : 10)
+                            : std::vector<double>{};
 
     // Basic and sanity-check tests are independent full WeHeY runs; fan
     // them out as one batch on the parallel engine (first tests_per_isp
@@ -46,44 +63,58 @@ int main() {
     // back as a reported run, absorbed into the sweep aggregate in index
     // order below.
     const auto& services = trace::tcp_app_names();
-    const auto wild_results = parallel::parallel_map(
-        tests_per_isp + sanity_per_isp, [&](std::size_t i) {
+    const auto wild_results =
+        parallel::parallel_map(total, [&](std::size_t i) {
+          if (obs_run.cached(run_ids[i]) != nullptr) return WildTestResult{};
           WildConfig cfg = base;
-          char run_id[64];
-          std::snprintf(run_id, sizeof(run_id), "bench_table1_wild.%s.r%03zu",
-                        isp.name.c_str(), i);
           if (i < tests_per_isp) {
             cfg.seed = 1000 + i * 17;
             cfg.app = services[i % services.size()];  // §5: five services
             return run_wild_test_reported(cfg, t_diff,
-                                          /*sanity_check=*/false, run_id);
+                                          /*sanity_check=*/false, run_ids[i]);
           }
           cfg.seed = 5000 + (i - tests_per_isp) * 13;
           return run_wild_test_reported(cfg, t_diff, /*sanity_check=*/true,
-                                        run_id);
+                                        run_ids[i]);
         });
     std::size_t localized = 0;
-    for (std::size_t i = 0; i < tests_per_isp; ++i) {
-      const auto& out = wild_results[i].outcome;
-      localized += out.localized &&
-                   out.localization.mechanism ==
-                       core::Mechanism::PerClientThrottling;
-    }
-    for (const auto& res : wild_results) {
+    std::size_t wrong_sanity = 0;
+    for (std::size_t i = 0; i < total; ++i) {
+      // Wrong sanity-check behaviour: detecting a (per-client) common
+      // bottleneck while a third flow shares it.
+      if (const auto* entry = obs_run.cached(run_ids[i])) {
+        const obs::JsonValue doc = obs_run.absorb_cached(*entry);
+        obs_run.record_injection_json(doc);
+        // Tallies come from the journaled report's scalar values.
+        const obs::JsonValue* values = doc.find("values");
+        const obs::JsonValue* pc =
+            values != nullptr ? values->find("per_client") : nullptr;
+        const bool per_client = pc != nullptr && pc->num_or(0.0) != 0.0;
+        if (i < tests_per_isp) {
+          const obs::JsonValue* loc =
+              values != nullptr ? values->find("localized") : nullptr;
+          localized += per_client && loc != nullptr && loc->num_or(0.0) != 0.0;
+        } else {
+          wrong_sanity += per_client;
+        }
+        continue;
+      }
+      const auto& res = wild_results[i];
       obs_run.record_injection(res.outcome.injection);
       obs_run.add_run(res.report, &res.metrics);
+      if (i < tests_per_isp) {
+        localized += res.outcome.localized &&
+                     res.outcome.localization.mechanism ==
+                         core::Mechanism::PerClientThrottling;
+      } else {
+        wrong_sanity += res.outcome.localization.mechanism ==
+                        core::Mechanism::PerClientThrottling;
+      }
     }
     obs_run.report().values[isp.name + ".localized"] =
         static_cast<double>(localized);
     obs_run.report().values[isp.name + ".tests"] =
         static_cast<double>(tests_per_isp);
-    std::size_t wrong_sanity = 0;
-    for (std::size_t i = tests_per_isp; i < wild_results.size(); ++i) {
-      // Wrong behaviour: detecting a (per-client) common bottleneck while
-      // a third flow shares it.
-      wrong_sanity += wild_results[i].outcome.localization.mechanism ==
-                      core::Mechanism::PerClientThrottling;
-    }
     const auto ci = stats::wilson_interval(localized, tests_per_isp);
     std::printf("%-6s | %3zu tests | %10.2f%% | %zu/%zu   (95%% CI "
                 "%.0f-%.0f%%)\n",

@@ -28,6 +28,7 @@
 #include "faults/injector.hpp"
 #include "faults/plan.hpp"
 #include "obs/aggregate.hpp"
+#include "obs/checkpoint.hpp"
 #include "obs/recorder.hpp"
 #include "obs/report.hpp"
 
@@ -159,6 +160,25 @@ class ObservedSweep {
         aggregator_(run_name),
         wall_start_(std::chrono::steady_clock::now()) {
     report_.run = std::move(run_name);
+    // Checkpointing (WEHEY_CHECKPOINT=<journal path>): an existing
+    // journal means this sweep is a resume — completed runs are served
+    // from it via cached()/absorb_cached() and only the rest execute.
+    const std::string ckpt = obs::checkpoint_path_from_env();
+    if (!ckpt.empty()) {
+      std::string error;
+      if (!obs::CheckpointJournal::load(ckpt, journal_, &error)) {
+        std::fprintf(stderr, "checkpoint: %s (ignoring journal)\n",
+                     error.c_str());
+        journal_ = obs::CheckpointJournal{};
+      }
+      if (!checkpoint_.open(ckpt, report_.run)) {
+        std::fprintf(stderr, "checkpoint: FAILED to open %s\n",
+                     ckpt.c_str());
+      } else if (!journal_.empty()) {
+        std::printf("checkpoint: resuming from %s (%zu completed runs)\n",
+                    ckpt.c_str(), journal_.size());
+      }
+    }
   }
   ObservedSweep(const ObservedSweep&) = delete;
   ObservedSweep& operator=(const ObservedSweep&) = delete;
@@ -180,17 +200,86 @@ class ObservedSweep {
   /// report is also written as "<WEHEY_REPORT_DIR>/<run.run>.report.json"
   /// (run names must be unique within the sweep). Call in a
   /// deterministic order — the sweep file is byte-identical across
-  /// absorb orders anyway, but the per-run files overwrite by name.
+  /// absorb orders anyway, but the per-run files overwrite by name and
+  /// the checkpoint journal records this order as the run index.
   void add_run(const obs::RunReport& run,
                const obs::MetricsRegistry* metrics) {
     aggregator_.add_run(run, metrics);
+    std::string json;
+    if (checkpoint_.is_open()) {
+      json = run.to_json(metrics);
+      obs::CheckpointEntry entry;
+      entry.run = run.run;
+      entry.cell = run.cell;
+      entry.seed = run.seed;
+      entry.index = next_run_index_;
+      entry.report_json = json;
+      checkpoint_.append(entry);
+    }
+    ++next_run_index_;
     if (mode_ == obs::ReportMode::kSweep) return;
     const char* dir = std::getenv("WEHEY_REPORT_DIR");
     if (dir == nullptr || dir[0] == 0) return;
     const std::string path =
         std::string(dir) + "/" + run.run + ".report.json";
-    if (!obs::write_report_file(path, run.to_json(metrics))) {
+    if (json.empty()) json = run.to_json(metrics);
+    if (!obs::write_report_file(path, json)) {
       std::fprintf(stderr, "report: FAILED to write %s\n", path.c_str());
+    }
+  }
+
+  /// The journaled entry of a completed run from the journal this sweep
+  /// resumed from, or nullptr when the run must (re-)execute.
+  const obs::CheckpointEntry* cached(const std::string& run_id) const {
+    return journal_.find(run_id);
+  }
+
+  /// Re-absorb a journaled run instead of executing it. The embedded
+  /// report's exact bytes go through the aggregator's offline path
+  /// (bit-equal to add_run) and — in per-run / both modes — back into the
+  /// per-run report file, so a resumed sweep's artifacts are
+  /// byte-identical to an uninterrupted run's. Returns the parsed report
+  /// document (Type::Null on a malformed entry) so callers can rebuild
+  /// their own tallies from it.
+  obs::JsonValue absorb_cached(const obs::CheckpointEntry& entry) {
+    obs::JsonValue doc;
+    std::string error;
+    if (!obs::json_parse(entry.report_json, doc, &error)) {
+      std::fprintf(stderr, "checkpoint: bad journaled report for %s: %s\n",
+                   entry.run.c_str(), error.c_str());
+      return obs::JsonValue{};
+    }
+    if (!aggregator_.add_run_json(doc, &error)) {
+      std::fprintf(stderr, "checkpoint: cannot absorb %s: %s\n",
+                   entry.run.c_str(), error.c_str());
+      return obs::JsonValue{};
+    }
+    ++next_run_index_;
+    if (mode_ != obs::ReportMode::kSweep) {
+      const char* dir = std::getenv("WEHEY_REPORT_DIR");
+      if (dir != nullptr && dir[0] != 0) {
+        const std::string path =
+            std::string(dir) + "/" + entry.run + ".report.json";
+        if (!obs::write_report_file(path, entry.report_json)) {
+          std::fprintf(stderr, "report: FAILED to write %s\n", path.c_str());
+        }
+      }
+    }
+    return doc;
+  }
+
+  /// record_injection for a journaled run: fold the report document's
+  /// per-kind injection counts (minus the derived "total") into the
+  /// binary's own report.
+  void record_injection_json(const obs::JsonValue& doc) {
+    const obs::JsonValue* injection = doc.find("injection");
+    if (injection == nullptr ||
+        injection->type != obs::JsonValue::Type::Object) {
+      return;
+    }
+    for (const auto& [kind, count] : injection->object) {
+      if (kind == "total") continue;
+      report_.injection[kind] += static_cast<int>(count.num_or(0.0));
     }
   }
 
@@ -266,6 +355,9 @@ class ObservedSweep {
   obs::ReportMode mode_;
   obs::SweepAggregator aggregator_;
   obs::RunReport report_;
+  obs::CheckpointJournal journal_;   ///< completed runs of a killed sweep
+  obs::CheckpointWriter checkpoint_; ///< open iff WEHEY_CHECKPOINT is set
+  std::uint64_t next_run_index_ = 0;
   std::chrono::steady_clock::time_point wall_start_;
 };
 

@@ -7,6 +7,11 @@
 //   wehey_cli session  [--seed N] [--churn] [--decline]
 //   wehey_cli topology [--clients N] [--seed N]
 //   wehey_cli sweep    [--app NAME] [--runs N] [--fp]
+//                      [--checkpoint PATH [--resume]] [--out PATH]
+//                      (with --checkpoint/--out: full experiments ->
+//                      sweep_report.v1, one flushed journal line per
+//                      completed run; --resume skips journaled runs and
+//                      reproduces the uninterrupted bytes)
 //   wehey_cli trace    [--seed N] [--max-events N]   (ascii packet trace)
 //   wehey_cli full     [--app NAME] [--seed N] [--out PATH] [--faults NAME]
 //                      (full 4-phase experiment -> RunReport; JSON to
@@ -40,6 +45,7 @@
 #include "experiments/scenario.hpp"
 #include "netsim/tracer.hpp"
 #include "obs/aggregate.hpp"
+#include "obs/checkpoint.hpp"
 #include "obs/inspect.hpp"
 #include "obs/recorder.hpp"
 #include "obs/report.hpp"
@@ -305,10 +311,99 @@ int cmd_topology(const Args& args) {
   return 0;
 }
 
+/// Checkpointed sweep: `runs` full 4-phase experiments, one flushed
+/// wehey.sweep_checkpoint.v1 journal line per completed run. With
+/// --resume, journaled runs are skipped and their reports re-absorbed in
+/// index order, so the sweep report is byte-identical to an
+/// uninterrupted run's.
+int run_checkpointed_sweep(const Args& args, const std::string& app,
+                           std::size_t runs, bool fp_mode) {
+  const std::string ckpt_path = args.get("checkpoint", "");
+  const std::string out_path = args.get("out", "");
+  const auto plan = fault_plan_from(args);
+  obs::SweepAggregator agg("wehey_cli_sweep");
+  obs::CheckpointJournal journal;
+  obs::CheckpointWriter writer;
+  if (!ckpt_path.empty()) {
+    if (args.has("resume")) {
+      std::string error;
+      if (!obs::CheckpointJournal::load(ckpt_path, journal, &error)) {
+        std::fprintf(stderr, "sweep: %s\n", error.c_str());
+        return 1;
+      }
+      if (!journal.empty()) {
+        std::fprintf(stderr, "sweep: resuming from %s (%zu completed)\n",
+                     ckpt_path.c_str(), journal.size());
+      }
+    }
+    if (!writer.open(ckpt_path, "wehey_cli_sweep")) {
+      std::fprintf(stderr, "sweep: cannot open checkpoint %s\n",
+                   ckpt_path.c_str());
+      return 1;
+    }
+  }
+  HistoryConfig hist;
+  hist.replays = 6;
+  for (std::size_t i = 0; i < runs; ++i) {
+    char run_id[64];
+    std::snprintf(run_id, sizeof(run_id), "wehey_cli_sweep.%s.r%03zu",
+                  app.c_str(), i);
+    if (const auto* entry = journal.find(run_id)) {
+      obs::JsonValue doc;
+      std::string error;
+      if (!obs::json_parse(entry->report_json, doc, &error) ||
+          !agg.add_run_json(doc, &error)) {
+        std::fprintf(stderr, "sweep: bad journal entry %s: %s\n", run_id,
+                     error.c_str());
+        return 1;
+      }
+      const obs::JsonValue* verdict = doc.find("verdict");
+      std::fprintf(stderr, "%s: cached (%s)\n", run_id,
+                   verdict != nullptr ? verdict->str.c_str() : "?");
+      continue;
+    }
+    auto cfg = default_scenario(app, 7000 + i);
+    if (fp_mode) cfg.placement = Placement::NonCommonLinks;
+    if (plan.has_value()) cfg.fault_plan = &*plan;
+    const auto t_diff = build_t_diff_history(cfg, hist);
+    auto res = run_full_experiment_reported(cfg, t_diff, run_id);
+    res.report.cell = app;
+    if (writer.is_open()) {
+      obs::CheckpointEntry entry;
+      entry.run = run_id;
+      entry.cell = res.report.cell;
+      entry.seed = res.report.seed;
+      entry.index = i;
+      entry.report_json = res.report.to_json(&res.metrics);
+      writer.append(entry);
+    }
+    agg.add_run(res.report, &res.metrics);
+    std::fprintf(stderr, "%s: %s%s%s\n", run_id,
+                 res.report.verdict.c_str(),
+                 res.report.reason.empty() ? "" : " — ",
+                 res.report.reason.c_str());
+  }
+  const std::string json = agg.to_json();
+  if (out_path.empty()) {
+    std::fputs(json.c_str(), stdout);
+    return 0;
+  }
+  if (!obs::write_report_file(out_path, json)) {
+    std::fprintf(stderr, "sweep: FAILED to write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "sweep report: %s (%zu runs)\n", out_path.c_str(),
+               agg.runs());
+  return 0;
+}
+
 int cmd_sweep(const Args& args) {
   const auto app = args.get("app", "Netflix");
   const auto runs = static_cast<std::size_t>(args.num("runs", 6));
   const bool fp_mode = args.has("fp");
+  if (args.has("checkpoint") || args.has("resume") || args.has("out")) {
+    return run_checkpointed_sweep(args, app, runs, fp_mode);
+  }
   int detected = 0, confirmed = 0;
   for (std::size_t i = 0; i < runs; ++i) {
     auto cfg = default_scenario(app, 7000 + i);

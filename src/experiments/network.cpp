@@ -247,6 +247,20 @@ ReplayCut FigureOneNetwork::take_next_cut() {
   return cut;
 }
 
+void FigureOneNetwork::launch_next_storm(Time replay_start) {
+  const ReplayStorm storm = next_storm_;
+  next_storm_ = ReplayStorm{};
+  if (!storm.active()) return;
+  // The livelock: a timer that does nothing but rearm itself. The chain
+  // floods the event heap at `interval` period forever — by design there
+  // is no termination condition here; only the supervisor's per-trial
+  // budget (src/parallel/supervisor.hpp) ends such a run.
+  netsim::Simulator* sim = &sim_;
+  const Time interval = storm.interval;
+  sim_.schedule_at(replay_start + storm.after,
+                   [sim, interval] { sim->reschedule_current(interval); });
+}
+
 int FigureOneNetwork::start_tcp_replay(int path_index,
                                        const trace::AppTrace& t, Time start,
                                        const transport::TcpConfig& tcp,
@@ -255,6 +269,7 @@ int FigureOneNetwork::start_tcp_replay(int path_index,
   WEHEY_EXPECTS(t.transport == trace::Transport::Tcp);
   WEHEY_EXPECTS(connections >= 1);
   const ReplayCut cut = take_next_cut();
+  launch_next_storm(start);
   auto rt = std::make_unique<TcpReplay>();
   rt->path = path_index;
   rt->start = start;
@@ -312,6 +327,7 @@ int FigureOneNetwork::start_udp_replay(int path_index,
                                        netsim::FlowId policer_key) {
   WEHEY_EXPECTS(t.transport == trace::Transport::Udp);
   const ReplayCut cut = take_next_cut();
+  launch_next_storm(start);
   auto rt = std::make_unique<UdpReplay>();
   rt->path = path_index;
   const netsim::FlowId flow = next_flow_++;

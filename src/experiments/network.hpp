@@ -100,6 +100,17 @@ struct ReplayCut {
   bool active() const { return after >= 0 || after_bytes >= 0; }
 };
 
+/// A retransmit livelock (fault injection, FaultKind::EventStorm): the
+/// replay's sender wedges `after` into the replay and from then on fires
+/// a timer every `interval` without ever advancing the transfer. The
+/// chain never terminates on its own — ending the run is the job of the
+/// supervisor's per-trial budget. Inactive by default.
+struct ReplayStorm {
+  Time after = -1;
+  Time interval = 0;
+  bool active() const { return after >= 0 && interval > 0; }
+};
+
 class FigureOneNetwork {
  public:
   FigureOneNetwork(netsim::Simulator& sim, const NetworkParams& params,
@@ -187,6 +198,12 @@ class FigureOneNetwork {
   /// injection). One-shot: consumed by that call, inactive again after.
   void set_next_replay_cut(const ReplayCut& cut) { next_cut_ = cut; }
 
+  /// Arm a retransmit livelock for the NEXT start_*_replay call (fault
+  /// injection). One-shot, like set_next_replay_cut.
+  void set_next_replay_storm(const ReplayStorm& storm) {
+    next_storm_ = storm;
+  }
+
   /// The client ISP's ASN used in traceroute annotations.
   static constexpr topology::Asn kClientAsn = 64500;
 
@@ -217,6 +234,10 @@ class FigureOneNetwork {
   /// Consume the one-shot cut armed for the next replay, if any.
   ReplayCut take_next_cut();
 
+  /// Consume the one-shot storm armed for the next replay, if any, and —
+  /// when active — schedule its self-perpetuating timer chain.
+  void launch_next_storm(Time replay_start);
+
   std::vector<std::unique_ptr<TcpReplay>> tcp_replays_;
   std::vector<std::unique_ptr<UdpReplay>> udp_replays_;
   std::vector<std::unique_ptr<QuicReplay>> quic_replays_;
@@ -224,6 +245,7 @@ class FigureOneNetwork {
   std::vector<std::unique_ptr<netsim::FluidSource>> fluid_;
   bool route_churn_ = false;
   ReplayCut next_cut_;
+  ReplayStorm next_storm_;
 };
 
 /// Size a token bucket per Appendix C.1: burst = rate x RTT (bytes),

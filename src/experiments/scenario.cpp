@@ -6,6 +6,7 @@
 #include "common/log.hpp"
 #include "faults/injector.hpp"
 #include "obs/recorder.hpp"
+#include "parallel/supervisor.hpp"
 #include "parallel/thread_pool.hpp"
 #include "trace/apps.hpp"
 #include "trace/background.hpp"
@@ -74,11 +75,19 @@ const char* phase_name(Phase p) {
   return "?";
 }
 
-/// Arm the network's one-shot cut if the injector aborts this replay.
+/// Arm the network's one-shot cut and/or storm if the injector faults
+/// this replay.
 void arm_replay_cut(faults::FaultInjector& inj, FigureOneNetwork& net,
                     int path, Time replay_duration) {
   if (!inj.enabled()) return;
   const auto fault = inj.on_replay_start(path);
+  if (fault.storm) {
+    ReplayStorm storm;
+    storm.after = static_cast<Time>(static_cast<double>(replay_duration) *
+                                    fault.storm_at_fraction);
+    storm.interval = fault.storm_interval;
+    net.set_next_replay_storm(storm);
+  }
   if (!fault.abort) return;
   ReplayCut cut;
   cut.after = static_cast<Time>(static_cast<double>(replay_duration) *
@@ -173,6 +182,7 @@ PhaseReport run_phase(const ScenarioConfig& cfg, Phase phase) {
   auto injector = phase_injector(cfg.fault_plan, phase_seed(cfg, phase));
 
   netsim::Simulator sim;
+  parallel::install_trial_budget(sim);
   FigureOneNetwork net(sim, derived.net, rng);
 
   // Background workloads (a fresh CAIDA-like segment per phase, as each
@@ -242,6 +252,8 @@ PhaseReport run_phase(const ScenarioConfig& cfg, Phase phase) {
   net.run(cfg.replay_duration, kDrainGrace);
 
   PhaseReport rep;
+  rep.budget_exhausted = sim.budget_exhausted();
+  rep.budget_reason = sim.budget_reason();
   rep.p1 = net.report(id1, 0, cfg.replay_duration);
   if (simultaneous) {
     rep.p2 = net.report(id2, kSecondReplayOffset, cfg.replay_duration);
@@ -264,6 +276,7 @@ PhaseReport run_phase(const ScenarioConfig& cfg, Phase phase) {
       auto& m = rec->metrics();
       m.counter("phase.count").inc();
       if (rep.faulted) m.counter("phase.faulted").inc();
+      if (rep.budget_exhausted) m.counter("phase.budget_exhausted").inc();
       for (const auto& [kind, count] : rep.injection.by_kind()) {
         if (count > 0) {
           m.counter(std::string("faults.") + kind)
@@ -339,15 +352,33 @@ FullExperimentResult run_full_experiment_reported(
   }
   out.input = assemble_input(reports, cfg, t_diff_history);
 
-  Rng analysis_rng(cfg.seed * 2654435761ULL + 9);
-  out.localization = core::localize(out.input, analysis_rng);
+  // First exhausted phase in kFullPhases order (reports are indexed by
+  // phase, so this is deterministic regardless of completion order).
+  bool budget_exhausted = false;
+  std::string budget_reason;
+  for (const auto& rep : reports) {
+    if (!rep.budget_exhausted) continue;
+    budget_exhausted = true;
+    budget_reason = rep.budget_reason;
+    break;
+  }
+  if (!budget_exhausted) {
+    Rng analysis_rng(cfg.seed * 2654435761ULL + 9);
+    out.localization = core::localize(out.input, analysis_rng);
+  }
+  // A budget-stopped phase yields a truncated measurement, not evidence:
+  // the run's verdict is the machine-readable budget outcome and the
+  // analyses never see the stump.
 
   auto& r = out.report;
   r.run = run_name;
   r.seed = cfg.seed;
   if (cfg.fault_plan != nullptr) r.fault_plan = cfg.fault_plan->name;
-  r.verdict = core::to_string(out.localization.verdict);
-  if (out.localization.verdict == core::Verdict::Inconclusive) {
+  r.verdict = budget_exhausted ? obs::kBudgetExhaustedVerdict
+                               : core::to_string(out.localization.verdict);
+  if (budget_exhausted) {
+    r.reason = std::string("budget:") + budget_reason;
+  } else if (out.localization.verdict == core::Verdict::Inconclusive) {
     r.reason = core::to_string(out.localization.inconclusive_reason);
   }
   faults::InjectionStats injection;

@@ -97,6 +97,12 @@ struct PhaseReport {
   faults::InjectionStats injection;
   /// Simulated time the phase's network ran for (replay + drain grace).
   Time sim_duration = 0;
+  /// The supervisor's per-trial budget ended this phase early (event-count
+  /// or sim-time ceiling, src/parallel/supervisor.hpp). The phase's
+  /// measurements cover only the part before the stop and must not feed
+  /// the localization analyses.
+  bool budget_exhausted = false;
+  std::string budget_reason;  ///< "events" or "sim_time" when exhausted
 };
 
 /// Derived quantities shared by phases and by the benches.

@@ -8,6 +8,7 @@
 #include "common/check.hpp"
 #include "faults/injector.hpp"
 #include "obs/recorder.hpp"
+#include "parallel/supervisor.hpp"
 #include "parallel/thread_pool.hpp"
 #include "stats/descriptive.hpp"
 #include "trace/apps.hpp"
@@ -108,6 +109,13 @@ void arm_replay_cut(faults::FaultInjector& inj, FigureOneNetwork& net,
                     int path, Time replay_duration) {
   if (!inj.enabled()) return;
   const auto fault = inj.on_replay_start(path);
+  if (fault.storm) {
+    ReplayStorm storm;
+    storm.after = static_cast<Time>(static_cast<double>(replay_duration) *
+                                    fault.storm_at_fraction);
+    storm.interval = fault.storm_interval;
+    net.set_next_replay_storm(storm);
+  }
   if (!fault.abort) return;
   ReplayCut cut;
   cut.after = static_cast<Time>(static_cast<double>(replay_duration) *
@@ -141,6 +149,7 @@ PhaseReport run_wild_phase(const WildConfig& cfg, Phase phase,
   Rng rng(phase_seed(cfg, phase));
 
   netsim::Simulator sim;
+  parallel::install_trial_budget(sim);
   FigureOneNetwork net(sim, wild_network_params(cfg, trace_rate), rng);
 
   // The client's own light background (not differentiated).
@@ -191,6 +200,8 @@ PhaseReport run_wild_phase(const WildConfig& cfg, Phase phase,
   net.run(cfg.replay_duration, kDrainGrace);
 
   PhaseReport rep;
+  rep.budget_exhausted = sim.budget_exhausted();
+  rep.budget_reason = sim.budget_reason();
   rep.p1 = net.report(id1, 0, cfg.replay_duration);
   if (simultaneous) {
     rep.p2 = net.report(id2, kSecondReplayOffset, cfg.replay_duration);
@@ -211,6 +222,7 @@ PhaseReport run_wild_phase(const WildConfig& cfg, Phase phase,
       auto& m = rec->metrics();
       m.counter("phase.count").inc();
       if (rep.faulted) m.counter("phase.faulted").inc();
+      if (rep.budget_exhausted) m.counter("phase.budget_exhausted").inc();
       for (const auto& [kind, count] : rep.injection.by_kind()) {
         if (count > 0) {
           m.counter(std::string("faults.") + kind)
@@ -279,14 +291,22 @@ WildTestOutcome run_wild(const WildConfig& cfg,
   input.t_diff_history = t_diff;
   input.base_rtt = milliseconds(cfg.rtt_ms);
 
-  Rng rng(cfg.seed * 2654435761ULL + 101);
   WildTestOutcome outcome;
-  outcome.localization = core::localize(input, rng);
-  outcome.localized = outcome.localization.verdict ==
-                      core::Verdict::EvidenceWithinTargetArea;
   for (const auto& rep : reports) {
     outcome.injection += rep.injection;
     if (rep.faulted) ++outcome.faulted_phases;
+    if (rep.budget_exhausted && !outcome.budget_exhausted) {
+      outcome.budget_exhausted = true;
+      outcome.budget_reason = rep.budget_reason;
+    }
+  }
+  if (!outcome.budget_exhausted) {
+    // A budget-stopped phase left a stump, not a measurement: skip the
+    // analyses, the test's verdict is the budget outcome.
+    Rng rng(cfg.seed * 2654435761ULL + 101);
+    outcome.localization = core::localize(input, rng);
+    outcome.localized = outcome.localization.verdict ==
+                        core::Verdict::EvidenceWithinTargetArea;
   }
   if (phases_out != nullptr) *phases_out = reports;
   return outcome;
@@ -327,10 +347,15 @@ WildTestResult run_wild_test_reported(const WildConfig& cfg,
   r.cell = cfg.isp.name;
   r.seed = cfg.seed;
   if (cfg.fault_plan != nullptr) r.fault_plan = cfg.fault_plan->name;
-  r.verdict = core::to_string(out.outcome.localization.verdict);
-  if (out.outcome.localization.verdict == core::Verdict::Inconclusive) {
-    r.reason =
-        core::to_string(out.outcome.localization.inconclusive_reason);
+  if (out.outcome.budget_exhausted) {
+    r.verdict = obs::kBudgetExhaustedVerdict;
+    r.reason = std::string("budget:") + out.outcome.budget_reason;
+  } else {
+    r.verdict = core::to_string(out.outcome.localization.verdict);
+    if (out.outcome.localization.verdict == core::Verdict::Inconclusive) {
+      r.reason =
+          core::to_string(out.outcome.localization.inconclusive_reason);
+    }
   }
   std::vector<obs::ProfileSpan> spans;
   for (std::size_t i = 0; i < phases.size(); ++i) {
@@ -348,6 +373,13 @@ WildTestResult run_wild_test_reported(const WildConfig& cfg,
     r.injection[kind] = count;
   }
   r.values["localized"] = out.outcome.localized ? 1.0 : 0.0;
+  // The mechanism as a scalar, so offline consumers (checkpoint resume in
+  // the Table-1 bench) can rebuild per-cell tallies from journaled
+  // reports without re-running the test.
+  r.values["per_client"] = out.outcome.localization.mechanism ==
+                                   core::Mechanism::PerClientThrottling
+                               ? 1.0
+                               : 0.0;
   r.values["throughput_p"] = out.outcome.localization.throughput.p_value;
   r.values["faulted_phases"] = out.outcome.faulted_phases;
   out.metrics = local.metrics();

@@ -85,6 +85,10 @@ struct WildTestOutcome {
   /// zero when the test ran fault-free).
   faults::InjectionStats injection;
   int faulted_phases = 0;  ///< phases where a fault actually landed
+  /// The supervisor's per-trial budget stopped at least one phase; the
+  /// localization analyses were skipped (their inputs are stumps).
+  bool budget_exhausted = false;
+  std::string budget_reason;  ///< "events" or "sim_time" when exhausted
 };
 
 /// A "basic" Table-1 test: full WeHeY run; success = localized.

@@ -28,13 +28,21 @@ ReplayFault FaultInjector::on_replay_start(int path) {
   ReplayFault fault;
   if (!enabled()) return fault;
   for (std::size_t i = 0; i < plan_.faults.size(); ++i) {
-    if (plan_.faults[i].kind != FaultKind::ReplayAbort) continue;
-    if (!fire(i, path)) continue;
-    fault.abort = true;
-    fault.at_fraction = plan_.faults[i].at_fraction;
-    fault.after_bytes = plan_.faults[i].after_bytes;
-    ++stats_.replays_aborted;
-    break;
+    const auto& spec = plan_.faults[i];
+    if (spec.kind == FaultKind::ReplayAbort) {
+      // First firing abort wins; later abort specs draw no RNG.
+      if (fault.abort || !fire(i, path)) continue;
+      fault.abort = true;
+      fault.at_fraction = spec.at_fraction;
+      fault.after_bytes = spec.after_bytes;
+      ++stats_.replays_aborted;
+    } else if (spec.kind == FaultKind::EventStorm) {
+      if (fault.storm || !fire(i, path)) continue;
+      fault.storm = true;
+      fault.storm_at_fraction = spec.at_fraction;
+      fault.storm_interval = spec.storm_interval;
+      ++stats_.event_storms;
+    }
   }
   return fault;
 }

@@ -27,6 +27,14 @@ struct ReplayFault {
   bool abort = false;
   double at_fraction = 0.5;        ///< where the server dies (fraction)
   std::int64_t after_bytes = -1;   ///< byte offset; >= 0 wins
+
+  /// EventStorm: the replay wedges into a self-perpetuating timer chain
+  /// (retransmit livelock) `storm_at_fraction` into the replay, firing
+  /// every `storm_interval`. The chain never ends on its own; the
+  /// supervisor's per-trial budget is what stops the run.
+  bool storm = false;
+  double storm_at_fraction = 0.1;
+  Time storm_interval = 0;
 };
 
 /// Decision for one control-plane exchange.
@@ -46,11 +54,13 @@ struct InjectionStats {
   int topology_unavailable = 0;
   int traceroutes_dropped = 0;
   int traceroutes_garbled = 0;
+  int event_storms = 0;
 
   int total() const {
     return replays_aborted + controls_dropped + controls_delayed +
            measurements_truncated + measurements_corrupted + clocks_skewed +
-           topology_unavailable + traceroutes_dropped + traceroutes_garbled;
+           topology_unavailable + traceroutes_dropped + traceroutes_garbled +
+           event_storms;
   }
 
   /// Field-by-field accumulation (per-phase stats into a run total).
@@ -64,6 +74,7 @@ struct InjectionStats {
     topology_unavailable += o.topology_unavailable;
     traceroutes_dropped += o.traceroutes_dropped;
     traceroutes_garbled += o.traceroutes_garbled;
+    event_storms += o.event_storms;
     return *this;
   }
 
@@ -78,7 +89,8 @@ struct InjectionStats {
             {"clocks_skewed", clocks_skewed},
             {"topology_unavailable", topology_unavailable},
             {"traceroutes_dropped", traceroutes_dropped},
-            {"traceroutes_garbled", traceroutes_garbled}};
+            {"traceroutes_garbled", traceroutes_garbled},
+            {"event_storms", event_storms}};
   }
 };
 

@@ -15,6 +15,7 @@ const char* to_string(FaultKind kind) {
     case FaultKind::TopologyUnavailable: return "topology-unavailable";
     case FaultKind::TracerouteDrop: return "traceroute-drop";
     case FaultKind::TracerouteGarble: return "traceroute-garble";
+    case FaultKind::EventStorm: return "event-storm";
   }
   return "?";
 }
@@ -23,7 +24,7 @@ std::vector<std::string> shipped_plan_names() {
   return {"replay-abort",    "replay-abort-hard", "control-flaky",
           "control-dead",    "truncated-upload",  "corrupt-samples",
           "clock-skew",      "topology-flap",     "traceroute-damage",
-          "kitchen-sink"};
+          "kitchen-sink",    "event-storm"};
 }
 
 FaultPlan shipped_plan(const std::string& name, std::uint64_t seed) {
@@ -140,6 +141,19 @@ FaultPlan shipped_plan(const std::string& name, std::uint64_t seed) {
     topo.kind = FaultKind::TopologyUnavailable;
     topo.count = 1;
     add(topo);
+  } else if (name == "event-storm") {
+    // A retransmit livelock: path 1's replay wedges into a
+    // microsecond-period timer chain that floods the event heap without
+    // ever advancing the transfer. Nothing in the protocol terminates
+    // it; only the supervisor's per-trial budget does, so this plan must
+    // end in a BudgetExhausted outcome, never a hang.
+    FaultSpec s;
+    s.kind = FaultKind::EventStorm;
+    s.path = 1;
+    s.probability = 1.0;
+    s.at_fraction = 0.1;
+    s.storm_interval = microseconds(1);
+    add(s);
   } else {
     WEHEY_EXPECTS(!"unknown shipped fault plan name");
   }

@@ -31,6 +31,7 @@ enum class FaultKind {
   TopologyUnavailable,  ///< the topology DB's pair is transiently down
   TracerouteDrop,       ///< hops in the topology query stop responding
   TracerouteGarble,     ///< a hop reports aliased (multiple) IPs
+  EventStorm,           ///< a replay wedges into a retransmit livelock
 };
 
 const char* to_string(FaultKind kind);
@@ -69,6 +70,11 @@ struct FaultSpec {
   /// (at least one hop, drawn from the tail of the path where the §3.3
   /// filters bite). TracerouteGarble ignores it (one hop per fire).
   double hop_fraction = 0.4;
+
+  /// EventStorm: period of the livelocked timer chain. The storm starts
+  /// `at_fraction` into the replay and never terminates on its own —
+  /// only the supervisor's per-trial budget ends the run.
+  Time storm_interval = microseconds(1);
 };
 
 struct FaultPlan {

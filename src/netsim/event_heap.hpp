@@ -110,6 +110,24 @@ class EventHeap {
     }
   }
 
+  /// run_until with an event-count cap: dispatch at most `max_events`
+  /// events, returning how many actually ran. The supervisor's budget
+  /// hook (src/parallel/supervisor.hpp) drives trial simulators through
+  /// this loop; the uncapped run_until above keeps its own body so the
+  /// default path pays nothing for the cap.
+  std::uint64_t run_until_capped(Time until, Time& now,
+                                 std::uint64_t max_events) {
+    std::uint64_t dispatched = 0;
+    while (dispatched < max_events && !nodes_.empty()) {
+      const Time at = nodes_[0].at;
+      if (until >= 0 && at > until) break;
+      now = at;
+      run_top();
+      ++dispatched;
+    }
+    return dispatched;
+  }
+
   /// Drop every pending event and release the backing storage (swap-with-
   /// empty; no per-event heap pops — pending actions are destroyed by a
   /// straight walk over the node array). Must not be called from within an

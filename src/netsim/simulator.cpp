@@ -1,20 +1,63 @@
 #include "netsim/simulator.hpp"
 
+#include <limits>
+
 #include "obs/recorder.hpp"
 
 namespace wehey::netsim {
 
 void Simulator::run(Time until) {
+  if (budget_.limited()) {
+    run_budgeted(until);
+    return;
+  }
   obs::Recorder* rec = obs::Recorder::current();
   if (rec == nullptr) {
     queue_.run_until(until, now_);
   } else {
-    run_observed(until, *rec);
+    run_observed(until, *rec,
+                 std::numeric_limits<std::uint64_t>::max());
   }
   if (until >= 0 && now_ < until) now_ = until;
 }
 
-void Simulator::run_observed(Time until, obs::Recorder& rec) {
+void Simulator::run_budgeted(Time until) {
+  // A tripped budget ends the trial: later run() calls are no-ops so the
+  // caller can unwind through its normal phase sequence without
+  // dispatching another event.
+  if (exhausted_ != Exhausted::kNone) return;
+  // Clip the horizon to the sim-time ceiling; events beyond it are never
+  // dispatched, only observed as pending.
+  Time horizon = until;
+  const Time ceiling = budget_.max_sim_time;
+  if (ceiling > 0 && (horizon < 0 || horizon > ceiling)) horizon = ceiling;
+  const std::uint64_t room =
+      budget_.max_events > 0 ? budget_.max_events - dispatched_
+                             : std::numeric_limits<std::uint64_t>::max();
+  obs::Recorder* rec = obs::Recorder::current();
+  if (rec == nullptr) {
+    dispatched_ += queue_.run_until_capped(horizon, now_, room);
+  } else {
+    dispatched_ += run_observed(horizon, *rec, room);
+  }
+  // A ceiling only trips when it actually cut the run short of what the
+  // caller asked for: a pending event the caller's `until` would have
+  // reached. Otherwise the budget was a bystander and the run completed.
+  if (budget_.max_events > 0 && dispatched_ >= budget_.max_events &&
+      !queue_.empty() && (until < 0 || queue_.top_time() <= until)) {
+    exhausted_ = Exhausted::kEvents;
+    return;
+  }
+  if (ceiling > 0 && !queue_.empty() && queue_.top_time() > ceiling &&
+      (until < 0 || until > ceiling)) {
+    exhausted_ = Exhausted::kSimTime;
+    return;
+  }
+  if (until >= 0 && now_ < until) now_ = until;
+}
+
+std::uint64_t Simulator::run_observed(Time until, obs::Recorder& rec,
+                                      std::uint64_t max_events) {
   obs::Counter& events = rec.metrics().counter("sim.events");
   obs::Gauge& depth = rec.metrics().gauge("sim.heap_depth_peak");
   obs::Timeline* tl = rec.trace_on() ? &rec.timeline() : nullptr;
@@ -24,7 +67,7 @@ void Simulator::run_observed(Time until, obs::Recorder& rec) {
   constexpr std::uint64_t kSampleMask = (1u << 13) - 1;
   std::uint64_t dispatched = 0;
   std::size_t peak = 0;
-  while (!queue_.empty()) {
+  while (dispatched < max_events && !queue_.empty()) {
     const Time at = queue_.top_time();
     if (until >= 0 && at > until) break;
     now_ = at;
@@ -40,6 +83,7 @@ void Simulator::run_observed(Time until, obs::Recorder& rec) {
     events.inc(dispatched);
     depth.set(static_cast<double>(peak));
   }
+  return dispatched;
 }
 
 void Simulator::clear() { queue_.clear(); }

@@ -24,6 +24,16 @@ class Recorder;
 
 namespace wehey::netsim {
 
+/// Per-trial resource ceilings, both pure sim quantities (dispatched
+/// event count and absolute sim time) so budget verdicts are identical
+/// across WEHEY_THREADS and host speeds. 0 disables a ceiling. Resolved
+/// from the environment by parallel::trial_budget_from_env().
+struct TrialBudget {
+  std::uint64_t max_events = 0;  ///< cumulative dispatched events; 0 = off
+  Time max_sim_time = 0;         ///< absolute sim-clock ceiling; 0 = off
+  bool limited() const { return max_events > 0 || max_sim_time > 0; }
+};
+
 class Simulator {
  public:
   using Action = EventHeap::Action;
@@ -73,13 +83,49 @@ class Simulator {
   /// count still includes that event (it is retired when it returns).
   std::size_t pending_events() const { return queue_.size(); }
 
+  /// Install a per-trial budget. Call once, right after construction:
+  /// the event count is cumulative across run() calls, and runs that
+  /// already happened were not counted.
+  void set_trial_budget(const TrialBudget& budget) { budget_ = budget; }
+  const TrialBudget& trial_budget() const { return budget_; }
+
+  /// True once a budget ceiling cut a run() short of what its caller
+  /// asked for. From then on run() is a no-op — the trial is over; the
+  /// caller surfaces a BudgetExhausted outcome instead of spinning.
+  bool budget_exhausted() const { return exhausted_ != Exhausted::kNone; }
+
+  /// Machine-readable cause: "events" or "sim_time" once exhausted,
+  /// "" before that.
+  const char* budget_reason() const {
+    switch (exhausted_) {
+      case Exhausted::kNone: return "";
+      case Exhausted::kEvents: return "events";
+      case Exhausted::kSimTime: return "sim_time";
+    }
+    return "";
+  }
+
+  /// Events dispatched so far — counted only while a budget is installed.
+  std::uint64_t budget_events_dispatched() const { return dispatched_; }
+
  private:
+  enum class Exhausted { kNone, kEvents, kSimTime };
+
   /// The dispatch loop with observability hooks (out of line so the
   /// common no-recorder path stays a single inlined run_until call).
-  void run_observed(Time until, obs::Recorder& rec);
+  /// Dispatches at most `max_events` events; returns how many ran.
+  std::uint64_t run_observed(Time until, obs::Recorder& rec,
+                             std::uint64_t max_events);
+
+  /// The dispatch loop under an installed budget (with or without a
+  /// recorder); sets `exhausted_` when a ceiling actually bit.
+  void run_budgeted(Time until);
 
   Time now_ = 0;
   EventHeap queue_;
+  TrialBudget budget_;
+  std::uint64_t dispatched_ = 0;  ///< budget-mode cumulative event count
+  Exhausted exhausted_ = Exhausted::kNone;
 };
 
 }  // namespace wehey::netsim

@@ -51,6 +51,10 @@ void SweepAggregator::tally_run(const std::string& cell,
     CellAgg& c = cells_[cell];
     ++c.runs;
     ++c.verdicts[label_or_none(verdict)];
+    if (verdict == kBudgetExhaustedVerdict) {
+      ++c.poisoned;
+      ++c.poison_reasons[label_or_none(reason)];
+    }
   }
 }
 
@@ -373,6 +377,24 @@ std::string SweepAggregator::to_json() const {
     first = false;
   }
   out << (first ? "" : "\n  ") << "},\n";
+
+  // Quarantine: a pure function of the absorbed run set (like every other
+  // block), so resumed and uninterrupted sweeps agree byte-for-byte.
+  // Only quarantined cells are listed; presence in "cells" = quarantined.
+  out << "  \"quarantine\": {\n    \"threshold\": "
+      << kQuarantineThreshold << ",\n    \"cells\": {";
+  first = true;
+  for (const auto& [cell, c] : cells_) {
+    if (c.poisoned < static_cast<std::uint64_t>(kQuarantineThreshold)) {
+      continue;
+    }
+    out << (first ? "\n" : ",\n") << "      \"" << json_escape(cell)
+        << "\": {\"poisoned_runs\": " << c.poisoned << ", \"reasons\": ";
+    emit_tally(out, "      ", c.poison_reasons);
+    out << "}";
+    first = false;
+  }
+  out << (first ? "" : "\n    ") << "}\n  },\n";
 
   // Cross-cell distribution of per-cell means: how a value varies across
   // the grid rather than across individual runs.

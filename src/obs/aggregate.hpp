@@ -17,6 +17,8 @@
 //                              "self_sim_ms": {<summary>}}, ...},
 //     "cells": {"<cell>": {"runs": N, "verdicts": {...},
 //                           "values": {<name>: <summary>}}, ...},
+//     "quarantine": {"threshold": N, "cells": {"<cell>":
+//                     {"poisoned_runs": N, "reasons": {...}}, ...}},
 //     "cell_percentiles": {"<value>": {"cells": N, "p50", "p90", "p99"}},
 //     "percentiles": {"<histogram>": {"p50", "p90", "p99"}, ...},
 //     "metrics": {"counters": {...}, "gauges": {name: {"min", "max"}},
@@ -105,6 +107,12 @@ class SweepAggregator {
     std::uint64_t runs = 0;
     std::map<std::string, std::uint64_t> verdicts;
     std::map<std::string, Samples> values;
+    /// Runs whose verdict was the budget-exhausted (crash-equivalent)
+    /// outcome, with their reason strings. A cell with
+    /// >= kQuarantineThreshold poisoned runs is quarantined in the
+    /// report's "quarantine" block; the sweep itself keeps going.
+    std::uint64_t poisoned = 0;
+    std::map<std::string, std::uint64_t> poison_reasons;
   };
 
   void tally_run(const std::string& cell, const std::string& fault_plan,

@@ -6,6 +6,8 @@
 #include <map>
 
 #include "obs/aggregate.hpp"
+#include "obs/checkpoint.hpp"
+#include "obs/report.hpp"
 
 namespace wehey::obs {
 
@@ -527,6 +529,31 @@ void render_sweep(const JsonValue& doc, std::FILE* out) {
     }
   }
 
+  // Quarantined cells: repeated budget-exhausted (crash-equivalent) runs.
+  const JsonValue* quarantine = doc.find("quarantine");
+  const JsonValue* qcells =
+      quarantine != nullptr ? quarantine->find("cells") : nullptr;
+  if (qcells != nullptr && !qcells->object.empty()) {
+    const JsonValue* threshold = quarantine->find("threshold");
+    char title[80];
+    std::snprintf(title, sizeof(title),
+                  "QUARANTINED cells (>= %.0f budget-exhausted runs)",
+                  threshold != nullptr ? threshold->num_or(0) : 0.0);
+    print_rule(out, title);
+    for (const auto& [name, q] : qcells->object) {
+      const JsonValue* poisoned = q.find("poisoned_runs");
+      std::fprintf(out, "  %-24s %6.0f poisoned", name.c_str(),
+                   poisoned != nullptr ? poisoned->num_or(0) : 0.0);
+      const JsonValue* reasons = q.find("reasons");
+      if (reasons != nullptr) {
+        for (const auto& [reason, n] : reasons->object) {
+          std::fprintf(out, "  %s=%.0f", reason.c_str(), n.num_or(0));
+        }
+      }
+      std::fputc('\n', out);
+    }
+  }
+
   const JsonValue* percentiles = doc.find("percentiles");
   if (percentiles != nullptr && !percentiles->object.empty()) {
     print_rule(out, "histogram percentiles (merged bins)");
@@ -640,6 +667,46 @@ void render_trace(const JsonValue& doc, std::FILE* out) {
   }
 }
 
+namespace {
+
+/// Render a wehey.sweep_checkpoint.v1 JSONL journal: completed-run count
+/// plus per-cell verdict tallies pulled from the embedded reports. False
+/// when `path` does not load as a non-empty journal.
+bool render_checkpoint_journal(const std::string& path, std::FILE* out) {
+  CheckpointJournal journal;
+  if (!CheckpointJournal::load(path, journal) || journal.empty()) {
+    return false;
+  }
+  std::fprintf(out, "checkpoint journal  %s\n", kSweepCheckpointSchema);
+  std::fprintf(out, "  sweep      %s\n", journal.sweep().c_str());
+  std::fprintf(out, "  completed  %zu runs\n", journal.size());
+  struct CellTally {
+    std::size_t runs = 0;
+    std::map<std::string, std::size_t> verdicts;
+  };
+  std::map<std::string, CellTally> cells;
+  for (const auto& entry : journal.entries()) {
+    auto& cell = cells[entry.cell.empty() ? "(none)" : entry.cell];
+    ++cell.runs;
+    JsonValue doc;
+    if (json_parse(entry.report_json, doc)) {
+      const JsonValue* verdict = doc.find("verdict");
+      if (verdict != nullptr) ++cell.verdicts[verdict->str];
+    }
+  }
+  print_rule(out, "cells (completed runs)");
+  for (const auto& [name, cell] : cells) {
+    std::fprintf(out, "  %-24s %6zu runs", name.c_str(), cell.runs);
+    for (const auto& [verdict, n] : cell.verdicts) {
+      std::fprintf(out, "  %s=%zu", verdict.c_str(), n);
+    }
+    std::fputc('\n', out);
+  }
+  return true;
+}
+
+}  // namespace
+
 bool inspect_file(const std::string& path, std::FILE* out) {
   std::string text;
   if (!read_file(path, text)) {
@@ -649,6 +716,8 @@ bool inspect_file(const std::string& path, std::FILE* out) {
   JsonValue doc;
   std::string error;
   if (!json_parse(text, doc, &error)) {
+    // Not one JSON document — maybe a JSONL checkpoint journal.
+    if (render_checkpoint_journal(path, out)) return true;
     std::fprintf(stderr, "inspect: %s: parse error: %s\n", path.c_str(),
                  error.c_str());
     return false;
@@ -665,9 +734,16 @@ bool inspect_file(const std::string& path, std::FILE* out) {
     render_trace(doc, out);
     return true;
   }
+  // A one-line journal parses as a single checkpoint entry.
+  const JsonValue* schema = doc.find("schema");
+  if (schema != nullptr &&
+      schema->str.rfind(kSweepCheckpointSchemaPrefix, 0) == 0 &&
+      render_checkpoint_journal(path, out)) {
+    return true;
+  }
   std::fprintf(stderr,
-               "inspect: %s: neither a wehey report (run or sweep) nor a "
-               "chrome trace\n",
+               "inspect: %s: neither a wehey report (run, sweep or "
+               "checkpoint journal) nor a chrome trace\n",
                path.c_str());
   return false;
 }

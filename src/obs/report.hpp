@@ -52,6 +52,21 @@ inline constexpr char kRunReportSchema[] = "wehey.run_report.v3";
 inline constexpr char kRunReportSchemaPrefix[] = "wehey.run_report.";
 /// Schema of the aggregated sweep report (src/obs/aggregate.hpp).
 inline constexpr char kSweepReportSchema[] = "wehey.sweep_report.v1";
+/// Schema of one line of a sweep checkpoint journal
+/// (src/obs/checkpoint.hpp); the prefix covers future versions the
+/// loader still reads.
+inline constexpr char kSweepCheckpointSchema[] = "wehey.sweep_checkpoint.v1";
+inline constexpr char kSweepCheckpointSchemaPrefix[] =
+    "wehey.sweep_checkpoint.";
+
+/// The verdict string every runner emits when the supervisor's per-trial
+/// budget ended the run (src/parallel/supervisor.hpp). The sweep
+/// aggregator's quarantine logic keys on it, so runners must use this
+/// constant rather than their own spelling.
+inline constexpr char kBudgetExhaustedVerdict[] = "budget exhausted";
+/// Runs with this many budget-exhausted (or crash-equivalent) outcomes in
+/// one cell quarantine the cell in the sweep report.
+inline constexpr int kQuarantineThreshold = 2;
 
 struct StageTiming {
   std::string name;

@@ -1,0 +1,37 @@
+// Trial supervision: deterministic per-trial resource budgets.
+//
+// A runaway trial (e.g. a fault-induced retransmit livelock — see the
+// `event-storm` chaos plan) would otherwise wedge its worker thread and,
+// with it, the whole sweep. The supervisor bounds every trial simulator
+// by two pure *sim* quantities — dispatched event count and absolute sim
+// time — so a runaway trial terminates with a machine-readable
+// `BudgetExhausted` outcome instead of hanging the pool, and the verdict
+// is byte-identical across WEHEY_THREADS and host speeds (a wall-clock
+// watchdog could never promise that).
+//
+// Environment knobs (parsed per call, so tests can flip them between
+// trials):
+//   WEHEY_TRIAL_MAX_EVENTS   dispatched-event ceiling per trial
+//                            simulator (default 20'000'000 — ~85x the
+//                            busiest committed-grid trial; 0 disables)
+//   WEHEY_TRIAL_MAX_SIM_MS   absolute sim-clock ceiling in milliseconds
+//                            (default 3'600'000 = one sim hour; the
+//                            longest legitimate faulted session horizon
+//                            is ~1000 s; 0 disables)
+//
+// Every trial runner (replay session, scenario phase, wild phase) calls
+// install_trial_budget() right after constructing its Simulator; raw
+// microbenches and non-trial simulators stay unbudgeted.
+#pragma once
+
+#include "netsim/simulator.hpp"
+
+namespace wehey::parallel {
+
+/// The per-trial budget the environment asks for (defaults above).
+netsim::TrialBudget trial_budget_from_env();
+
+/// Resolve the environment budget and install it on `sim`.
+void install_trial_budget(netsim::Simulator& sim);
+
+}  // namespace wehey::parallel

@@ -9,6 +9,7 @@
 #include "common/check.hpp"
 #include "faults/injector.hpp"
 #include "obs/recorder.hpp"
+#include "parallel/supervisor.hpp"
 #include "topology/construction.hpp"
 #include "trace/apps.hpp"
 #include "trace/background.hpp"
@@ -81,6 +82,7 @@ const char* to_string(SessionOutcome outcome) {
     case SessionOutcome::InconclusiveMeasurements:
       return "inconclusive measurements";
     case SessionOutcome::TracerouteFailed: return "traceroute failed";
+    case SessionOutcome::BudgetExhausted: return "budget exhausted";
   }
   return "?";
 }
@@ -119,9 +121,20 @@ SessionResult run_session(const SessionConfig& cfg,
   };
 
   netsim::Simulator sim;
+  parallel::install_trial_budget(sim);
   Rng rng(scenario.seed * 1000003ULL + 77);
   const auto derived = experiments::derive(scenario);
   FigureOneNetwork net(sim, derived.net, rng);
+
+  // Fills in the BudgetExhausted terminal state; callers `return result`
+  // right after. Checked after every sim.run so a runaway trial (e.g. the
+  // event-storm livelock) ends with a machine-readable outcome instead of
+  // spinning forever.
+  auto budget_bail = [&] {
+    result.budget_reason = sim.budget_reason();
+    result.outcome = SessionOutcome::BudgetExhausted;
+    result.finished_at = sim.now();
+  };
 
   faults::FaultInjector injector;
   if (cfg.fault_plan.enabled()) {
@@ -261,6 +274,13 @@ SessionResult run_session(const SessionConfig& cfg,
   auto arm_cut = [&](int path) {
     if (!injector.enabled()) return;
     const auto fault = injector.on_replay_start(path);
+    if (fault.storm) {
+      experiments::ReplayStorm storm;
+      storm.after = static_cast<Time>(static_cast<double>(duration) *
+                                      fault.storm_at_fraction);
+      storm.interval = fault.storm_interval;
+      net.set_next_replay_storm(storm);
+    }
     if (!fault.abort) return;
     experiments::ReplayCut cut;
     cut.after = static_cast<Time>(static_cast<double>(duration) *
@@ -311,6 +331,12 @@ SessionResult run_session(const SessionConfig& cfg,
         {"replay_attempt", t_inv, t_inv + duration, -1.0});
     t_analysis = t_inv + duration + rpc;
     sim.run(t_analysis);
+    if (sim.budget_exhausted()) {
+      log(sim.now(), std::string("trial budget exhausted (") +
+                         sim.budget_reason() + "); session ends");
+      budget_bail();
+      return result;
+    }
     log(t_orig, "s0: original single replay");
     log(t_inv, "s0: bit-inverted single replay");
     p0_orig = net.report(id_p0_orig, t_orig, duration);
@@ -327,6 +353,7 @@ SessionResult run_session(const SessionConfig& cfg,
         result.replay_attempts.push_back(
             {"replay_attempt", t, t + duration, -1.0});
         sim.run(t + duration);
+        if (sim.budget_exhausted()) return std::nullopt;
         auto rep = net.report(id, t, duration);
         log(t, std::string("s0: ") + what + " single replay");
         if (!rep.aborted) {
@@ -346,6 +373,12 @@ SessionResult run_session(const SessionConfig& cfg,
     };
     const auto orig = run_single(false, "original");
     if (!orig.has_value()) {
+      if (sim.budget_exhausted()) {
+        log(sim.now(), std::string("s0: trial budget exhausted (") +
+                           sim.budget_reason() + "); session ends");
+        budget_bail();
+        return result;
+      }
       log(sim.now(), "s0: replay retries exhausted; session ends");
       result.outcome = SessionOutcome::ReplayRetriesExhausted;
       result.finished_at = sim.now();
@@ -353,6 +386,12 @@ SessionResult run_session(const SessionConfig& cfg,
     }
     const auto inv = run_single(true, "bit-inverted");
     if (!inv.has_value()) {
+      if (sim.budget_exhausted()) {
+        log(sim.now(), std::string("s0: trial budget exhausted (") +
+                           sim.budget_reason() + "); session ends");
+        budget_bail();
+        return result;
+      }
       log(sim.now(), "s0: replay retries exhausted; session ends");
       result.outcome = SessionOutcome::ReplayRetriesExhausted;
       result.finished_at = sim.now();
@@ -454,6 +493,12 @@ SessionResult run_session(const SessionConfig& cfg,
          t_sim_inv + kBackToBackOffset + duration, -1.0});
     t_end = t_sim_inv + duration + seconds(3);
     sim.run(t_end);
+    if (sim.budget_exhausted()) {
+      log(sim.now(), std::string("trial budget exhausted (") +
+                         sim.budget_reason() + "); session ends");
+      budget_bail();
+      return result;
+    }
     log(t_sim_orig, "s1+s2: original simultaneous replay");
     log(t_sim_inv, "s1+s2: bit-inverted simultaneous replay");
     m_p1o = net.report(id_p1_orig, t_sim_orig, duration).meas;
@@ -478,6 +523,7 @@ SessionResult run_session(const SessionConfig& cfg,
         result.replay_attempts.push_back(
             {"replay_attempt", t, t + kBackToBackOffset + duration, -1.0});
         sim.run(t + kBackToBackOffset + duration);
+        if (sim.budget_exhausted()) return false;
         const auto r1 = net.report(id1, t, duration);
         const auto r2 = net.report(id2, t + kBackToBackOffset, duration);
         log(t, std::string("s1+s2: ") + what + " simultaneous replay");
@@ -507,6 +553,7 @@ SessionResult run_session(const SessionConfig& cfg,
         phases_done = true;
         break;
       }
+      if (sim.budget_exhausted()) break;
       if (pair_attempt >= cfg.max_pair_attempts) break;
       // §3.4 fallback: ask the topology database for a different suitable
       // pair and restart the simultaneous phases against it.
@@ -527,6 +574,12 @@ SessionResult run_session(const SessionConfig& cfg,
                          " + " + pair->server2);
     }
     if (!phases_done) {
+      if (sim.budget_exhausted()) {
+        log(sim.now(), std::string("trial budget exhausted (") +
+                           sim.budget_reason() + "); session ends");
+        budget_bail();
+        return result;
+      }
       log(sim.now(), "simultaneous replay retries exhausted; session ends");
       result.outcome = SessionOutcome::ReplayRetriesExhausted;
       result.finished_at = sim.now();
@@ -534,6 +587,12 @@ SessionResult run_session(const SessionConfig& cfg,
     }
     t_end = sim.now() + seconds(3);
     sim.run(t_end);
+    if (sim.budget_exhausted()) {
+      log(sim.now(), std::string("trial budget exhausted (") +
+                         sim.budget_reason() + "); session ends");
+      budget_bail();
+      return result;
+    }
   }
 
   // --- End-of-replay traceroutes, gathered at s1 (§3.4 steps 3-4). ---
@@ -641,6 +700,8 @@ obs::RunReport make_run_report(const SessionConfig& cfg,
   if (result.outcome == SessionOutcome::InconclusiveMeasurements) {
     report.reason =
         core::to_string(result.localization.inconclusive_reason);
+  } else if (result.outcome == SessionOutcome::BudgetExhausted) {
+    report.reason = std::string("budget:") + result.budget_reason;
   }
   report.stages = result.stages;
   // v3 profile: the five stages tile the session's sim timeline on one

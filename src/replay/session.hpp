@@ -76,6 +76,9 @@ enum class SessionOutcome {
   InconclusiveMeasurements,   ///< analyses ran on unusably degraded data
   TracerouteFailed,           ///< gathering-step traceroutes unusable
                               ///< (dropped/garbled hops, §3.3 filters)
+  BudgetExhausted,            ///< the supervisor's per-trial budget ended
+                              ///< a runaway run (event-count or sim-time
+                              ///< ceiling, src/parallel/supervisor.hpp)
 };
 
 const char* to_string(SessionOutcome outcome);
@@ -98,6 +101,9 @@ struct SessionResult {
   int pair_fallbacks = 0;   ///< server-pair replacements mid-session
   /// What the fault injector actually did (all-zero when fault-free).
   faults::InjectionStats injection;
+  /// Which ceiling tripped when outcome == BudgetExhausted: "events" or
+  /// "sim_time". Empty otherwise.
+  std::string budget_reason;
   /// Per-stage simulated-time boundaries (wehe_test, topology_query,
   /// simultaneous_replays, gathering, analysis); stages the session never
   /// reached are absent, the stage it died in ends at finished_at.

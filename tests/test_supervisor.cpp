@@ -1,0 +1,457 @@
+// Resilient sweep execution: per-trial budgets (the supervisor), the
+// event-storm livelock plan, quarantine tallies, and checkpoint/resume
+// byte identity.
+//
+// The headline contract: a sweep killed mid-cell and resumed from its
+// checkpoint journal produces a sweep report byte-identical to an
+// uninterrupted run's, across WEHEY_THREADS — the journal replays
+// completed runs in run-index order through the aggregator's offline
+// path, which absorbs bit-equal to the in-process path.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "experiments/params.hpp"
+#include "experiments/wild.hpp"
+#include "faults/plan.hpp"
+#include "netsim/simulator.hpp"
+#include "obs/aggregate.hpp"
+#include "obs/checkpoint.hpp"
+#include "obs/inspect.hpp"
+#include "obs/report.hpp"
+#include "parallel/supervisor.hpp"
+#include "parallel/thread_pool.hpp"
+#include "replay/session.hpp"
+#include "topology/database.hpp"
+
+namespace wehey {
+namespace {
+
+// --- TrialBudget mechanics -----------------------------------------------
+
+/// A self-perpetuating timer: the minimal runaway trial.
+void arm_livelock(netsim::Simulator& sim, Time interval) {
+  sim.schedule(interval, [&sim, interval] {
+    sim.reschedule_current(interval);
+  });
+}
+
+TEST(TrialBudget, EventCeilingStopsAndLatches) {
+  netsim::Simulator sim;
+  netsim::TrialBudget budget;
+  budget.max_events = 100;
+  sim.set_trial_budget(budget);
+  arm_livelock(sim, microseconds(1));
+  sim.run(seconds(1));
+  EXPECT_TRUE(sim.budget_exhausted());
+  EXPECT_STREQ(sim.budget_reason(), "events");
+  EXPECT_EQ(sim.budget_events_dispatched(), 100u);
+  // The clock is NOT fast-forwarded to the caller's horizon: the trial
+  // ended where the budget cut it.
+  EXPECT_LT(sim.now(), seconds(1));
+  // Once exhausted, run() is a no-op — callers unwind without spinning.
+  const Time stopped_at = sim.now();
+  sim.run(seconds(2));
+  EXPECT_EQ(sim.now(), stopped_at);
+  EXPECT_EQ(sim.budget_events_dispatched(), 100u);
+}
+
+TEST(TrialBudget, SimTimeCeilingReportsSimTime) {
+  netsim::Simulator sim;
+  netsim::TrialBudget budget;
+  budget.max_sim_time = milliseconds(10);
+  sim.set_trial_budget(budget);
+  arm_livelock(sim, milliseconds(1));
+  sim.run(seconds(1));
+  EXPECT_TRUE(sim.budget_exhausted());
+  EXPECT_STREQ(sim.budget_reason(), "sim_time");
+  EXPECT_LE(sim.now(), milliseconds(10));
+}
+
+TEST(TrialBudget, GenerousBudgetIsABystander) {
+  // A budget that never bites must not change the run's outcome.
+  netsim::Simulator sim;
+  netsim::TrialBudget budget;
+  budget.max_events = 1'000'000;
+  budget.max_sim_time = seconds(100);
+  sim.set_trial_budget(budget);
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(milliseconds(i), [&fired] { ++fired; });
+  }
+  sim.run(seconds(1));
+  EXPECT_EQ(fired, 10);
+  EXPECT_FALSE(sim.budget_exhausted());
+  EXPECT_STREQ(sim.budget_reason(), "");
+  EXPECT_EQ(sim.now(), seconds(1));  // completed runs reach the horizon
+}
+
+TEST(TrialBudget, EnvKnobsParsedPerCall) {
+  ::setenv("WEHEY_TRIAL_MAX_EVENTS", "123", 1);
+  ::setenv("WEHEY_TRIAL_MAX_SIM_MS", "456", 1);
+  auto budget = parallel::trial_budget_from_env();
+  EXPECT_EQ(budget.max_events, 123u);
+  EXPECT_EQ(budget.max_sim_time, milliseconds(456));
+  // 0 disables a ceiling.
+  ::setenv("WEHEY_TRIAL_MAX_EVENTS", "0", 1);
+  budget = parallel::trial_budget_from_env();
+  EXPECT_EQ(budget.max_events, 0u);
+  EXPECT_TRUE(budget.limited());  // sim-time ceiling still on
+  // Unset -> shipped defaults (20M events, one sim hour).
+  ::unsetenv("WEHEY_TRIAL_MAX_EVENTS");
+  ::unsetenv("WEHEY_TRIAL_MAX_SIM_MS");
+  budget = parallel::trial_budget_from_env();
+  EXPECT_EQ(budget.max_events, 20'000'000u);
+  EXPECT_EQ(budget.max_sim_time, milliseconds(3'600'000));
+  EXPECT_TRUE(budget.limited());
+}
+
+// --- Event-storm livelock under the default budget -----------------------
+
+TEST(Supervisor, EventStormSessionExhaustsDefaultBudget) {
+  // No env knobs: the shipped defaults themselves must terminate the
+  // retransmit livelock with a machine-readable outcome.
+  ::unsetenv("WEHEY_TRIAL_MAX_EVENTS");
+  ::unsetenv("WEHEY_TRIAL_MAX_SIM_MS");
+  replay::SessionConfig cfg;
+  cfg.scenario = experiments::default_scenario("Netflix", 2);
+  cfg.scenario.replay_duration = seconds(30);
+  cfg.t_diff_history = {0.06, -0.09, 0.12, -0.04, 0.08, -0.11,
+                        0.05, -0.07, 0.10, -0.03, 0.09, -0.06};
+  cfg.fault_plan = faults::shipped_plan("event-storm", 1);
+  topology::TopologyDatabase db;
+  replay::seed_topology_database(cfg.scenario, db);
+  const auto result = replay::run_session(cfg, db);
+  EXPECT_EQ(result.outcome, replay::SessionOutcome::BudgetExhausted);
+  EXPECT_EQ(result.budget_reason, "events");
+  EXPECT_STREQ(replay::to_string(result.outcome),
+               obs::kBudgetExhaustedVerdict);
+  // The RunReport carries the verdict and the machine-readable reason.
+  const auto report = replay::make_run_report(cfg, result, "storm");
+  EXPECT_EQ(report.verdict, obs::kBudgetExhaustedVerdict);
+  EXPECT_EQ(report.reason, "budget:events");
+}
+
+TEST(Supervisor, TightEventBudgetEndsWildTestWithoutLocalization) {
+  ::setenv("WEHEY_TRIAL_MAX_EVENTS", "10000", 1);
+  experiments::WildConfig cfg;
+  cfg.isp = experiments::default_isp_models()[0];
+  cfg.replay_duration = seconds(8);
+  cfg.seed = 3;
+  const std::vector<double> t_diff = {0.05, -0.08, 0.11, -0.03};
+  const auto res =
+      experiments::run_wild_test_reported(cfg, t_diff, false, "tight");
+  ::unsetenv("WEHEY_TRIAL_MAX_EVENTS");
+  EXPECT_TRUE(res.outcome.budget_exhausted);
+  EXPECT_EQ(res.outcome.budget_reason, "events");
+  EXPECT_FALSE(res.outcome.localized);  // analyses skipped, inputs stumps
+  EXPECT_EQ(res.report.verdict, obs::kBudgetExhaustedVerdict);
+  EXPECT_EQ(res.report.reason, "budget:events");
+}
+
+// --- Quarantine tallies --------------------------------------------------
+
+obs::RunReport small_report(const std::string& run, const std::string& cell,
+                            const std::string& verdict,
+                            const std::string& reason) {
+  obs::RunReport r;
+  r.run = run;
+  r.cell = cell;
+  r.seed = 7;
+  r.verdict = verdict;
+  r.reason = reason;
+  r.values["x"] = 1.5;
+  return r;
+}
+
+TEST(Quarantine, RepeatedBudgetExhaustionQuarantinesTheCell) {
+  obs::SweepAggregator agg("q");
+  // "bad": two poisoned runs -> quarantined (threshold 2). "flaky": one
+  // poisoned run -> listed nowhere. "ok": clean.
+  agg.add_run(small_report("q.bad.r0", "bad", obs::kBudgetExhaustedVerdict,
+                           "budget:events"),
+              nullptr);
+  agg.add_run(small_report("q.bad.r1", "bad", obs::kBudgetExhaustedVerdict,
+                           "budget:sim_time"),
+              nullptr);
+  agg.add_run(small_report("q.flaky.r0", "flaky",
+                           obs::kBudgetExhaustedVerdict, "budget:events"),
+              nullptr);
+  agg.add_run(small_report("q.flaky.r1", "flaky", "no evidence", ""),
+              nullptr);
+  agg.add_run(small_report("q.ok.r0", "ok", "no evidence", ""), nullptr);
+  const std::string json = agg.to_json();
+  EXPECT_NE(json.find("\"quarantine\""), std::string::npos);
+  EXPECT_NE(json.find("\"threshold\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"bad\": {\"poisoned_runs\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"budget:sim_time\": 1"), std::string::npos);
+  // Below-threshold and clean cells stay out of the quarantine block.
+  EXPECT_EQ(json.find("\"flaky\": {\"poisoned_runs\""), std::string::npos);
+  EXPECT_EQ(json.find("\"ok\": {\"poisoned_runs\""), std::string::npos);
+  // The sweep itself keeps going: all five runs are tallied.
+  EXPECT_EQ(agg.runs(), 5u);
+
+  // The offline absorb path (checkpoint resume, wehey_cli merge) must
+  // reconstruct the identical quarantine state.
+  obs::SweepAggregator offline("q");
+  std::vector<obs::RunReport> reports = {
+      small_report("q.bad.r0", "bad", obs::kBudgetExhaustedVerdict,
+                   "budget:events"),
+      small_report("q.bad.r1", "bad", obs::kBudgetExhaustedVerdict,
+                   "budget:sim_time"),
+      small_report("q.flaky.r0", "flaky", obs::kBudgetExhaustedVerdict,
+                   "budget:events"),
+      small_report("q.flaky.r1", "flaky", "no evidence", ""),
+      small_report("q.ok.r0", "ok", "no evidence", ""),
+  };
+  for (const auto& r : reports) {
+    obs::JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(obs::json_parse(r.to_json(nullptr), doc, &error)) << error;
+    ASSERT_TRUE(offline.add_run_json(doc, &error)) << error;
+  }
+  EXPECT_EQ(offline.to_json(), json);
+}
+
+// --- Checkpoint journal mechanics ----------------------------------------
+
+obs::CheckpointEntry make_entry(const std::string& run,
+                                const std::string& cell, std::uint64_t index,
+                                const std::string& report_json) {
+  obs::CheckpointEntry entry;
+  entry.run = run;
+  entry.cell = cell;
+  entry.seed = 11;
+  entry.index = index;
+  entry.report_json = report_json;
+  return entry;
+}
+
+TEST(Checkpoint, MissingFileIsAnEmptyResume) {
+  obs::CheckpointJournal journal;
+  std::string error;
+  EXPECT_TRUE(obs::CheckpointJournal::load(
+      ::testing::TempDir() + "/does_not_exist.jsonl", journal, &error));
+  EXPECT_TRUE(journal.empty());
+  EXPECT_EQ(journal.find("anything"), nullptr);
+}
+
+TEST(Checkpoint, RoundTripPreservesReportBytesExactly) {
+  const std::string path = ::testing::TempDir() + "/roundtrip.jsonl";
+  std::remove(path.c_str());
+  // Escaping stress: quotes, backslashes, newlines, tabs — everything a
+  // serialized RunReport contains.
+  const std::string report =
+      "{\n  \"schema\": \"wehey.run_report.v3\",\n  \"run\": \"a \\\"b\\\" "
+      "c\\\\d\",\n\t\"x\": 1.5\n}\n";
+  {
+    obs::CheckpointWriter writer;
+    ASSERT_TRUE(writer.open(path, "rt"));
+    writer.append(make_entry("r0", "cell/one", 0, report));
+  }
+  obs::CheckpointJournal journal;
+  std::string error;
+  ASSERT_TRUE(obs::CheckpointJournal::load(path, journal, &error)) << error;
+  ASSERT_EQ(journal.size(), 1u);
+  const obs::CheckpointEntry* entry = journal.find("r0");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->report_json, report);
+  EXPECT_EQ(entry->cell, "cell/one");
+  EXPECT_EQ(entry->seed, 11u);
+  EXPECT_EQ(journal.sweep(), "rt");
+}
+
+TEST(Checkpoint, TornTrailingLineIsDroppedAndTrimmedOnReopen) {
+  const std::string path = ::testing::TempDir() + "/torn.jsonl";
+  std::remove(path.c_str());
+  {
+    obs::CheckpointWriter writer;
+    ASSERT_TRUE(writer.open(path, "t"));
+    writer.append(make_entry("r0", "c", 0, "{\"a\": 1}"));
+  }
+  // Simulate a kill -9 mid-append: a partial line, no trailing newline.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const char torn[] = "{\"schema\": \"wehey.sweep_checkpoint.v1\", \"ru";
+    std::fwrite(torn, 1, sizeof(torn) - 1, f);
+    std::fclose(f);
+  }
+  obs::CheckpointJournal journal;
+  std::string error;
+  ASSERT_TRUE(obs::CheckpointJournal::load(path, journal, &error)) << error;
+  EXPECT_EQ(journal.size(), 1u);  // the torn line is dropped, not fatal
+  // Reopening for append trims the fragment, so the next line starts
+  // clean and a second resume sees both runs.
+  {
+    obs::CheckpointWriter writer;
+    ASSERT_TRUE(writer.open(path, "t"));
+    writer.append(make_entry("r1", "c", 1, "{\"a\": 2}"));
+  }
+  ASSERT_TRUE(obs::CheckpointJournal::load(path, journal, &error)) << error;
+  EXPECT_EQ(journal.size(), 2u);
+  ASSERT_NE(journal.find("r1"), nullptr);
+  EXPECT_EQ(journal.find("r1")->report_json, "{\"a\": 2}");
+}
+
+TEST(Checkpoint, MidFileCorruptionFailsLoudly) {
+  const std::string path = ::testing::TempDir() + "/corrupt.jsonl";
+  std::remove(path.c_str());
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not json at all\n", f);
+    std::fclose(f);
+  }
+  {
+    obs::CheckpointWriter writer;
+    // open() only trims a missing trailing newline; the bad line stays.
+    ASSERT_TRUE(writer.open(path, "c"));
+    writer.append(make_entry("r0", "c", 0, "{\"a\": 1}"));
+  }
+  obs::CheckpointJournal journal;
+  std::string error;
+  EXPECT_FALSE(obs::CheckpointJournal::load(path, journal, &error));
+  EXPECT_NE(error.find("malformed"), std::string::npos) << error;
+}
+
+TEST(Checkpoint, DuplicateRunIdsKeepTheLastEntry) {
+  const std::string path = ::testing::TempDir() + "/dup.jsonl";
+  std::remove(path.c_str());
+  {
+    obs::CheckpointWriter writer;
+    ASSERT_TRUE(writer.open(path, "d"));
+    writer.append(make_entry("r0", "c", 0, "{\"a\": 1}"));
+    writer.append(make_entry("r0", "c", 0, "{\"a\": 2}"));
+  }
+  obs::CheckpointJournal journal;
+  std::string error;
+  ASSERT_TRUE(obs::CheckpointJournal::load(path, journal, &error)) << error;
+  EXPECT_EQ(journal.size(), 1u);
+  EXPECT_EQ(journal.find("r0")->report_json, "{\"a\": 2}");
+}
+
+// --- Kill-and-resume byte identity ---------------------------------------
+
+struct SweepFixture {
+  std::vector<std::string> run_ids;
+  std::vector<experiments::WildConfig> cfgs;
+  std::vector<std::vector<double>> t_diffs;  ///< one per run (shared per ISP)
+};
+
+/// Two ISP cells, two wild runs each — small enough for a test, real
+/// enough to exercise the full report pipeline.
+SweepFixture sweep_fixture() {
+  SweepFixture fx;
+  const auto isps = experiments::default_isp_models();
+  for (std::size_t i = 0; i < 4; ++i) {
+    experiments::WildConfig base;
+    base.isp = isps[i / 2];
+    base.replay_duration = seconds(8);
+    base.seed = 1;
+    if (fx.t_diffs.size() <= i) fx.t_diffs.resize(i + 1);
+    // T_diff is a deterministic function of the base config, shared by
+    // the cell's runs — exactly the Table-1 bench's structure.
+    if (i % 2 == 0) {
+      fx.t_diffs[i] = experiments::build_wild_t_diff(base, 3);
+    } else {
+      fx.t_diffs[i] = fx.t_diffs[i - 1];
+    }
+    experiments::WildConfig cfg = base;
+    cfg.seed = 1000 + i * 17;
+    fx.cfgs.push_back(cfg);
+    char run_id[48];
+    std::snprintf(run_id, sizeof(run_id), "ckpt.%s.r%02zu",
+                  base.isp.name.c_str(), i);
+    fx.run_ids.emplace_back(run_id);
+  }
+  return fx;
+}
+
+experiments::WildTestResult run_one(const SweepFixture& fx, std::size_t i) {
+  return experiments::run_wild_test_reported(fx.cfgs[i], fx.t_diffs[i],
+                                             /*sanity_check=*/false,
+                                             fx.run_ids[i]);
+}
+
+TEST(CheckpointResume, KilledSweepResumesByteIdenticalAcrossThreads) {
+  const SweepFixture fx = sweep_fixture();
+
+  // The uninterrupted sweep: all four runs, absorbed in index order, and
+  // the journal a driver would have written along the way.
+  const std::string path = ::testing::TempDir() + "/resume.jsonl";
+  std::remove(path.c_str());
+  obs::SweepAggregator uninterrupted("ckpt");
+  std::vector<std::string> journaled_reports;
+  {
+    obs::CheckpointWriter writer;
+    ASSERT_TRUE(writer.open(path, "ckpt"));
+    for (std::size_t i = 0; i < fx.run_ids.size(); ++i) {
+      const auto res = run_one(fx, i);
+      const std::string report_json = res.report.to_json(&res.metrics);
+      journaled_reports.push_back(report_json);
+      writer.append(make_entry(fx.run_ids[i], res.report.cell, i,
+                               report_json));
+      uninterrupted.add_run(res.report, &res.metrics);
+    }
+  }
+  const std::string baseline = uninterrupted.to_json();
+
+  // Kill mid-cell: keep the first ISP cell's two runs plus a torn
+  // fragment of the second cell's first line.
+  std::string text;
+  ASSERT_TRUE(obs::read_file(path, text));
+  std::size_t cut = 0;
+  for (int lines = 0; lines < 2; ++lines) {
+    cut = text.find('\n', cut) + 1;
+  }
+  const std::string truncated =
+      text.substr(0, cut) + text.substr(cut, 80);  // torn third line
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(truncated.data(), 1, truncated.size(), f);
+    std::fclose(f);
+  }
+
+  // Resume twice, recomputing the lost runs on 1 and on 8 threads. Both
+  // sweeps must reproduce the uninterrupted bytes.
+  for (const unsigned threads : {1u, 8u}) {
+    obs::CheckpointJournal journal;
+    std::string error;
+    ASSERT_TRUE(obs::CheckpointJournal::load(path, journal, &error))
+        << error;
+    ASSERT_EQ(journal.size(), 2u);  // the torn third line was dropped
+    const auto recomputed = parallel::parallel_map(
+        fx.run_ids.size(),
+        [&](std::size_t i) {
+          if (journal.find(fx.run_ids[i]) != nullptr) {
+            return experiments::WildTestResult{};
+          }
+          return run_one(fx, i);
+        },
+        threads);
+    obs::SweepAggregator resumed("ckpt");
+    for (std::size_t i = 0; i < fx.run_ids.size(); ++i) {
+      if (const obs::CheckpointEntry* entry = journal.find(fx.run_ids[i])) {
+        // Journaled bytes survive verbatim and re-absorb bit-equal.
+        EXPECT_EQ(entry->report_json, journaled_reports[i]);
+        obs::JsonValue doc;
+        ASSERT_TRUE(obs::json_parse(entry->report_json, doc, &error))
+            << error;
+        ASSERT_TRUE(resumed.add_run_json(doc, &error)) << error;
+        continue;
+      }
+      resumed.add_run(recomputed[i].report, &recomputed[i].metrics);
+    }
+    EXPECT_EQ(resumed.to_json(), baseline)
+        << "resume with threads=" << threads
+        << " diverged from the uninterrupted sweep";
+  }
+}
+
+}  // namespace
+}  // namespace wehey

@@ -357,6 +357,17 @@ TEST(Schema, ToolsSchemasNameTheCppConstants) {
   sweep_const = sweep_const->find("const");
   ASSERT_NE(sweep_const, nullptr);
   EXPECT_EQ(sweep_const->str, kSweepReportSchema);
+
+  ASSERT_TRUE(read_file(root + "/tools/sweep_checkpoint_schema.json", text));
+  JsonValue ckpt_schema;
+  ASSERT_TRUE(json_parse(text, ckpt_schema, &error)) << error;
+  const JsonValue* ckpt_const = ckpt_schema.find("properties");
+  ASSERT_NE(ckpt_const, nullptr);
+  ckpt_const = ckpt_const->find("schema");
+  ASSERT_NE(ckpt_const, nullptr);
+  ckpt_const = ckpt_const->find("const");
+  ASSERT_NE(ckpt_const, nullptr);
+  EXPECT_EQ(ckpt_const->str, kSweepCheckpointSchema);
 }
 
 // -------------------------------------------------- inspect hardening

@@ -12,11 +12,17 @@ renamed or drifted report field slide through CI silently.
 
 Each file picks its schema from its own "schema" field —
 wehey.run_report.* validates against run_report_schema.json,
-wehey.sweep_report.* against sweep_report_schema.json. --schema forces
-one schema for every file instead.
+wehey.sweep_report.* against sweep_report_schema.json,
+wehey.sweep_checkpoint.* against sweep_checkpoint_schema.json. --schema
+forces one schema for every file instead.
+
+Checkpoint journals are JSONL (one checkpoint document per line): each
+line validates against the checkpoint schema and its embedded serialized
+report against the run-report schema. A torn trailing line (killed
+mid-append) is reported but tolerated, matching the C++ loader.
 
 Usage:
-  tools/validate_report.py report.json sweep.json [more.json ...]
+  tools/validate_report.py report.json sweep.json checkpoint.jsonl [...]
   tools/validate_report.py --schema tools/run_report_schema.json report.json
   tools/validate_report.py --trace trace.json          # chrome-trace sanity
   tools/validate_report.py --bench-overhead BENCH_parallel.json --max 0.02
@@ -98,12 +104,68 @@ def pick_schema(report, schemas, forced):
     tag = report.get("schema", "") if isinstance(report, dict) else ""
     if tag.startswith("wehey.sweep_report."):
         return schemas["sweep"]
+    if tag.startswith("wehey.sweep_checkpoint."):
+        return schemas["checkpoint"]
     return schemas["run"]
+
+
+def check_checkpoint_journal(path, text, schemas, forced=None):
+    """Validate a JSONL checkpoint journal line by line: the checkpoint
+    document itself plus the run report embedded in its 'report' string.
+    A torn trailing line is tolerated (noted, not fatal) — the C++ loader
+    drops it on resume."""
+    lines = text.split("\n")
+    ok = True
+    entries = 0
+    cells = {}
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        where = f"{path}:{i + 1}"
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as e:
+            if i == len(lines) - 1:
+                print(f"{path}: torn trailing line {i + 1} (dropped on "
+                      f"resume)")
+                continue
+            print(f"{where}: not JSON: {e}", file=sys.stderr)
+            ok = False
+            continue
+        errors = validate(doc, pick_schema(doc, schemas, forced))
+        if not errors and forced is None:
+            try:
+                embedded = json.loads(doc["report"])
+            except json.JSONDecodeError as e:
+                errors = [f"$.report: embedded report is not JSON: {e}"]
+            else:
+                errors = [f"$.report{err[1:]}" for err in
+                          validate(embedded, schemas["run"])]
+        for err in errors:
+            print(f"{where}: {err}", file=sys.stderr)
+            ok = False
+        if not errors:
+            entries += 1
+            cells[doc.get("cell", "")] = cells.get(doc.get("cell", ""), 0) + 1
+    if ok:
+        by_cell = ", ".join(f"{c or '(none)'}={n}" for c, n in cells.items())
+        print(f"{path}: OK (checkpoint journal, {entries} completed runs"
+              + (f": {by_cell}" if by_cell else "") + ")")
+    return ok
 
 
 def check_report(path, schemas, forced=None):
     with open(path) as f:
-        report = json.load(f)
+        text = f.read()
+    try:
+        report = json.loads(text)
+    except json.JSONDecodeError:
+        # Not one JSON document — a JSONL checkpoint journal.
+        return check_checkpoint_journal(path, text, schemas, forced)
+    if (isinstance(report, dict)
+            and report.get("schema", "").startswith("wehey.sweep_checkpoint.")):
+        # A one-line journal parses as a single checkpoint document.
+        return check_checkpoint_journal(path, text, schemas, forced)
     errors = validate(report, pick_schema(report, schemas, forced))
     for err in errors:
         print(f"{path}: {err}", file=sys.stderr)
@@ -198,8 +260,13 @@ def main():
     if args.reports:
         here = os.path.dirname(__file__)
         schemas = {}
-        for kind in ("run", "sweep"):
-            with open(os.path.join(here, f"{kind}_report_schema.json")) as f:
+        schema_files = {
+            "run": "run_report_schema.json",
+            "sweep": "sweep_report_schema.json",
+            "checkpoint": "sweep_checkpoint_schema.json",
+        }
+        for kind, filename in schema_files.items():
+            with open(os.path.join(here, filename)) as f:
                 schemas[kind] = json.load(f)
         forced = None
         if args.schema is not None:
