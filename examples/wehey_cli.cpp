@@ -21,6 +21,7 @@
 //                      (offline per-run reports -> one sweep_report.v1)
 //   wehey_cli compare  BASELINE CANDIDATE [--tol X] [--tol-key RE=X]...
 //                      [--ignore RE]... [--min-key RE=X]...
+//                      [--require-key RE]...
 //                      (regression gate: nonzero exit on drift)
 //
 // The wild and session commands honour the observability environment
@@ -597,6 +598,8 @@ int cmd_compare(int argc, char** argv) {
         return 2;
       }
       opts.min_keys.emplace_back(key, value);
+    } else if (a == "--require-key" && i + 1 < argc) {
+      opts.require_keys.emplace_back(argv[++i]);
     } else if (a.rfind("--", 0) == 0) {
       std::fprintf(stderr, "compare: unknown flag %s\n", a.c_str());
       return 2;
@@ -608,7 +611,7 @@ int cmd_compare(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: wehey_cli compare BASELINE CANDIDATE [--tol X] "
                  "[--tol-key RE=X]... [--ignore RE]... [--min-key "
-                 "RE=X]...\n");
+                 "RE=X]... [--require-key RE]...\n");
     return 2;
   }
   obs::JsonValue docs[2];

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 
@@ -63,6 +64,26 @@ netsim::ReplayMeasurement trimmed(const netsim::ReplayMeasurement& m, Time lo,
   return out;
 }
 
+/// Signed, normalized distance of a p-value to its threshold, oriented by
+/// the recorded outcome bit (positive = the statistic supports the
+/// outcome). Each side is normalized by its own span — threshold on the
+/// detect side, 1 - threshold on the clear side — so both sides cover
+/// [0, 1] and margins are comparable across detectors.
+double p_margin(double p, double threshold, bool outcome) {
+  const double d = p < threshold
+                       ? (threshold - p) / threshold
+                       : -((p - threshold) / (1.0 - threshold));
+  return outcome ? d : -d;
+}
+
+/// The smallest integer count that satisfies "count > threshold" — the
+/// number of correlated sizes Alg. 1's aggregation requires.
+std::size_t required_correlated(double threshold) {
+  const double floor = std::floor(threshold);
+  const double required = floor == threshold ? threshold + 1.0 : floor + 1.0;
+  return required < 0.0 ? 0 : static_cast<std::size_t>(required);
+}
+
 }  // namespace
 
 const char* to_string(Verdict verdict) {
@@ -120,6 +141,141 @@ LocalizationResult localize(const LocalizationInput& input, Rng& rng,
       res.inconclusive_reason = reason;
     }
   };
+  auto engage = [&](const char* path) {
+    res.degraded = true;
+    res.trace.degradations.emplace_back(path);
+  };
+  // Whether op-4a's MWU comparison actually ran (vs a default-constructed
+  // ThroughputComparisonResult after a confirmation failure).
+  bool throughput_ran = false;
+
+  // Builds res.trace from whatever the pipeline computed so far; called
+  // immediately before every return so the trace is coherent on every
+  // path, early returns included.
+  const auto finish_trace = [&] {
+    DecisionTrace& tr = res.trace;
+    tr.evaluated = true;
+    const auto add_p = [&](const char* name, double p, double threshold,
+                           bool outcome, bool valid) -> DecisionEntry& {
+      DecisionEntry e;
+      e.detector = name;
+      e.statistic = p;
+      e.threshold = threshold;
+      e.margin = p_margin(p, threshold, outcome);
+      e.outcome = outcome;
+      e.valid = valid;
+      tr.detectors.push_back(std::move(e));
+      return tr.detectors.back();
+    };
+    // Operation 3: the two confirmation KS tests (always computed). A
+    // confirmation is "valid" when its series carried data at all.
+    add_p("confirmation.p1", res.p1_confirmation.p_value, cfg.wehe.alpha,
+          res.p1_confirmation.differentiation,
+          res.p1_confirmation.original_mean_bps > 0.0 ||
+              res.p1_confirmation.inverted_mean_bps > 0.0);
+    add_p("confirmation.p2", res.p2_confirmation.p_value, cfg.wehe.alpha,
+          res.p2_confirmation.differentiation,
+          res.p2_confirmation.original_mean_bps > 0.0 ||
+              res.p2_confirmation.inverted_mean_bps > 0.0);
+    // Operation 4a: the MWU throughput comparison, when it ran.
+    if (throughput_ran) {
+      add_p("throughput.mwu", res.throughput.p_value, cfg.throughput.alpha,
+            res.throughput.common_bottleneck, res.throughput.valid);
+    }
+    // Operation 4b: one row per Alg. 1 interval size, plus the
+    // conservative aggregation.
+    char name[32];
+    for (std::size_t i = 0; i < res.loss.per_size.size(); ++i) {
+      const IntervalOutcome& o = res.loss.per_size[i];
+      std::snprintf(name, sizeof(name), "loss.s%02u",
+                    static_cast<unsigned>(i + 1));
+      DecisionEntry& e =
+          add_p(name, o.p_value, cfg.loss.fp, o.correlated, o.valid);
+      e.rho = o.rho;
+      e.sigma_ms = to_milliseconds(o.sigma);
+      e.is_loss_size = true;
+    }
+    if (res.loss.sizes_tested > 0) {
+      DecisionAggregation& agg = tr.aggregation;
+      agg.present = true;
+      agg.sizes_tested = res.loss.sizes_tested;
+      agg.sizes_correlated = res.loss.sizes_correlated;
+      agg.sizes_valid = res.loss.sizes_valid;
+      agg.threshold =
+          (1.0 - cfg.loss.fp) * static_cast<double>(res.loss.sizes_tested);
+      const double d = (static_cast<double>(res.loss.sizes_correlated) -
+                        agg.threshold) /
+                       static_cast<double>(res.loss.sizes_tested);
+      agg.outcome = res.loss.common_bottleneck;
+      agg.margin = agg.outcome ? d : -d;
+    }
+
+    // Run-level verdict margin: normalized distance to the nearest event
+    // that would flip the final verdict. k-th smallest per-size margins
+    // capture that flipping the aggregation takes k sizes to cross their
+    // own boundaries.
+    const std::size_t required = required_correlated(
+        (1.0 - cfg.loss.fp) * static_cast<double>(res.loss.sizes_tested));
+    const auto kth_size_margin = [&](bool correlated_side,
+                                     std::size_t k) -> std::vector<double> {
+      std::vector<double> margins;
+      for (const DecisionEntry& e : tr.detectors) {
+        if (!e.is_loss_size || !e.valid) continue;
+        if (e.outcome != correlated_side) continue;
+        margins.push_back(e.margin < 0.0 ? 0.0 : e.margin);
+      }
+      std::sort(margins.begin(), margins.end());
+      if (k == 0 || margins.size() < k) return {};
+      return {margins[k - 1]};
+    };
+    double margin = 0.0;
+    bool has_margin = false;
+    const auto propose = [&](double m) {
+      if (!has_margin || m < margin) margin = m;
+      has_margin = true;
+    };
+    if (res.verdict == Verdict::EvidenceWithinTargetArea) {
+      if (res.mechanism == Mechanism::PerClientThrottling) {
+        // The verdict rests on the MWU detection alone.
+        if (res.throughput.valid) {
+          propose(p_margin(res.throughput.p_value, cfg.throughput.alpha, true));
+        }
+      } else if (res.loss.sizes_tested > 0) {
+        // Losing (sizes_correlated - required + 1) sizes undoes the
+        // aggregation; the k weakest correlated sizes are the flip path.
+        const std::size_t k = res.loss.sizes_correlated >= required
+                                  ? res.loss.sizes_correlated - required + 1
+                                  : 1;
+        for (double m : kth_size_margin(true, k)) propose(m);
+      }
+    } else if (res.verdict == Verdict::NoEvidence && res.confirmation_passed) {
+      // Either detector firing would flip the verdict to evidence.
+      if (throughput_ran && res.throughput.valid) {
+        propose(p_margin(res.throughput.p_value, cfg.throughput.alpha,
+                         res.throughput.common_bottleneck));
+      }
+      if (res.loss.sizes_tested > 0 && required > res.loss.sizes_correlated) {
+        const std::size_t k = required - res.loss.sizes_correlated;
+        for (double m : kth_size_margin(false, k)) propose(m);
+      }
+    } else if (res.verdict == Verdict::NoEvidence) {
+      // Confirmation failed: every failing path must flip, so the farthest
+      // failing confirmation binds. Negative margins (a secondary gate
+      // held the bit at the boundary) clamp to zero distance.
+      double worst = 0.0;
+      bool any = false;
+      for (const DecisionEntry& e : tr.detectors) {
+        if (e.detector.rfind("confirmation.", 0) != 0 || e.outcome) continue;
+        const double m = e.margin < 0.0 ? 0.0 : e.margin;
+        if (!any || m > worst) worst = m;
+        any = true;
+      }
+      if (any) propose(worst);
+    }
+    // Inconclusive: the session measured nothing; no margin to report.
+    tr.verdict_margin = has_margin ? margin : 0.0;
+    tr.has_verdict_margin = has_margin;
+  };
 
   // Input validation (degraded-upload hardening). The four simultaneous
   // measurements are the ones a faulty session can damage; scrub lazily so
@@ -130,12 +286,14 @@ LocalizationResult localize(const LocalizationInput& input, Rng& rng,
   const netsim::ReplayMeasurement* p2i = &input.p2_inverted;
   netsim::ReplayMeasurement scrubbed[4];
   const netsim::ReplayMeasurement** sims[4] = {&p1o, &p2o, &p1i, &p2i};
+  bool scrub_engaged = false;
   for (int i = 0; i < 4; ++i) {
     if (!needs_scrub(**sims[i])) continue;
     scrubbed[i] = **sims[i];
     scrub(scrubbed[i]);
     *sims[i] = &scrubbed[i];
-    res.degraded = true;
+    if (!scrub_engaged) engage("scrub");
+    scrub_engaged = true;
   }
   const bool any_empty =
       unusable(*p1o) || unusable(*p2o) || unusable(*p1i) || unusable(*p2i);
@@ -160,6 +318,7 @@ LocalizationResult localize(const LocalizationInput& input, Rng& rng,
       note(InconclusiveReason::NonOverlappingMeasurements);
       loss_testable = false;
     } else {
+      engage("desync_trim");
       trim1 = trimmed(*p1o, lo, hi);
       trim2 = trimmed(*p2o, lo, hi);
       loss1 = &trim1;
@@ -181,10 +340,12 @@ LocalizationResult localize(const LocalizationInput& input, Rng& rng,
     res.verdict = Verdict::Inconclusive;
     res.status = Status::insufficient_data(
         std::string("localize: ") + to_string(res.inconclusive_reason));
+    finish_trace();
     return res;
   }
   if (!res.confirmation_passed) {
     LOG_DEBUG("localizer: differentiation not confirmed on both paths");
+    finish_trace();
     return res;
   }
 
@@ -195,9 +356,11 @@ LocalizationResult localize(const LocalizationInput& input, Rng& rng,
   const auto y = aggregate_samples(y1, y2);
   res.throughput =
       throughput_comparison(x, y, input.t_diff_history, rng, cfg.throughput);
+  throughput_ran = true;
   if (res.throughput.common_bottleneck) {
     res.verdict = Verdict::EvidenceWithinTargetArea;
     res.mechanism = Mechanism::PerClientThrottling;
+    finish_trace();
     return res;
   }
   if (res.degraded && !res.throughput.valid &&
@@ -205,6 +368,7 @@ LocalizationResult localize(const LocalizationInput& input, Rng& rng,
     // Only worth flagging on damaged inputs: with clean measurements a
     // short history leaves the loss detector fully able to decide.
     note(InconclusiveReason::ShortTDiffHistory);
+    res.trace.degradations.emplace_back("short_t_diff");
   }
 
   // Operation 4b: loss-trend correlation — collective throttling check.
@@ -223,6 +387,7 @@ LocalizationResult localize(const LocalizationInput& input, Rng& rng,
                 static_cast<Time>(cfg.min_intervals_per_size)));
     if (cap < loss_cfg.max_interval_rtts) {
       loss_cfg.max_interval_rtts = cap;
+      res.trace.degradations.emplace_back("shrunk_sweep");
       if (cap < loss_cfg.min_interval_rtts) {
         note(InconclusiveReason::InsufficientLossIntervals);
         loss_testable = false;
@@ -239,6 +404,7 @@ LocalizationResult localize(const LocalizationInput& input, Rng& rng,
   if (res.loss.common_bottleneck) {
     res.verdict = Verdict::EvidenceWithinTargetArea;
     res.mechanism = Mechanism::CollectiveThrottling;
+    finish_trace();
     return res;
   }
 
@@ -252,6 +418,7 @@ LocalizationResult localize(const LocalizationInput& input, Rng& rng,
     res.status = Status::insufficient_data(
         std::string("localize: ") + to_string(res.inconclusive_reason));
   }
+  finish_trace();
   return res;
 }
 

@@ -87,6 +87,60 @@ struct LocalizerConfig {
   std::size_t min_t_diff = 8;
 };
 
+/// One detector comparison recorded in a DecisionTrace: the statistic
+/// that was tested, the threshold it was tested against, and a signed,
+/// normalized margin. The margin is oriented by the recorded outcome bit:
+/// positive means the statistic sits on the same side of the boundary as
+/// the outcome, negative means the statistic alone would flip it (which
+/// only happens when a secondary gate — KS validity, minimum effect size —
+/// decided). |margin| is the normalized distance to the decision boundary,
+/// so small |margin| identifies knife-edge decisions.
+struct DecisionEntry {
+  std::string detector;    ///< "confirmation.p1", "throughput.mwu", "loss.s01", ...
+  double statistic = 0.0;  ///< the compared p-value
+  double threshold = 0.0;  ///< alpha / fp it was compared against
+  double margin = 0.0;
+  bool outcome = false;  ///< the decision bit this comparison produced
+  bool valid = false;    ///< whether the underlying test could run
+  // Loss-size rows only: the Spearman rho and the interval size.
+  double rho = 0.0;
+  double sigma_ms = 0.0;
+  bool is_loss_size = false;
+};
+
+/// Algorithm 1's conservative aggregation: common bottleneck iff
+/// sizes_correlated > (1 - fp) * sizes_tested. The margin is the signed
+/// count-space distance to that threshold, normalized by sizes_tested and
+/// oriented by the outcome (same convention as DecisionEntry).
+struct DecisionAggregation {
+  bool present = false;  ///< the loss detector tested at least one size
+  std::size_t sizes_tested = 0;
+  std::size_t sizes_correlated = 0;
+  std::size_t sizes_valid = 0;
+  double threshold = 0.0;  ///< (1 - fp) * sizes_tested
+  double margin = 0.0;
+  bool outcome = false;
+};
+
+/// Deterministic provenance of one localize() verdict: every statistic the
+/// pipeline compared against a threshold, in evaluation order, plus the
+/// degradation paths that engaged and a single run-level verdict margin —
+/// the normalized distance to the nearest event that would flip the final
+/// verdict (the quantity the sweep-level knife-edge gate aggregates).
+/// `evaluated` is false only on a default-constructed result (a session
+/// that never reached analysis), which still serializes as an
+/// empty-but-valid decision block.
+struct DecisionTrace {
+  bool evaluated = false;
+  std::vector<DecisionEntry> detectors;
+  DecisionAggregation aggregation;
+  /// Degradation paths that engaged, in engagement order: "scrub",
+  /// "desync_trim", "shrunk_sweep", "short_t_diff".
+  std::vector<std::string> degradations;
+  double verdict_margin = 0.0;
+  bool has_verdict_margin = false;
+};
+
 struct LocalizationResult {
   Verdict verdict = Verdict::NoEvidence;
   Mechanism mechanism = Mechanism::None;
@@ -103,6 +157,8 @@ struct LocalizationResult {
   InconclusiveReason inconclusive_reason = InconclusiveReason::None;
   /// Ok, or the recoverable failure that made the verdict Inconclusive.
   Status status;
+  /// Why the verdict is what it is (statistics, thresholds, margins).
+  DecisionTrace trace;
 };
 
 /// Estimate the Alg. 1 base RTT from measurement latency samples: the

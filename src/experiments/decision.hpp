@@ -1,0 +1,46 @@
+// Bridge between core::DecisionTrace (the localizer's verdict provenance)
+// and obs::DecisionSection (its RunReport v4 serialization). The two
+// structs are deliberately parallel — wehey_core cannot depend on
+// wehey_obs or vice versa — so the field copy lives here, in the layer
+// that links both.
+#pragma once
+
+#include "core/localizer.hpp"
+#include "obs/report.hpp"
+
+namespace wehey::experiments {
+
+/// Copy a localizer decision trace into the report's decision section. A
+/// default-constructed trace (run never reached localize()) maps onto
+/// the empty-but-valid block the v4 schema requires.
+inline obs::DecisionSection decision_section(const core::DecisionTrace& t) {
+  obs::DecisionSection s;
+  s.evaluated = t.evaluated;
+  s.has_margin = t.has_verdict_margin;
+  s.margin = t.verdict_margin;
+  s.detectors.reserve(t.detectors.size());
+  for (const core::DecisionEntry& e : t.detectors) {
+    obs::DecisionRow row;
+    row.name = e.detector;
+    row.statistic = e.statistic;
+    row.threshold = e.threshold;
+    row.margin = e.margin;
+    row.outcome = e.outcome;
+    row.valid = e.valid;
+    row.has_rho = e.is_loss_size;
+    row.rho = e.rho;
+    row.sigma_ms = e.sigma_ms;
+    s.detectors.push_back(std::move(row));
+  }
+  s.has_aggregation = t.aggregation.present;
+  s.sizes_tested = t.aggregation.sizes_tested;
+  s.sizes_correlated = t.aggregation.sizes_correlated;
+  s.sizes_valid = t.aggregation.sizes_valid;
+  s.aggregation_threshold = t.aggregation.threshold;
+  s.aggregation_margin = t.aggregation.margin;
+  s.aggregation_outcome = t.aggregation.outcome;
+  s.degradations = t.degradations;
+  return s;
+}
+
+}  // namespace wehey::experiments

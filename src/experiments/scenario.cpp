@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "common/log.hpp"
+#include "experiments/decision.hpp"
 #include "faults/injector.hpp"
 #include "obs/recorder.hpp"
 #include "parallel/supervisor.hpp"
@@ -381,6 +382,9 @@ FullExperimentResult run_full_experiment_reported(
   } else if (out.localization.verdict == core::Verdict::Inconclusive) {
     r.reason = core::to_string(out.localization.inconclusive_reason);
   }
+  // v4: budget-exhausted runs skipped localize() and keep the default
+  // trace — the empty-but-valid decision block.
+  r.decision = decision_section(out.localization.trace);
   faults::InjectionStats injection;
   std::uint64_t limiter_drops = 0;
   int phases_faulted = 0;

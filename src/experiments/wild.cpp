@@ -1,5 +1,6 @@
 #include "experiments/wild.hpp"
 
+#include "experiments/decision.hpp"
 #include "experiments/delayed_tbf.hpp"
 
 #include <algorithm>
@@ -357,6 +358,9 @@ WildTestResult run_wild_test_reported(const WildConfig& cfg,
           core::to_string(out.outcome.localization.inconclusive_reason);
     }
   }
+  // v4: a budget-stopped test never ran localize(), so its default trace
+  // becomes the required empty-but-valid decision block.
+  r.decision = decision_section(out.outcome.localization.trace);
   std::vector<obs::ProfileSpan> spans;
   for (std::size_t i = 0; i < phases.size(); ++i) {
     const char* name = wild_phase_name(kWildPhases[i]);

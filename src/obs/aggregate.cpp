@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <regex>
 #include <sstream>
 
@@ -38,6 +39,15 @@ double sorted_sum(const std::vector<double>& sorted) {
 }
 
 }  // namespace
+
+double knife_edge_margin_from_env() {
+  if (const char* v = std::getenv("WEHEY_KNIFE_EDGE_MARGIN")) {
+    char* end = nullptr;
+    const double parsed = std::strtod(v, &end);
+    if (end != v && *end == 0 && parsed >= 0.0) return parsed;
+  }
+  return kDefaultKnifeEdgeMargin;
+}
 
 void SweepAggregator::tally_run(const std::string& cell,
                                 const std::string& fault_plan,
@@ -104,6 +114,11 @@ void SweepAggregator::add_run(const RunReport& report,
   for (const auto& [name, v] : report.values) {
     absorb_value(report.cell, name, v);
   }
+  // The verdict margin joins the cell's value blocks; the knife_edge
+  // block is derived from these samples at render time.
+  if (report.decision.has_margin) {
+    absorb_value(report.cell, kDecisionMarginValue, report.decision.margin);
+  }
   for (const auto& s : report.stages) {
     // The identical expression RunReport::to_json serializes, so the
     // in-process and offline absorb paths see bit-equal doubles.
@@ -163,6 +178,15 @@ bool SweepAggregator::add_run_json(const JsonValue& doc, std::string* error) {
       values != nullptr && values->type == JsonValue::Type::Object) {
     for (const auto& [name, v] : values->object) {
       if (v.type == JsonValue::Type::Number) absorb_value(cell, name, v.number);
+    }
+  }
+  // json_number round-trips doubles exactly, so this absorbs a value
+  // bit-equal to what add_run sees from the live report.
+  if (const JsonValue* decision = doc.find("decision");
+      decision != nullptr && decision->type == JsonValue::Type::Object) {
+    if (const JsonValue* margin = decision->find("margin");
+        margin != nullptr && margin->type == JsonValue::Type::Number) {
+      absorb_value(cell, kDecisionMarginValue, margin->number);
     }
   }
   if (const JsonValue* stages = doc.find("stages");
@@ -392,6 +416,36 @@ std::string SweepAggregator::to_json() const {
         << "\": {\"poisoned_runs\": " << c.poisoned << ", \"reasons\": ";
     emit_tally(out, "      ", c.poison_reasons);
     out << "}";
+    first = false;
+  }
+  out << (first ? "" : "\n    ") << "}\n  },\n";
+
+  // Knife-edge cells: minimum |decision margin| below the configured
+  // threshold, i.e. at least one run's verdict sat close enough to a
+  // decision boundary that an equivalent-but-not-identical realization
+  // (packet vs fluid background, a different seed) could flip it. CI
+  // derives its per-cell verdict exemptions from this block instead of
+  // hard-coding cell names.
+  const double knife_margin = knife_edge_margin_from_env();
+  out << "  \"knife_edge\": {\n    \"margin_threshold\": "
+      << json_number(knife_margin) << ",\n    \"cells\": {";
+  first = true;
+  for (const auto& [cell, c] : cells_) {
+    const auto it = c.values.find(kDecisionMarginValue);
+    if (it == c.values.end() || it->second.values.empty()) continue;
+    double min_abs = 0.0;
+    std::uint64_t below = 0;
+    bool seen = false;
+    for (double v : it->second.values) {
+      const double a = std::abs(v);
+      if (!seen || a < min_abs) min_abs = a;
+      seen = true;
+      if (a < knife_margin) ++below;
+    }
+    if (min_abs >= knife_margin) continue;
+    out << (first ? "\n" : ",\n") << "      \"" << json_escape(cell)
+        << "\": {\"min_margin\": " << json_number(min_abs)
+        << ", \"runs_below\": " << below << "}";
     first = false;
   }
   out << (first ? "" : "\n    ") << "}\n  },\n";
@@ -633,6 +687,23 @@ CompareResult compare_reports(const JsonValue& baseline,
     }
     if (!matched) {
       result.failures.push_back("min-key pattern matched nothing: " + pattern);
+    }
+  }
+  // Existence gates: deliberately checked against *all* candidate keys,
+  // including ignored ones — "this section exists" and "this section's
+  // numbers drift" are independent assertions.
+  for (const auto& pattern : options.require_keys) {
+    const std::regex re(pattern);
+    bool matched = false;
+    for (const auto& [key, c] : cand) {
+      if (std::regex_search(key, re)) {
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      result.failures.push_back("require-key pattern matched nothing: " +
+                                pattern);
     }
   }
   result.ok = result.failures.empty();

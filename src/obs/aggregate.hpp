@@ -19,6 +19,8 @@
 //                           "values": {<name>: <summary>}}, ...},
 //     "quarantine": {"threshold": N, "cells": {"<cell>":
 //                     {"poisoned_runs": N, "reasons": {...}}, ...}},
+//     "knife_edge": {"margin_threshold": X, "cells": {"<cell>":
+//                     {"min_margin": X, "runs_below": N}, ...}},
 //     "cell_percentiles": {"<value>": {"cells": N, "p50", "p90", "p99"}},
 //     "percentiles": {"<histogram>": {"p50", "p90", "p99"}, ...},
 //     "metrics": {"counters": {...}, "gauges": {name: {"min", "max"}},
@@ -51,6 +53,21 @@
 #include "obs/report.hpp"
 
 namespace wehey::obs {
+
+/// The run-level decision margin (RunReport "decision.margin") is
+/// absorbed into the per-cell value blocks under this name, so margin
+/// distributions get the same sorted-sample summaries as every other
+/// value — and the "knife_edge" block is derived from them.
+inline constexpr char kDecisionMarginValue[] = "decision_margin";
+
+/// Default |margin| below which a cell counts as knife-edge: its verdict
+/// sits close enough to a decision boundary that background-traffic
+/// realizations (e.g. packet vs fluid) can legitimately flip it.
+inline constexpr double kDefaultKnifeEdgeMargin = 0.05;
+
+/// WEHEY_KNIFE_EDGE_MARGIN, or kDefaultKnifeEdgeMargin when unset or
+/// unparsable. Negative values are rejected (fall back to the default).
+double knife_edge_margin_from_env();
 
 class SweepAggregator {
  public:
@@ -163,6 +180,11 @@ struct CompareOptions {
   /// >= the given bound (used for speedup gates, independent of the
   /// baseline value).
   std::vector<std::pair<std::string, double>> min_keys;
+  /// Existence assertions: each regex must match at least one flattened
+  /// candidate key (of any type) or the comparison fails. Guards CI gates
+  /// against a renamed/removed section silently turning the gate into a
+  /// no-op; ignored keys still count as matches.
+  std::vector<std::string> require_keys;
 };
 
 struct CompareResult {

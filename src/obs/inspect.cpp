@@ -299,6 +299,67 @@ void render_report(const JsonValue& doc, std::FILE* out) {
   const char* reason = str_or(doc, "reason");
   if (reason[0] != 0) std::fprintf(out, "  reason     %s\n", reason);
 
+  // v4 verdict provenance. Only rendered when the section exists, so
+  // v1-v3 reports inspect byte-identically to before.
+  const JsonValue* decision = doc.find("decision");
+  if (decision != nullptr && decision->type == JsonValue::Type::Object) {
+    print_rule(out, "decision (margin < 0 would flip; |margin| ~ 0 = knife-edge)");
+    const JsonValue* evaluated = decision->find("evaluated");
+    std::fprintf(out, "  evaluated      %s\n",
+                 evaluated != nullptr && evaluated->boolean ? "yes"
+                                                           : "no (pre-analysis)");
+    if (const JsonValue* margin = decision->find("margin")) {
+      std::fprintf(out, "  verdict margin %.4g\n", margin->num_or(0));
+    }
+    const JsonValue* detectors = decision->find("detectors");
+    if (detectors != nullptr && !detectors->array.empty()) {
+      std::fprintf(out, "  %-18s %11s %11s %11s %8s %6s\n", "detector",
+                   "statistic", "threshold", "margin", "outcome", "valid");
+      for (const auto& d : detectors->array) {
+        const auto field = [&d](const char* key) {
+          const JsonValue* v = d.find(key);
+          return v != nullptr ? v->num_or(0) : 0.0;
+        };
+        const JsonValue* outcome = d.find("outcome");
+        const JsonValue* valid = d.find("valid");
+        std::fprintf(out, "  %-18s %11.4g %11.4g %11.4g %8s %6s",
+                     str_or(d, "name"), field("statistic"), field("threshold"),
+                     field("margin"),
+                     outcome != nullptr && outcome->boolean ? "fired" : "no",
+                     valid != nullptr && valid->boolean ? "yes" : "NO");
+        if (d.find("rho") != nullptr) {
+          std::fprintf(out, "  rho=%.4g sigma=%.4g ms", field("rho"),
+                       field("sigma_ms"));
+        }
+        std::fputc('\n', out);
+      }
+    }
+    const JsonValue* agg = decision->find("aggregation");
+    if (agg != nullptr && agg->type == JsonValue::Type::Object) {
+      const auto field = [&agg](const char* key) {
+        const JsonValue* v = agg->find(key);
+        return v != nullptr ? v->num_or(0) : 0.0;
+      };
+      const JsonValue* outcome = agg->find("outcome");
+      std::fprintf(out,
+                   "  aggregation    %.0f/%.0f sizes correlated (%.0f valid) "
+                   "vs threshold %.4g -> %s (margin %.4g)\n",
+                   field("sizes_correlated"), field("sizes_tested"),
+                   field("sizes_valid"), field("threshold"),
+                   outcome != nullptr && outcome->boolean ? "common bottleneck"
+                                                          : "no",
+                   field("margin"));
+    }
+    const JsonValue* degradations = decision->find("degradations");
+    if (degradations != nullptr && !degradations->array.empty()) {
+      std::fprintf(out, "  degradations  ");
+      for (const auto& deg : degradations->array) {
+        std::fprintf(out, " %s", deg.str.c_str());
+      }
+      std::fputc('\n', out);
+    }
+  }
+
   const JsonValue* stages = doc.find("stages");
   if (stages != nullptr && !stages->array.empty()) {
     print_rule(out, "stages (sim time)");
@@ -551,6 +612,30 @@ void render_sweep(const JsonValue& doc, std::FILE* out) {
         }
       }
       std::fputc('\n', out);
+    }
+  }
+
+  // Knife-edge cells: minimum |decision margin| under the gate threshold.
+  // Absent on pre-v4 sweeps, which therefore render unchanged.
+  const JsonValue* knife = doc.find("knife_edge");
+  const JsonValue* kcells = knife != nullptr ? knife->find("cells") : nullptr;
+  if (kcells != nullptr) {
+    const JsonValue* threshold = knife->find("margin_threshold");
+    char title[80];
+    std::snprintf(title, sizeof(title),
+                  "KNIFE-EDGE cells (min |margin| < %.4g)",
+                  threshold != nullptr ? threshold->num_or(0) : 0.0);
+    print_rule(out, title);
+    if (kcells->object.empty()) {
+      std::fprintf(out, "  (none — every cell's verdicts are stable)\n");
+    }
+    for (const auto& [name, k] : kcells->object) {
+      const JsonValue* min_margin = k.find("min_margin");
+      const JsonValue* below = k.find("runs_below");
+      std::fprintf(out, "  %-24s min margin %10.4g  (%.0f runs below)\n",
+                   name.c_str(),
+                   min_margin != nullptr ? min_margin->num_or(0) : 0.0,
+                   below != nullptr ? below->num_or(0) : 0.0);
     }
   }
 

@@ -132,6 +132,48 @@ std::string RunReport::to_json(const MetricsRegistry* metrics) const {
   out << "  \"fault_plan\": \"" << json_escape(fault_plan) << "\",\n";
   out << "  \"verdict\": \"" << json_escape(verdict) << "\",\n";
   out << "  \"reason\": \"" << json_escape(reason) << "\",\n";
+  // v4: verdict provenance — every statistic/threshold comparison behind
+  // the verdict, plus the run-level margin the sweep knife-edge gate
+  // aggregates. Always present; a run that never reached analysis emits
+  // the empty-but-valid block (evaluated=false, empty arrays).
+  out << "  \"decision\": {\n";
+  out << "    \"evaluated\": " << (decision.evaluated ? "true" : "false");
+  if (decision.has_margin) {
+    out << ",\n    \"margin\": " << json_number(decision.margin);
+  }
+  out << ",\n    \"detectors\": [";
+  for (std::size_t i = 0; i < decision.detectors.size(); ++i) {
+    const DecisionRow& d = decision.detectors[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "      {\"name\": \"" << json_escape(d.name) << "\""
+        << ", \"statistic\": " << json_number(d.statistic)
+        << ", \"threshold\": " << json_number(d.threshold)
+        << ", \"margin\": " << json_number(d.margin)
+        << ", \"outcome\": " << (d.outcome ? "true" : "false")
+        << ", \"valid\": " << (d.valid ? "true" : "false");
+    if (d.has_rho) {
+      out << ", \"rho\": " << json_number(d.rho)
+          << ", \"sigma_ms\": " << json_number(d.sigma_ms);
+    }
+    out << "}";
+  }
+  out << (decision.detectors.empty() ? "" : "\n    ") << "]";
+  if (decision.has_aggregation) {
+    out << ",\n    \"aggregation\": {\"sizes_tested\": "
+        << decision.sizes_tested
+        << ", \"sizes_correlated\": " << decision.sizes_correlated
+        << ", \"sizes_valid\": " << decision.sizes_valid
+        << ", \"threshold\": " << json_number(decision.aggregation_threshold)
+        << ", \"margin\": " << json_number(decision.aggregation_margin)
+        << ", \"outcome\": "
+        << (decision.aggregation_outcome ? "true" : "false") << "}";
+  }
+  out << ",\n    \"degradations\": [";
+  for (std::size_t i = 0; i < decision.degradations.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << "\""
+        << json_escape(decision.degradations[i]) << "\"";
+  }
+  out << "]\n  },\n";
   out << "  \"stages\": [";
   for (std::size_t i = 0; i < stages.size(); ++i) {
     const auto& s = stages[i];

@@ -1,16 +1,25 @@
 // RunReport: the machine-readable result of one run — a session, a wild
 // test, or a whole bench binary. One shared schema
-// ("wehey.run_report.v3", JSON) replaces the ad-hoc JSON each bench used
+// ("wehey.run_report.v4", JSON) replaces the ad-hoc JSON each bench used
 // to emit:
 //
 //   {
-//     "schema": "wehey.run_report.v3",
+//     "schema": "wehey.run_report.v4",
 //     "run": "<binary or pipeline name>",
 //     "cell": "<grid-cell label, omitted when empty>",
 //     "seed": 2,
 //     "fault_plan": "<plan name or empty>",
 //     "verdict": "<outcome string>",
 //     "reason": "<machine-readable reason, empty when n/a>",
+//     "decision": {"evaluated": true|false,
+//                  "margin": X?,   // omitted when no verdict margin exists
+//                  "detectors": [{"name": ..., "statistic": X,
+//                                 "threshold": X, "margin": X,
+//                                 "outcome": true|false,
+//                                 "valid": true|false,
+//                                 "rho": X?, "sigma_ms": X?}, ...],
+//                  "aggregation": {...}?,   // Alg. 1 conservative count
+//                  "degradations": ["scrub", ...]},
 //     "stages": [{"name": ..., "sim_start_us": ..., "sim_end_us": ...,
 //                 "sim_ms": ..., "wall_ms": ...?}, ...],
 //     "profile": {"<stage>": {"count": N, "sim_ms": X, "self_sim_ms": X,
@@ -24,7 +33,13 @@
 // v2 added "percentiles" (derived per non-empty histogram via
 // histogram_quantile); v3 adds "profile" (per-stage self time: span
 // duration minus enclosed child spans) and the optional "cell" grid
-// label. v1/v2 reports, which lack them, still validate against
+// label; v4 adds "decision" — the verdict's provenance (per-detector
+// statistic / threshold / signed margin, the Alg. 1 aggregation count,
+// engaged degradation paths, and the run-level verdict margin the sweep
+// knife-edge gate aggregates). A run that never reached analysis (budget
+// exhausted, session aborted before localize) carries an empty-but-valid
+// block: {"evaluated": false, "detectors": [], "degradations": []}.
+// v1-v3 reports, which lack these sections, still validate against
 // tools/run_report_schema.json.
 //
 // Determinism contract: everything except "wall_ms" is a pure function of
@@ -46,7 +61,7 @@ namespace wehey::obs {
 /// The report schema emitted by RunReport::to_json. The single source of
 /// truth for the version string; tools/run_report_schema.json must list
 /// this value in its "schema" enum (asserted by tests/test_sweep.cpp).
-inline constexpr char kRunReportSchema[] = "wehey.run_report.v3";
+inline constexpr char kRunReportSchema[] = "wehey.run_report.v4";
 /// Older versions this codebase still reads (wehey_cli inspect,
 /// SweepAggregator::add_run_json).
 inline constexpr char kRunReportSchemaPrefix[] = "wehey.run_report.";
@@ -111,6 +126,49 @@ class Timeline;
 /// trials never falsely nest in one another.
 std::vector<ProfileSpan> profile_spans_from_timeline(const Timeline& tl);
 
+/// One row of the v4 "decision" section: a detector statistic, the
+/// threshold it was compared against, and the signed normalized margin
+/// (positive = the statistic supports the recorded outcome; |margin|
+/// small = knife-edge). Mirrors core::DecisionEntry without depending on
+/// core — emitters copy the fields across.
+struct DecisionRow {
+  std::string name;
+  double statistic = 0.0;
+  double threshold = 0.0;
+  double margin = 0.0;
+  bool outcome = false;
+  bool valid = false;
+  /// Loss-size rows also carry the correlation coefficient and interval
+  /// size; has_rho gates both optional fields.
+  bool has_rho = false;
+  double rho = 0.0;
+  double sigma_ms = 0.0;
+};
+
+/// The v4 "decision" section: the verdict's full evidence chain. A
+/// default-constructed section serializes as the empty-but-valid block
+/// required of runs that never reached analysis.
+struct DecisionSection {
+  bool evaluated = false;
+  /// Run-level verdict margin — normalized distance to the nearest event
+  /// that would flip the verdict; the sweep knife-edge gate aggregates
+  /// this per cell. has_margin=false omits the field (Inconclusive or
+  /// never-evaluated runs).
+  bool has_margin = false;
+  double margin = 0.0;
+  std::vector<DecisionRow> detectors;
+  /// Alg. 1 conservative aggregation (loss detector ran): correlated
+  /// count vs (1 - fp) * tested.
+  bool has_aggregation = false;
+  std::uint64_t sizes_tested = 0;
+  std::uint64_t sizes_correlated = 0;
+  std::uint64_t sizes_valid = 0;
+  double aggregation_threshold = 0.0;
+  double aggregation_margin = 0.0;
+  bool aggregation_outcome = false;
+  std::vector<std::string> degradations;
+};
+
 struct RunReport {
   std::string run;         ///< binary / pipeline name
   std::string cell;        ///< grid-cell label ("ISP1", "Zoom", ...); may be
@@ -119,6 +177,9 @@ struct RunReport {
   std::string fault_plan;  ///< empty = fault-free
   std::string verdict;     ///< outcome string ("localized within ISP", ...)
   std::string reason;      ///< machine-readable refinement, may be empty
+  /// v4: why the verdict is what it is. Always emitted; the default-
+  /// constructed value is the empty-but-valid block.
+  DecisionSection decision;
   std::vector<StageTiming> stages;
   /// v3: per-stage self-time profile (see profile_from_spans). Always
   /// emitted, possibly empty.

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/check.hpp"
+#include "experiments/decision.hpp"
 #include "faults/injector.hpp"
 #include "obs/recorder.hpp"
 #include "parallel/supervisor.hpp"
@@ -703,6 +704,10 @@ obs::RunReport make_run_report(const SessionConfig& cfg,
   } else if (result.outcome == SessionOutcome::BudgetExhausted) {
     report.reason = std::string("budget:") + result.budget_reason;
   }
+  // v4 verdict provenance. Sessions that never reached localize()
+  // (budget-exhausted, pre-analysis aborts) carry the default trace,
+  // which serializes as the empty-but-valid decision block.
+  report.decision = experiments::decision_section(result.localization.trace);
   report.stages = result.stages;
   // v3 profile: the five stages tile the session's sim timeline on one
   // track; replay-attempt windows nest inside their stage, so a stage's

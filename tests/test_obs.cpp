@@ -4,11 +4,14 @@
 // byte-identical regardless of how many threads executed the trials.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "core/localizer.hpp"
 #include "experiments/params.hpp"
 #include "experiments/scenario.hpp"
 #include "faults/plan.hpp"
@@ -358,7 +361,7 @@ TEST(Report, SessionReportIsDeterministicAndComplete) {
   const auto jb = replay::make_run_report(cfg, b, "test_session")
                       .to_json(nullptr);
   EXPECT_EQ(ja, jb);
-  EXPECT_NE(ja.find("\"schema\": \"wehey.run_report.v3\""),
+  EXPECT_NE(ja.find("\"schema\": \"wehey.run_report.v4\""),
             std::string::npos);
   EXPECT_NE(ja.find("\"run\": \"test_session\""), std::string::npos);
   EXPECT_NE(ja.find("\"verdict\": \"localized within ISP\""),
@@ -368,6 +371,13 @@ TEST(Report, SessionReportIsDeterministicAndComplete) {
   EXPECT_NE(ja.find("\"pair_fallbacks\""), std::string::npos);
   EXPECT_NE(ja.find("\"injection\""), std::string::npos);
   EXPECT_NE(ja.find("\"total\": 0"), std::string::npos);
+  // v4: the verdict's provenance rode along — both confirmation rows, an
+  // evaluated flag, and a run-level margin.
+  EXPECT_NE(ja.find("\"decision\""), std::string::npos);
+  EXPECT_NE(ja.find("\"evaluated\": true"), std::string::npos);
+  EXPECT_NE(ja.find("\"confirmation.p1\""), std::string::npos);
+  EXPECT_NE(ja.find("\"confirmation.p2\""), std::string::npos);
+  EXPECT_NE(ja.find("\"margin\""), std::string::npos);
 }
 
 TEST(Report, V2PercentilesDerivedFromHistograms) {
@@ -473,7 +483,7 @@ TEST(Obs, FullExperimentReportIsPopulatedAndDeterministic) {
     return res.report.to_json(&res.metrics);
   };
   const std::string first = run_json();
-  EXPECT_NE(first.find("\"schema\": \"wehey.run_report.v3\""),
+  EXPECT_NE(first.find("\"schema\": \"wehey.run_report.v4\""),
             std::string::npos);
   EXPECT_NE(first.find("\"run\": \"test_full\""), std::string::npos);
   EXPECT_NE(first.find("sim_original"), std::string::npos);
@@ -521,6 +531,110 @@ TEST(Obs, PairFallbackFiresAndIsCounted) {
             std::string::npos);
   EXPECT_NE(json.find("\"replays_aborted\": 3"), std::string::npos);
   EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+}
+
+// --- v4 decision provenance ----------------------------------------------
+
+/// The "decision" object of a serialized run report (everything between
+/// its key and the matching closing brace), for section-level
+/// byte-equality assertions.
+std::string decision_section_of(const std::string& json) {
+  const auto at = json.find("\"decision\": {");
+  if (at == std::string::npos) return {};
+  long depth = 0;
+  for (std::size_t i = json.find('{', at); i < json.size(); ++i) {
+    if (json[i] == '{') ++depth;
+    if (json[i] == '}' && --depth == 0) return json.substr(at, i - at + 1);
+  }
+  return {};
+}
+
+// The decision section is a pure function of the run's seeds: sessions
+// fanned over 1 vs 8 threads — under the kitchen-sink and event-storm
+// chaos plans, the hardest cases — serialize byte-identical sections.
+TEST(Decision, SectionByteIdenticalAcrossThreadCountsAndChaosPlans) {
+  ::unsetenv("WEHEY_TRIAL_MAX_EVENTS");
+  ::unsetenv("WEHEY_TRIAL_MAX_SIM_MS");
+  const auto sections_with = [](unsigned threads) {
+    std::vector<std::string> out(4);
+    parallel::parallel_map(
+        4,
+        [&out](std::size_t i) {
+          auto cfg = session_config(2 + i);
+          cfg.fault_plan = faults::shipped_plan(
+              i % 2 == 0 ? "kitchen-sink" : "event-storm", 5 + i);
+          topology::TopologyDatabase db;
+          replay::seed_topology_database(cfg.scenario, db);
+          const auto result = replay::run_session(cfg, db);
+          out[i] = decision_section_of(
+              replay::make_run_report(cfg, result, "d" + std::to_string(i))
+                  .to_json(nullptr));
+          return 0;
+        },
+        threads);
+    return out;
+  };
+  const auto serial = sections_with(1);
+  const auto pooled = sections_with(8);
+  EXPECT_EQ(serial, pooled);
+  for (const auto& section : serial) {
+    EXPECT_FALSE(section.empty());
+    EXPECT_NE(section.find("\"evaluated\""), std::string::npos);
+    EXPECT_NE(section.find("\"detectors\""), std::string::npos);
+    EXPECT_NE(section.find("\"degradations\""), std::string::npos);
+  }
+}
+
+// A budget-exhausted session never reached localize(); its report must
+// still carry the full decision object — evaluated=false with empty
+// arrays and no margin — not a stump.
+TEST(Decision, BudgetExhaustedRunCarriesEmptyButValidBlock) {
+  ::unsetenv("WEHEY_TRIAL_MAX_EVENTS");
+  ::unsetenv("WEHEY_TRIAL_MAX_SIM_MS");
+  auto cfg = session_config(2);
+  cfg.fault_plan = faults::shipped_plan("event-storm", 1);
+  topology::TopologyDatabase db;
+  replay::seed_topology_database(cfg.scenario, db);
+  const auto result = replay::run_session(cfg, db);
+  ASSERT_EQ(result.outcome, replay::SessionOutcome::BudgetExhausted);
+  const std::string json =
+      replay::make_run_report(cfg, result, "storm").to_json(nullptr);
+  const std::string section = decision_section_of(json);
+  ASSERT_FALSE(section.empty());
+  EXPECT_NE(section.find("\"evaluated\": false"), std::string::npos);
+  EXPECT_NE(section.find("\"detectors\": []"), std::string::npos);
+  EXPECT_NE(section.find("\"degradations\": []"), std::string::npos);
+  EXPECT_EQ(section.find("\"margin\""), std::string::npos);
+  EXPECT_EQ(section.find("\"aggregation\""), std::string::npos);
+}
+
+// A completed localization writes coherent rows: statistic vs threshold
+// with the signed-margin convention (positive = supports the outcome).
+TEST(Decision, CompletedSessionTraceIsCoherent) {
+  const auto result = run_one_session(2);
+  const core::DecisionTrace& trace = result.localization.trace;
+  ASSERT_TRUE(trace.evaluated);
+  ASSERT_GE(trace.detectors.size(), 2u);  // both confirmation rows at least
+  EXPECT_EQ(trace.detectors[0].detector, "confirmation.p1");
+  EXPECT_EQ(trace.detectors[1].detector, "confirmation.p2");
+  for (const auto& e : trace.detectors) {
+    // p-values compared against p-thresholds: both sides in [0, 1].
+    EXPECT_GE(e.statistic, 0.0) << e.detector;
+    EXPECT_LE(e.statistic, 1.0) << e.detector;
+    EXPECT_GT(e.threshold, 0.0) << e.detector;
+    EXPECT_LE(std::abs(e.margin), 1.0) << e.detector;
+    // The margin is negative only when a secondary gate overrode the
+    // primary comparison; then the statistic sits on the outcome's far
+    // side.
+    if (e.margin < 0.0 && e.outcome) {
+      EXPECT_GE(e.statistic, e.threshold) << e.detector;
+    }
+  }
+  // This seed localizes (asserted elsewhere), so a verdict margin exists
+  // and is a normalized distance.
+  ASSERT_TRUE(trace.has_verdict_margin);
+  EXPECT_GE(trace.verdict_margin, 0.0);
+  EXPECT_LE(trace.verdict_margin, 1.0);
 }
 
 }  // namespace

@@ -125,6 +125,15 @@ std::pair<RunReport, MetricsRegistry> synthetic_run(std::size_t i) {
   r.values["score"] = 0.1 * static_cast<double>(i) + 1e-3 / (i + 1.0);
   r.values["tput_mbps"] = 40.0 / (1.0 + static_cast<double>(i % 7));
   r.injection["replays_aborted"] = static_cast<int>(i % 2);
+  // cell0 sits on the knife edge (|margin| well below the 0.05 default);
+  // cell1 and cell2 are comfortably decided. Alternating signs exercise
+  // the |margin| convention in the knife_edge block.
+  r.decision.evaluated = true;
+  r.decision.has_margin = true;
+  const double magnitude = i % 3 == 0
+                               ? 0.01 + 0.005 * static_cast<double>(i)
+                               : 0.4 + 0.01 * static_cast<double>(i);
+  r.decision.margin = i % 2 == 0 ? magnitude : -magnitude;
   r.add_stage("wehe_test", 0, (1 + Time(i)) * kSecond);
   r.add_stage("analysis", (1 + Time(i)) * kSecond,
               (2 + Time(i)) * kSecond);
@@ -188,6 +197,49 @@ TEST(Sweep, OfflineJsonMergeMatchesInProcessMergeByteForByte) {
     ASSERT_TRUE(offline.add_run_json(doc, &error)) << error;
   }
   EXPECT_EQ(in_process.to_json(), offline.to_json());
+}
+
+TEST(Sweep, KnifeEdgeFlagsOnlyCellsNearTheDecisionBoundary) {
+  ::unsetenv("WEHEY_KNIFE_EDGE_MARGIN");
+  EXPECT_DOUBLE_EQ(knife_edge_margin_from_env(), kDefaultKnifeEdgeMargin);
+  SweepAggregator agg("knife");
+  for (std::size_t i = 0; i < 12; ++i) {
+    const auto [r, m] = synthetic_run(i);
+    agg.add_run(r, &m);
+  }
+  const std::string json = agg.to_json();
+  const std::size_t start = json.find("\"knife_edge\"");
+  ASSERT_NE(start, std::string::npos);
+  const std::string block =
+      json.substr(start, json.find("\"cell_percentiles\"") - start);
+  // cell0's minimum |margin| is 0.01 with three runs under the default
+  // 0.05; the other cells never dip below 0.4 (negative margins count by
+  // magnitude, so cell1's -0.41 does not flag).
+  EXPECT_NE(block.find("\"margin_threshold\": 0.05"), std::string::npos);
+  EXPECT_NE(block.find("\"cell0\": {\"min_margin\": 0.01, "
+                       "\"runs_below\": 3}"),
+            std::string::npos)
+      << block;
+  EXPECT_EQ(block.find("\"cell1\""), std::string::npos);
+  EXPECT_EQ(block.find("\"cell2\""), std::string::npos);
+
+  // Tightening the env knob empties the block without touching samples.
+  ::setenv("WEHEY_KNIFE_EDGE_MARGIN", "0.001", 1);
+  EXPECT_DOUBLE_EQ(knife_edge_margin_from_env(), 0.001);
+  const std::string tight = agg.to_json();
+  const std::size_t tstart = tight.find("\"knife_edge\"");
+  ASSERT_NE(tstart, std::string::npos);
+  const std::string tblock =
+      tight.substr(tstart, tight.find("\"cell_percentiles\"") - tstart);
+  EXPECT_NE(tblock.find("\"margin_threshold\": 0.001"), std::string::npos);
+  EXPECT_EQ(tblock.find("\"cell0\""), std::string::npos);
+
+  // Unparseable or negative values fall back to the default.
+  ::setenv("WEHEY_KNIFE_EDGE_MARGIN", "wat", 1);
+  EXPECT_DOUBLE_EQ(knife_edge_margin_from_env(), kDefaultKnifeEdgeMargin);
+  ::setenv("WEHEY_KNIFE_EDGE_MARGIN", "-0.5", 1);
+  EXPECT_DOUBLE_EQ(knife_edge_margin_from_env(), kDefaultKnifeEdgeMargin);
+  ::unsetenv("WEHEY_KNIFE_EDGE_MARGIN");
 }
 
 TEST(Sweep, RejectsNonReportDocuments) {
@@ -322,6 +374,32 @@ TEST(Compare, PerKeyToleranceOverride) {
   ASSERT_EQ(res.failures.size(), 0u) << res.failures[0];
 }
 
+TEST(Compare, RequireKeyGuardsSectionExistence) {
+  const JsonValue base = parse("{\"a\": 1.0}");
+  const JsonValue cand = parse(
+      "{\"a\": 1.0, \"knife_edge\": {\"margin_threshold\": 0.05, "
+      "\"cells\": {\"ISP2\": {\"min_margin\": 0.01, \"runs_below\": 2}}}}");
+
+  // Existence is asserted against all candidate keys — even ones the
+  // numeric diff ignores, so CI can exempt knife_edge drift while still
+  // failing if the section disappears outright.
+  CompareOptions opts;
+  opts.ignore.push_back("knife_edge");
+  opts.require_keys.push_back("knife_edge\\.margin_threshold");
+  opts.require_keys.push_back("knife_edge\\.cells");
+  EXPECT_TRUE(compare_reports(base, cand, opts).ok);
+
+  // A pattern matching nothing fails loudly instead of silently turning
+  // the gate into a no-op.
+  opts.require_keys.push_back("decision");
+  const auto res = compare_reports(base, cand, opts);
+  EXPECT_FALSE(res.ok);
+  ASSERT_EQ(res.failures.size(), 1u);
+  EXPECT_NE(
+      res.failures[0].find("require-key pattern matched nothing: decision"),
+      std::string::npos);
+}
+
 // ----------------------------------------------- schema single-sourcing
 
 /// The C++ constants and the JSON Schema files under tools/ must agree —
@@ -430,6 +508,56 @@ TEST(Inspect, RendersSweepReports) {
   EXPECT_NE(rendered.find("render_me"), std::string::npos);
   EXPECT_NE(rendered.find("cell0"), std::string::npos);
   EXPECT_NE(rendered.find("stage profile"), std::string::npos);
+}
+
+// ---------------------------------------------------- frozen fixtures
+
+/// Backward compatibility: real reports from each schema era are frozen
+/// under tests/data/ — today's tooling must keep accepting them. (CI
+/// also runs tools/validate_report.py over the same files.)
+TEST(Inspect, FrozenFixtureReportsStillRender) {
+  const std::string root = WEHEY_SOURCE_DIR;
+  const char* fixtures[] = {
+      "/tests/data/run_report_v1.json",
+      "/tests/data/run_report_v2.json",
+      "/tests/data/run_report_v3.json",
+      "/tests/data/sweep_report_v1.json",
+  };
+  const std::string dir = ::testing::TempDir();
+  for (const char* fixture : fixtures) {
+    const std::string sink_path = dir + "/fixture.txt";
+    std::FILE* sink = std::fopen(sink_path.c_str(), "w");
+    ASSERT_NE(sink, nullptr);
+    EXPECT_TRUE(inspect_file(root + fixture, sink)) << fixture;
+    std::fclose(sink);
+    std::string rendered;
+    ASSERT_TRUE(read_file(sink_path, rendered));
+    EXPECT_FALSE(rendered.empty()) << fixture;
+  }
+}
+
+TEST(Sweep, FrozenRunReportFixturesStillAbsorb) {
+  const std::string root = WEHEY_SOURCE_DIR;
+  SweepAggregator agg("fixtures");
+  for (const char* fixture : {"/tests/data/run_report_v1.json",
+                              "/tests/data/run_report_v2.json",
+                              "/tests/data/run_report_v3.json"}) {
+    std::string text;
+    ASSERT_TRUE(read_file(root + fixture, text)) << fixture;
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(json_parse(text, doc, &error)) << error;
+    ASSERT_TRUE(agg.add_run_json(doc, &error)) << fixture << ": " << error;
+  }
+  EXPECT_EQ(agg.runs(), 3u);
+  // Pre-v4 reports carry no decision margin, so the knife_edge block is
+  // present but empty.
+  const std::string json = agg.to_json();
+  const std::size_t start = json.find("\"knife_edge\"");
+  ASSERT_NE(start, std::string::npos);
+  const std::string block =
+      json.substr(start, json.find("\"cell_percentiles\"") - start);
+  EXPECT_EQ(block.find("min_margin"), std::string::npos);
 }
 
 // ----------------------------------------------------- report mode env

@@ -13,11 +13,15 @@ Stdlib-only mirror of `wehey_cli compare` (src/obs/aggregate.cpp):
     (a metric disappeared); candidate-only keys are printed as notes
     (the schema grew) but do not fail;
   * --min-key REGEX=BOUND asserts a floor on every matching candidate
-    value, independent of the baseline (speedup gates).
+    value, independent of the baseline (speedup gates);
+  * --require-key REGEX fails unless at least one flattened candidate key
+    (of any type, ignored keys included) matches — guards CI gates
+    against a renamed section silently turning the gate into a no-op.
 
 Usage:
   tools/bench_compare.py BASELINE CANDIDATE [--tol 0.05]
       [--tol-key REGEX=TOL]... [--ignore REGEX]... [--min-key REGEX=BOUND]...
+      [--require-key REGEX]...
 
 Exit status: 0 within tolerance, 1 on drift, 2 on usage errors.
 """
@@ -49,7 +53,7 @@ def parse_key_value(arg, flag):
     return key, float(value)
 
 
-def compare(base, cand, tol, key_tols, ignore, min_keys):
+def compare(base, cand, tol, key_tols, ignore, min_keys, require_keys=()):
     """Returns (failures, notes); both are key-sorted string lists."""
     failures, notes = [], []
 
@@ -107,6 +111,9 @@ def compare(base, cand, tol, key_tols, ignore, min_keys):
                 )
         if not matched:
             failures.append(f"min-key pattern matched nothing: {pattern}")
+    for pattern in require_keys:
+        if not any(re.search(pattern, key) for key in cand):
+            failures.append(f"require-key pattern matched nothing: {pattern}")
     return failures, notes
 
 
@@ -124,6 +131,9 @@ def main():
     parser.add_argument("--min-key", action="append", default=[],
                         metavar="REGEX=BOUND",
                         help="floor for every matching candidate value")
+    parser.add_argument("--require-key", action="append", default=[],
+                        metavar="REGEX",
+                        help="fail unless some candidate key matches")
     args = parser.parse_args()
 
     docs = []
@@ -138,7 +148,7 @@ def main():
     key_tols = [parse_key_value(a, "--tol-key") for a in args.tol_key]
     min_keys = [parse_key_value(a, "--min-key") for a in args.min_key]
     failures, notes = compare(docs[0], docs[1], args.tol, key_tols,
-                              args.ignore, min_keys)
+                              args.ignore, min_keys, args.require_key)
     for note in notes:
         print(f"note: {note}", file=sys.stderr)
     for failure in failures:
