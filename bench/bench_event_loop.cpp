@@ -21,9 +21,12 @@
 #include <string>
 #include <vector>
 
+#include <thread>
+
 #include "bench_util.hpp"
 #include "netsim/packet.hpp"
 #include "netsim/simulator.hpp"
+#include "obs/runtime.hpp"
 #include "parallel/trials.hpp"
 
 using namespace wehey;
@@ -165,6 +168,12 @@ struct GridTiming {
   unsigned threads;
   double seconds;
   double speedup;
+  // Engine-telemetry snapshot of the row (obs/runtime.hpp), taken right
+  // after the row's run_trials sweep.
+  double parallel_efficiency;
+  double worker_imbalance;
+  double wait_fraction;
+  double tasks;
 };
 
 /// The small-capture loop with an explicit recorder binding: nullptr
@@ -192,6 +201,8 @@ int main() {
   double legacy_small = 0, new_small = 0, legacy_heavy = 0, new_heavy = 0;
   double obs_idle = 0, obs_active = 0;
   std::vector<double> idle_ratios;
+  std::vector<double> runtime_ratios;
+  const bool runtime_was_enabled = obs::runtime::enabled();
   {
     // The eps measurements must not inherit the run-level recorder: the
     // idle/active split below binds recorders explicitly.
@@ -209,6 +220,14 @@ int main() {
       new_small = std::max(new_small, plain);
       obs_idle = std::max(obs_idle, idle);
       idle_ratios.push_back(idle / plain);
+      // Runtime-telemetry guard, same pairing scheme: the engine profiler
+      // stays off the event dispatch hot path (its only netsim hook is
+      // slot-pool growth), so enabling it must not move events/sec either.
+      obs::runtime::set_enabled(true);
+      const double rt_on =
+          events_per_sec<netsim::Simulator>(kLanes, kEvents, false);
+      obs::runtime::set_enabled(runtime_was_enabled);
+      runtime_ratios.push_back(rt_on / plain);
       legacy_heavy = std::max(legacy_heavy, events_per_sec<LegacySimulator>(
                                                 kLanes, kEvents, true));
       new_heavy = std::max(new_heavy, events_per_sec<netsim::Simulator>(
@@ -225,6 +244,11 @@ int main() {
                    idle_ratios.end());
   const double obs_idle_overhead =
       1.0 - idle_ratios[idle_ratios.size() / 2];
+  std::nth_element(runtime_ratios.begin(),
+                   runtime_ratios.begin() + runtime_ratios.size() / 2,
+                   runtime_ratios.end());
+  const double runtime_idle_overhead =
+      1.0 - runtime_ratios[runtime_ratios.size() / 2];
 
   std::printf("event loop (%zu events, %zu lanes):\n", kEvents, kLanes);
   std::printf("  %-34s | %10.2f M events/s\n", "std::function + priority_queue",
@@ -243,6 +267,8 @@ int main() {
   std::printf("  %-34s | %10.2f M events/s  (%+.2f%% vs new)\n",
               "new, metrics recorder bound", obs_active / 1e6,
               100.0 * (obs_active / new_small - 1.0));
+  std::printf("  %-34s | median overhead %+.2f%%\n",
+              "new, runtime telemetry enabled", 100.0 * runtime_idle_overhead);
 
   // (2) Grid speedup through run_trials. A small but real scenario grid;
   // every trial is a full simultaneous experiment.
@@ -265,19 +291,34 @@ int main() {
     std::printf("note: %u hardware thread(s) — grid speedup is bounded by "
                 "the host, not the engine\n", hw);
   }
+  // Detected hardware concurrency, as opposed to the WEHEY_THREADS-driven
+  // `hw` above: a 2-thread row on a 1-core host is oversubscribed, and its
+  // speedup measures the host, not the engine.
+  const unsigned detected_hw = std::max(1u, std::thread::hardware_concurrency());
   double serial_time = 0;
+  // The grid rows double as the engine-telemetry baseline for the planned
+  // executor rework: profile every row and fold the derived scheduler
+  // metrics into the "runtime" block below.
+  obs::runtime::set_enabled(true);
   for (unsigned threads : thread_counts) {
+    obs::runtime::reset();
     const auto t0 = std::chrono::steady_clock::now();
     const auto results = parallel::run_trials(
         configs, run_simultaneous_experiment, threads);
     const double dt = seconds_since(t0);
+    const auto snap = obs::runtime::snapshot();
     if (threads == 1) serial_time = dt;
-    timings.push_back({threads, dt, serial_time / dt});
+    timings.push_back({threads, dt, serial_time / dt,
+                       snap.parallel_efficiency, snap.worker_imbalance,
+                       snap.wait_fraction, static_cast<double>(snap.tasks)});
     std::printf("grid of %zu trials, %2u thread(s): %6.2f s  (speedup "
-                "%.2fx)%s\n",
+                "%.2fx, efficiency %.2f, imbalance %.2f)%s%s\n",
                 results.size(), threads, dt, serial_time / dt,
+                snap.parallel_efficiency, snap.worker_imbalance,
+                threads > detected_hw ? "  [oversubscribed]" : "",
                 threads == 1 ? "  [baseline]" : "");
   }
+  if (!runtime_was_enabled) obs::runtime::set_enabled(false);
 
   // (3) Persist the trajectory. Block-wise update: any other bench's
   // blocks in the file (e.g. bench_background's) are preserved.
@@ -297,24 +338,60 @@ int main() {
   bench::jset(observability, "obs_active_eps", bench::jnum(obs_active));
   bench::jset(observability, "obs_idle_overhead",
               bench::jnum(obs_idle_overhead));
+  bench::jset(observability, "runtime_idle_overhead",
+              bench::jnum(runtime_idle_overhead));
   auto grid_block = bench::jobj();
   bench::jset(grid_block, "trials",
               bench::jnum(static_cast<double>(configs.size())));
-  bench::jset(grid_block, "hardware_threads", bench::jnum(hw));
+  bench::jset(grid_block, "configured_threads", bench::jnum(hw));
+  bench::jset(grid_block, "hardware_threads", bench::jnum(detected_hw));
+  auto jbool = [](bool b) {
+    obs::JsonValue j;
+    j.type = obs::JsonValue::Type::Bool;
+    j.boolean = b;
+    return j;
+  };
   auto runs = bench::jarr();
   for (const auto& t : timings) {
     auto run = bench::jobj();
     bench::jset(run, "threads", bench::jnum(t.threads));
     bench::jset(run, "seconds", bench::jnum(t.seconds));
     bench::jset(run, "speedup", bench::jnum(t.speedup));
+    bench::jset(run, "hardware_threads", bench::jnum(detected_hw));
+    bench::jset(run, "oversubscribed", jbool(t.threads > detected_hw));
     runs.array.push_back(std::move(run));
   }
   bench::jset(grid_block, "runs", std::move(runs));
+  // Scheduler-efficiency trajectory (engine telemetry): one row per grid
+  // thread count, plus the widest row's metrics hoisted for CI min-key
+  // gates. Lives in the shared "runtime" top-level block — sub-block-wise
+  // update so bench_table1_wild's "table1_wild" entry survives.
+  auto runtime_grid = bench::jobj();
+  auto runtime_rows = bench::jarr();
+  for (const auto& t : timings) {
+    auto row = bench::jobj();
+    bench::jset(row, "threads", bench::jnum(t.threads));
+    bench::jset(row, "parallel_efficiency",
+                bench::jnum(t.parallel_efficiency));
+    bench::jset(row, "worker_imbalance", bench::jnum(t.worker_imbalance));
+    bench::jset(row, "wait_fraction", bench::jnum(t.wait_fraction));
+    bench::jset(row, "tasks", bench::jnum(t.tasks));
+    bench::jset(row, "oversubscribed", jbool(t.threads > detected_hw));
+    runtime_rows.array.push_back(std::move(row));
+  }
+  bench::jset(runtime_grid, "rows", std::move(runtime_rows));
+  const auto& widest = timings.back();
+  bench::jset(runtime_grid, "parallel_efficiency",
+              bench::jnum(widest.parallel_efficiency));
+  bench::jset(runtime_grid, "worker_imbalance",
+              bench::jnum(widest.worker_imbalance));
   const bool wrote =
       bench::update_bench_block(path, "event_loop", std::move(event_loop)) &&
       bench::update_bench_block(path, "observability",
                                 std::move(observability)) &&
-      bench::update_bench_block(path, "grid", std::move(grid_block));
+      bench::update_bench_block(path, "grid", std::move(grid_block)) &&
+      bench::update_bench_subblock(path, "runtime", "grid",
+                                   std::move(runtime_grid));
   std::printf(wrote ? "\nwrote %s\n" : "\ncould not write %s\n",
               path.c_str());
   obs_run.report().verdict = "completed";

@@ -31,6 +31,7 @@
 #include "obs/checkpoint.hpp"
 #include "obs/recorder.hpp"
 #include "obs/report.hpp"
+#include "obs/runtime.hpp"
 
 namespace wehey::bench {
 
@@ -158,8 +159,12 @@ class ObservedSweep {
         bind_(obs_.recorder.get()),
         mode_(obs::report_mode_from_env()),
         aggregator_(run_name),
+        meter_(run_name),
         wall_start_(std::chrono::steady_clock::now()) {
     report_.run = std::move(run_name);
+    // Engine runtime telemetry (WEHEY_RUNTIME_REPORT): wall-clock profiler
+    // sidecar, deliberately separate from the deterministic report files.
+    obs::runtime::enable_from_env();
     // Checkpointing (WEHEY_CHECKPOINT=<journal path>): an existing
     // journal means this sweep is a resume — completed runs are served
     // from it via cached()/absorb_cached() and only the rest execute.
@@ -189,6 +194,12 @@ class ObservedSweep {
   obs::ReportMode mode() const { return mode_; }
   obs::SweepAggregator& aggregator() { return aggregator_; }
 
+  /// Announce how many runs the sweep will absorb in total, enabling the
+  /// progress meter's ETA (WEHEY_PROGRESS=plain|tty).
+  void expect_runs(std::size_t total) { meter_.expect(total); }
+
+  obs::ProgressMeter& progress() { return meter_; }
+
   /// Fold a session's / test's injector tallies into the report.
   void record_injection(const faults::InjectionStats& stats) {
     for (const auto& [kind, count] : stats.by_kind()) {
@@ -205,6 +216,8 @@ class ObservedSweep {
   void add_run(const obs::RunReport& run,
                const obs::MetricsRegistry* metrics) {
     aggregator_.add_run(run, metrics);
+    meter_.note_run(run.verdict, run.decision.has_margin,
+                    run.decision.margin);
     std::string json;
     if (checkpoint_.is_open()) {
       json = run.to_json(metrics);
@@ -254,6 +267,7 @@ class ObservedSweep {
                    entry.run.c_str(), error.c_str());
       return obs::JsonValue{};
     }
+    meter_.note_resumed();
     ++next_run_index_;
     if (mode_ != obs::ReportMode::kSweep) {
       const char* dir = std::getenv("WEHEY_REPORT_DIR");
@@ -347,6 +361,12 @@ class ObservedSweep {
         }
       }
     }
+    // Final wall-clock summary (always, when runs were absorbed) and the
+    // runtime-telemetry sidecar. Both live outside the deterministic
+    // report files: the summary goes to stderr, the sidecar to its own
+    // WEHEY_RUNTIME_REPORT path.
+    meter_.finish();
+    obs::runtime::write_runtime_report_from_env(report_.run);
   }
 
  private:
@@ -354,6 +374,7 @@ class ObservedSweep {
   obs::ScopedRecorder bind_;
   obs::ReportMode mode_;
   obs::SweepAggregator aggregator_;
+  obs::ProgressMeter meter_;  ///< live sweep progress (WEHEY_PROGRESS)
   obs::RunReport report_;
   obs::CheckpointJournal journal_;   ///< completed runs of a killed sweep
   obs::CheckpointWriter checkpoint_; ///< open iff WEHEY_CHECKPOINT is set
@@ -485,6 +506,45 @@ inline bool update_bench_block(const std::string& path,
     }
   }
   jset(doc, name, std::move(block));
+  std::ofstream out(path);
+  if (!out) return false;
+  json_write(doc, out);
+  out << '\n';
+  return out.good();
+}
+
+/// Replace (or append) `sub` inside the top-level object block `name`,
+/// preserving the block's other sub-entries. Lets several binaries share
+/// one top-level block (e.g. "runtime"."grid" from bench_event_loop and
+/// "runtime"."table1_wild" from bench_table1_wild) without clobbering
+/// each other.
+inline bool update_bench_subblock(const std::string& path,
+                                  const std::string& name,
+                                  const std::string& sub,
+                                  obs::JsonValue block) {
+  obs::JsonValue doc = jobj();
+  std::string text;
+  if (obs::read_file(path, text)) {
+    obs::JsonValue parsed;
+    if (obs::json_parse(text, parsed) &&
+        parsed.type == obs::JsonValue::Type::Object) {
+      doc = std::move(parsed);
+    }
+  }
+  obs::JsonValue* outer = nullptr;
+  for (auto& [k, v] : doc.object) {
+    if (k == name) {
+      outer = &v;
+      break;
+    }
+  }
+  if (outer == nullptr) {
+    doc.object.emplace_back(name, jobj());
+    outer = &doc.object.back().second;
+  } else if (outer->type != obs::JsonValue::Type::Object) {
+    *outer = jobj();
+  }
+  jset(*outer, sub, std::move(block));
   std::ofstream out(path);
   if (!out) return false;
   json_write(doc, out);

@@ -28,7 +28,10 @@
 // (WEHEY_TRACE=path, WEHEY_METRICS=1, WEHEY_REPORT=path /
 // WEHEY_REPORT_DIR=dir, WEHEY_REPORT_MODE=per-run|sweep|both) and inject
 // a shipped chaos plan with --faults NAME (or WEHEY_FAULT_PLAN=NAME;
-// seed: WEHEY_CHAOS_SEED).
+// seed: WEHEY_CHAOS_SEED). Engine runtime telemetry: WEHEY_RUNTIME_REPORT=
+// path writes a wall-clock wehey.runtime_report.v1 sidecar (never part of
+// the deterministic report files), WEHEY_PROGRESS=plain|tty streams live
+// sweep progress to stderr.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -50,6 +53,7 @@
 #include "obs/inspect.hpp"
 #include "obs/recorder.hpp"
 #include "obs/report.hpp"
+#include "obs/runtime.hpp"
 #include "replay/session.hpp"
 #include "topology/construction.hpp"
 #include "topology/database.hpp"
@@ -343,6 +347,8 @@ int run_checkpointed_sweep(const Args& args, const std::string& app,
       return 1;
     }
   }
+  obs::ProgressMeter meter("wehey_cli_sweep");
+  meter.expect(runs);
   HistoryConfig hist;
   hist.replays = 6;
   for (std::size_t i = 0; i < runs; ++i) {
@@ -361,6 +367,7 @@ int run_checkpointed_sweep(const Args& args, const std::string& app,
       const obs::JsonValue* verdict = doc.find("verdict");
       std::fprintf(stderr, "%s: cached (%s)\n", run_id,
                    verdict != nullptr ? verdict->str.c_str() : "?");
+      meter.note_resumed();
       continue;
     }
     auto cfg = default_scenario(app, 7000 + i);
@@ -383,7 +390,12 @@ int run_checkpointed_sweep(const Args& args, const std::string& app,
                  res.report.verdict.c_str(),
                  res.report.reason.empty() ? "" : " — ",
                  res.report.reason.c_str());
+    meter.note_run(res.report.verdict, res.report.decision.has_margin,
+                   res.report.decision.margin);
   }
+  // One-line wall-clock summary on stderr — the report JSON may be going
+  // to stdout, so this must never touch it.
+  meter.finish();
   const std::string json = agg.to_json();
   if (out_path.empty()) {
     std::fputs(json.c_str(), stdout);
@@ -698,6 +710,7 @@ int main(int argc, char** argv) {
   const Args args(argc, argv, 2);
   CliObservation observation;
   observation.run = obs::RunObservation::from_env();
+  obs::runtime::enable_from_env();
   g_obs = &observation;
   obs::ScopedRecorder bind(observation.run.recorder.get());
   int rc = 2;
@@ -719,5 +732,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
   }
   observation.finish();
+  obs::runtime::write_runtime_report_from_env(
+      observation.report.run.empty() ? "wehey_cli." + cmd
+                                     : observation.report.run);
   return rc;
 }

@@ -47,10 +47,16 @@ bool json_parse(const std::string& text, JsonValue& out,
 
 bool is_run_report(const JsonValue& doc);
 bool is_chrome_trace(const JsonValue& doc);
+/// Schema tag starts with "wehey.runtime_report." (the engine-telemetry
+/// sidecar — see obs/runtime.hpp).
+bool is_runtime_report(const JsonValue& doc);
 
 void render_report(const JsonValue& doc, std::FILE* out);
 void render_sweep(const JsonValue& doc, std::FILE* out);
 void render_trace(const JsonValue& doc, std::FILE* out);
+/// Worker table, scheduler-efficiency metrics and latency percentiles of
+/// a runtime sidecar.
+void render_runtime(const JsonValue& doc, std::FILE* out);
 
 /// Slurp a file; false on I/O error.
 bool read_file(const std::string& path, std::string& out);

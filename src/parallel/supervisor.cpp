@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <cstdlib>
 
+#include "obs/runtime.hpp"
+
 namespace wehey::parallel {
 namespace {
 
@@ -34,6 +36,7 @@ netsim::TrialBudget trial_budget_from_env() {
 
 void install_trial_budget(netsim::Simulator& sim) {
   sim.set_trial_budget(trial_budget_from_env());
+  if (obs::runtime::enabled()) obs::runtime::note_trial_supervised();
 }
 
 }  // namespace wehey::parallel

@@ -34,6 +34,7 @@ struct ThreadPool::Job {
   std::atomic<std::size_t> next{0};
   const std::function<void(std::size_t)>* fn = nullptr;
   unsigned max_helpers = 0;            ///< workers allowed on this job
+  std::uint64_t submit_ns = 0;         ///< runtime-telemetry submit stamp
   std::atomic<unsigned> joined{0};     ///< workers that picked the job up
   std::mutex error_mu;
   std::exception_ptr error;
@@ -63,11 +64,16 @@ ThreadPool& ThreadPool::global() {
 }
 
 void ThreadPool::run_chunks(Job& job) {
+  const bool profiled = obs::runtime::enabled();
+  // Bracket the whole claim loop: a nested serial fallback inside fn must
+  // not re-charge these nanoseconds as busy time.
+  obs::runtime::ScopedBusy busy;
   for (;;) {
     const std::size_t begin =
         job.next.fetch_add(job.chunk, std::memory_order_relaxed);
     if (begin >= job.n) return;
     const std::size_t end = std::min(begin + job.chunk, job.n);
+    const std::uint64_t t0 = profiled ? obs::runtime::now_ns() : 0;
     try {
       for (std::size_t i = begin; i < end; ++i) (*job.fn)(i);
     } catch (...) {
@@ -75,6 +81,9 @@ void ThreadPool::run_chunks(Job& job) {
       if (!job.error) job.error = std::current_exception();
       job.next.store(job.n, std::memory_order_relaxed);  // drain remaining
       return;
+    }
+    if (profiled) {
+      obs::runtime::note_chunk(obs::runtime::now_ns() - t0, end - begin);
     }
   }
 }
@@ -85,9 +94,12 @@ void ThreadPool::worker_loop() {
     Job* job = nullptr;
     {
       std::unique_lock<std::mutex> lock(mu_);
+      const bool profiled = obs::runtime::enabled();
+      const std::uint64_t t0 = profiled ? obs::runtime::now_ns() : 0;
       work_cv_.wait(lock, [&] {
         return stop_ || (job_ != nullptr && generation_ != seen_generation);
       });
+      if (profiled) obs::runtime::note_idle(obs::runtime::now_ns() - t0);
       if (stop_) return;
       seen_generation = generation_;
       job = job_;
@@ -96,6 +108,15 @@ void ThreadPool::worker_loop() {
         continue;  // this job is capped below the full pool width
       }
       ++active_workers_;
+    }
+    if (obs::runtime::enabled()) {
+      // Register before the first chunk so this thread's slot carries the
+      // worker kind even when the profiler came up mid-run.
+      obs::runtime::register_thread(obs::runtime::ThreadKind::kWorker);
+      if (job->submit_ns != 0) {
+        obs::runtime::note_submit_to_start(obs::runtime::now_ns() -
+                                           job->submit_ns);
+      }
     }
     t_in_parallel_region = true;
     run_chunks(*job);
@@ -115,7 +136,14 @@ void ThreadPool::parallel_for(std::size_t n,
   const unsigned width =
       max_threads == 0 ? size() : std::min(max_threads, size());
   if (width <= 1 || n == 1 || workers_.empty() || t_in_parallel_region) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    if (obs::runtime::enabled()) {
+      obs::runtime::ScopedBusy busy;
+      const std::uint64_t t0 = obs::runtime::now_ns();
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+      obs::runtime::note_serial_tasks(n, obs::runtime::now_ns() - t0);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+    }
     return;
   }
 
@@ -126,6 +154,11 @@ void ThreadPool::parallel_for(std::size_t n,
   job.chunk = std::max<std::size_t>(1, n / (4 * width));
   job.fn = &fn;
   job.max_helpers = width - 1;
+  const bool profiled = obs::runtime::enabled();
+  if (profiled) {
+    obs::runtime::note_job(n);
+    job.submit_ns = obs::runtime::now_ns();
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     job_ = &job;
@@ -142,7 +175,11 @@ void ThreadPool::parallel_for(std::size_t n,
     job_ = nullptr;
     // Wait until every worker that joined this job has left run_chunks —
     // `job` lives on this stack frame.
+    const std::uint64_t t0 = profiled ? obs::runtime::now_ns() : 0;
     done_cv_.wait(lock, [&] { return active_workers_ == 0; });
+    if (profiled) {
+      obs::runtime::note_drain_wait(obs::runtime::now_ns() - t0);
+    }
   }
   if (job.error) std::rethrow_exception(job.error);
 }

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "obs/recorder.hpp"
+#include "obs/runtime.hpp"
 
 namespace wehey::parallel {
 
@@ -74,6 +75,42 @@ class ThreadPool {
   bool stop_ = false;
 };
 
+namespace detail {
+
+/// parallel_map's trial loop: pooled when `threads > 1 && n > 1`, serial
+/// bypass otherwise. With runtime telemetry enabled, wraps every trial in
+/// wall-time measurement (runtime::note_trial) and counts the serial
+/// bypass's iterations too, so trials.count and tasks stay exact across
+/// thread counts.
+inline void map_loop(std::size_t n,
+                     const std::function<void(std::size_t)>& body,
+                     unsigned threads) {
+  if (!obs::runtime::enabled()) {
+    if (threads <= 1 || n <= 1) {
+      for (std::size_t i = 0; i < n; ++i) body(i);
+    } else {
+      ThreadPool::global().parallel_for(n, body, threads);
+    }
+    return;
+  }
+  const std::function<void(std::size_t)> timed = [&](std::size_t i) {
+    const std::uint64_t t0 = obs::runtime::now_ns();
+    body(i);
+    obs::runtime::note_trial(
+        static_cast<double>(obs::runtime::now_ns() - t0) / 1e6);
+  };
+  if (threads <= 1 || n <= 1) {
+    obs::runtime::ScopedBusy busy;
+    const std::uint64_t t0 = obs::runtime::now_ns();
+    for (std::size_t i = 0; i < n; ++i) timed(i);
+    obs::runtime::note_serial_tasks(n, obs::runtime::now_ns() - t0);
+  } else {
+    ThreadPool::global().parallel_for(n, timed, threads);
+  }
+}
+
+}  // namespace detail
+
 /// Run fn(i) for i in [0, n) on the global pool and collect the results in
 /// index order. `threads` == 0 uses the configured default; == 1 runs
 /// serially on the calling thread.
@@ -93,26 +130,20 @@ auto parallel_map(std::size_t n, Fn&& fn, unsigned threads = 0)
   if (threads == 0) threads = configured_threads();
   obs::Recorder* parent = obs::Recorder::current();
   if (parent == nullptr) {
-    if (threads <= 1 || n <= 1) {
-      for (std::size_t i = 0; i < n; ++i) results[i] = fn(i);
-      return results;
-    }
-    ThreadPool::global().parallel_for(
+    detail::map_loop(
         n, [&](std::size_t i) { results[i] = fn(i); }, threads);
     return results;
   }
   std::vector<obs::Recorder> children;
   children.reserve(n);
   for (std::size_t i = 0; i < n; ++i) children.push_back(parent->child());
-  const auto body = [&](std::size_t i) {
-    obs::ScopedRecorder bind(&children[i]);
-    results[i] = fn(i);
-  };
-  if (threads <= 1 || n <= 1) {
-    for (std::size_t i = 0; i < n; ++i) body(i);
-  } else {
-    ThreadPool::global().parallel_for(n, body, threads);
-  }
+  detail::map_loop(
+      n,
+      [&](std::size_t i) {
+        obs::ScopedRecorder bind(&children[i]);
+        results[i] = fn(i);
+      },
+      threads);
   for (std::size_t i = 0; i < n; ++i) {
     parent->absorb(std::move(children[i]), "trial " + std::to_string(i));
   }

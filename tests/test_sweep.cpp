@@ -16,6 +16,7 @@
 #include "obs/inspect.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
+#include "obs/runtime.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace wehey::obs {
@@ -446,6 +447,17 @@ TEST(Schema, ToolsSchemasNameTheCppConstants) {
   ckpt_const = ckpt_const->find("const");
   ASSERT_NE(ckpt_const, nullptr);
   EXPECT_EQ(ckpt_const->str, kSweepCheckpointSchema);
+
+  ASSERT_TRUE(read_file(root + "/tools/runtime_report_schema.json", text));
+  JsonValue runtime_schema;
+  ASSERT_TRUE(json_parse(text, runtime_schema, &error)) << error;
+  const JsonValue* runtime_const = runtime_schema.find("properties");
+  ASSERT_NE(runtime_const, nullptr);
+  runtime_const = runtime_const->find("schema");
+  ASSERT_NE(runtime_const, nullptr);
+  runtime_const = runtime_const->find("const");
+  ASSERT_NE(runtime_const, nullptr);
+  EXPECT_EQ(runtime_const->str, kRuntimeReportSchema);
 }
 
 // -------------------------------------------------- inspect hardening

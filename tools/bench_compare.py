@@ -13,7 +13,10 @@ Stdlib-only mirror of `wehey_cli compare` (src/obs/aggregate.cpp):
     (a metric disappeared); candidate-only keys are printed as notes
     (the schema grew) but do not fail;
   * --min-key REGEX=BOUND asserts a floor on every matching candidate
-    value, independent of the baseline (speedup gates);
+    value, independent of the baseline (speedup gates); a matching value
+    whose sibling "oversubscribed" flag is true is exempt from the floor
+    (a 2-thread grid row on a 1-core host measures the machine, not the
+    engine) but still counts as a pattern match;
   * --require-key REGEX fails unless at least one flattened candidate key
     (of any type, ignored keys included) matches — guards CI gates
     against a renamed section silently turning the gate into a no-op.
@@ -105,6 +108,15 @@ def compare(base, cand, tol, key_tols, ignore, min_keys, require_keys=()):
             if not re.search(pattern, key):
                 continue
             matched = True
+            # Floors don't apply to oversubscribed rows: when the row ran
+            # more threads than the host has, its speedup/efficiency
+            # measures the machine, not the engine.
+            sibling = key.rpartition(".")[0]
+            if sibling and cand.get(f"{sibling}.oversubscribed") is True:
+                notes.append(
+                    f"floor skipped at {key} (oversubscribed row)"
+                )
+                continue
             if value < floor:
                 failures.append(
                     f"below floor at {key}: {fmt(value)} < {floor:g}"

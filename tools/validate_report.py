@@ -13,8 +13,14 @@ renamed or drifted report field slide through CI silently.
 Each file picks its schema from its own "schema" field —
 wehey.run_report.* validates against run_report_schema.json,
 wehey.sweep_report.* against sweep_report_schema.json,
-wehey.sweep_checkpoint.* against sweep_checkpoint_schema.json. --schema
+wehey.sweep_checkpoint.* against sweep_checkpoint_schema.json,
+wehey.runtime_report.* against runtime_report_schema.json. --schema
 forces one schema for every file instead.
+
+Runtime sidecars (the wall-clock engine telemetry documents) must never
+embed a 'decision' or 'cells' section: those belong to the deterministic
+run/sweep reports, and their presence means a writer was cross-wired.
+Such files fail with a targeted message before schema validation.
 
 Checkpoint journals are JSONL (one checkpoint document per line): each
 line validates against the checkpoint schema and its embedded serialized
@@ -106,6 +112,8 @@ def pick_schema(report, schemas, forced):
         return schemas["sweep"]
     if tag.startswith("wehey.sweep_checkpoint."):
         return schemas["checkpoint"]
+    if tag.startswith("wehey.runtime_report."):
+        return schemas["runtime"]
     return schemas["run"]
 
 
@@ -166,11 +174,34 @@ def check_report(path, schemas, forced=None):
             and report.get("schema", "").startswith("wehey.sweep_checkpoint.")):
         # A one-line journal parses as a single checkpoint document.
         return check_checkpoint_journal(path, text, schemas, forced)
+    is_runtime = (isinstance(report, dict)
+                  and report.get("schema", "")
+                  .startswith("wehey.runtime_report."))
+    if is_runtime:
+        # Cross-wired writer check: a runtime sidecar carrying sections of
+        # the deterministic reports means wall-clock data is about to leak
+        # into (or masquerade as) the byte-identical report contract.
+        crossed = [k for k in ("decision", "cells") if k in report]
+        if crossed:
+            print(f"{path}: runtime sidecar embeds deterministic-report "
+                  f"section(s) {crossed} — cross-wired writer",
+                  file=sys.stderr)
+            return False
     errors = validate(report, pick_schema(report, schemas, forced))
     for err in errors:
         print(f"{path}: {err}", file=sys.stderr)
     if errors:
         return False
+    if is_runtime:
+        sched = report.get("scheduler", {})
+        print(
+            f"{path}: OK (runtime={report['run']!r}, "
+            f"contexts={len(report.get('workers', []))}, "
+            f"tasks={sched.get('tasks', 0)}, "
+            f"efficiency={sched.get('parallel_efficiency', 0):.3f}, "
+            f"imbalance={sched.get('worker_imbalance', 0):.3f})"
+        )
+        return True
     if isinstance(report, dict) and "sweep" in report:
         verdicts = ", ".join(
             f"{v}={n}" for v, n in report.get("verdicts", {}).items()
@@ -235,7 +266,16 @@ def check_bench_overhead(path, max_overhead):
         return False
     print(f"{path}: obs idle overhead {100.0 * overhead:+.2f}% "
           f"(limit {100.0 * max_overhead:.0f}%)")
-    return overhead <= max_overhead
+    ok = overhead <= max_overhead
+    # Same gate for the runtime-telemetry-enabled loop when the bench
+    # reports it (older bench JSON predates the field).
+    runtime_overhead = obs.get("runtime_idle_overhead")
+    if runtime_overhead is not None:
+        print(f"{path}: runtime telemetry idle overhead "
+              f"{100.0 * runtime_overhead:+.2f}% "
+              f"(limit {100.0 * max_overhead:.0f}%)")
+        ok &= runtime_overhead <= max_overhead
+    return ok
 
 
 def main():
@@ -264,6 +304,7 @@ def main():
             "run": "run_report_schema.json",
             "sweep": "sweep_report_schema.json",
             "checkpoint": "sweep_checkpoint_schema.json",
+            "runtime": "runtime_report_schema.json",
         }
         for kind, filename in schema_files.items():
             with open(os.path.join(here, filename)) as f:
