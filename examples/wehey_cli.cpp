@@ -590,11 +590,14 @@ bool split_key_value(const std::string& arg, std::string& key,
 int cmd_compare(int argc, char** argv) {
   std::vector<std::string> files;
   obs::CompareOptions opts;
+  bool list_keys = false;
   for (int i = 2; i < argc; ++i) {
     const std::string a = argv[i];
     std::string key;
     double value = 0.0;
-    if (a == "--tol" && i + 1 < argc) {
+    if (a == "--list-keys") {
+      list_keys = true;
+    } else if (a == "--tol" && i + 1 < argc) {
       opts.tolerance = std::atof(argv[++i]);
     } else if (a == "--tol-key" && i + 1 < argc) {
       if (!split_key_value(argv[++i], key, value)) {
@@ -619,11 +622,39 @@ int cmd_compare(int argc, char** argv) {
       files.push_back(a);
     }
   }
+  // Triage aid: print the flattened key space the regex flags match
+  // against (--require-key / --min-key patterns that silently match
+  // nothing are the usual failure). Keys come from the *last* file —
+  // the candidate in a two-file invocation.
+  if (list_keys) {
+    if (files.empty() || files.size() > 2) {
+      std::fprintf(stderr,
+                   "usage: wehey_cli compare --list-keys [BASELINE] "
+                   "CANDIDATE\n");
+      return 2;
+    }
+    std::string text;
+    if (!obs::read_file(files.back(), text)) {
+      std::fprintf(stderr, "compare: cannot read %s\n", files.back().c_str());
+      return 2;
+    }
+    obs::JsonValue doc;
+    std::string error;
+    if (!obs::json_parse(text, doc, &error)) {
+      std::fprintf(stderr, "compare: %s: parse error: %s\n",
+                   files.back().c_str(), error.c_str());
+      return 2;
+    }
+    for (const auto& key : obs::flatten_keys(doc)) {
+      std::printf("%s\n", key.c_str());
+    }
+    return 0;
+  }
   if (files.size() != 2) {
     std::fprintf(stderr,
                  "usage: wehey_cli compare BASELINE CANDIDATE [--tol X] "
                  "[--tol-key RE=X]... [--ignore RE]... [--min-key "
-                 "RE=X]... [--require-key RE]...\n");
+                 "RE=X]... [--require-key RE]... [--list-keys]\n");
     return 2;
   }
   obs::JsonValue docs[2];

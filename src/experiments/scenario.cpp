@@ -5,6 +5,7 @@
 #include "common/check.hpp"
 #include "common/log.hpp"
 #include "experiments/decision.hpp"
+#include "experiments/ground_truth.hpp"
 #include "faults/injector.hpp"
 #include "obs/recorder.hpp"
 #include "parallel/supervisor.hpp"
@@ -385,6 +386,14 @@ FullExperimentResult run_full_experiment_reported(
   // v4: budget-exhausted runs skipped localize() and keep the default
   // trace — the empty-but-valid decision block.
   r.decision = decision_section(out.localization.trace);
+  // v5: ground truth from the limiter placement the scenario configured;
+  // the audit scores the within-target-area verdict against it.
+  r.ground_truth = ground_truth_section(cfg, derive(cfg));
+  r.audit = obs::classify_audit(
+      r.ground_truth,
+      !budget_exhausted &&
+          out.localization.verdict == core::Verdict::EvidenceWithinTargetArea,
+      /*mechanism_mismatch=*/false, budget_exhausted, r.decision);
   faults::InjectionStats injection;
   std::uint64_t limiter_drops = 0;
   int phases_faulted = 0;

@@ -2,6 +2,7 @@
 
 #include "experiments/decision.hpp"
 #include "experiments/delayed_tbf.hpp"
+#include "experiments/ground_truth.hpp"
 
 #include <algorithm>
 #include <deque>
@@ -361,6 +362,23 @@ WildTestResult run_wild_test_reported(const WildConfig& cfg,
   // v4: a budget-stopped test never ran localize(), so its default trace
   // becomes the required empty-but-valid decision block.
   r.decision = decision_section(out.outcome.localization.trace);
+  // v5: the ground truth is a pure function of the config (same
+  // trace-rate expression wild_network_params consumed), and the audit
+  // classifies the run exactly the way the Table-1 bench tallies it —
+  // basic success = localized with the per-client mechanism, sanity
+  // wrongness = asserting the per-client mechanism at all.
+  const Rate trace_rate = wild_trace(cfg, /*inverted=*/false).average_rate();
+  r.ground_truth = ground_truth_section(cfg, trace_rate, sanity_check);
+  const bool per_client = out.outcome.localization.mechanism ==
+                          core::Mechanism::PerClientThrottling;
+  const bool observed_positive =
+      sanity_check ? per_client : (out.outcome.localized && per_client);
+  const bool mechanism_mismatch =
+      !sanity_check && out.outcome.localized && !per_client;
+  r.audit =
+      obs::classify_audit(r.ground_truth, observed_positive,
+                          mechanism_mismatch, out.outcome.budget_exhausted,
+                          r.decision);
   std::vector<obs::ProfileSpan> spans;
   for (std::size_t i = 0; i < phases.size(); ++i) {
     const char* name = wild_phase_name(kWildPhases[i]);

@@ -68,6 +68,27 @@ void SweepAggregator::tally_run(const std::string& cell,
   }
 }
 
+void SweepAggregator::absorb_audit(const std::string& cell,
+                                   const std::string& classification,
+                                   const std::string& mismatch_reason) {
+  const auto apply = [&](AuditTally& t) {
+    if (classification == "tp") {
+      ++t.tp;
+    } else if (classification == "fp") {
+      ++t.fp;
+    } else if (classification == "fn") {
+      ++t.fn;
+    } else if (classification == "tn") {
+      ++t.tn;
+    } else {
+      ++t.skipped;
+    }
+    if (!mismatch_reason.empty()) ++t.mismatch_reasons[mismatch_reason];
+  };
+  apply(audit_);
+  if (!cell.empty()) apply(cells_[cell].audit);
+}
+
 void SweepAggregator::absorb_value(const std::string& cell,
                                    const std::string& name, double v) {
   values_[name].values.push_back(v);
@@ -118,6 +139,10 @@ void SweepAggregator::add_run(const RunReport& report,
   // block is derived from these samples at render time.
   if (report.decision.has_margin) {
     absorb_value(report.cell, kDecisionMarginValue, report.decision.margin);
+  }
+  if (report.audit.present) {
+    absorb_audit(report.cell, report.audit.classification,
+                 report.audit.mismatch_reason);
   }
   for (const auto& s : report.stages) {
     // The identical expression RunReport::to_json serializes, so the
@@ -188,6 +213,18 @@ bool SweepAggregator::add_run_json(const JsonValue& doc, std::string* error) {
         margin != nullptr && margin->type == JsonValue::Type::Number) {
       absorb_value(cell, kDecisionMarginValue, margin->number);
     }
+  }
+  // Pre-v5 reports have no "audit" object; absorbing nothing keeps the
+  // aggregate identical to what add_run sees for an audit-free RunReport.
+  if (const JsonValue* audit = doc.find("audit");
+      audit != nullptr && audit->type == JsonValue::Type::Object) {
+    const auto field = [&](const char* key) -> std::string {
+      const JsonValue* v = audit->find(key);
+      return (v != nullptr && v->type == JsonValue::Type::String)
+                 ? v->str
+                 : std::string();
+    };
+    absorb_audit(cell, field("classification"), field("mismatch_reason"));
   }
   if (const JsonValue* stages = doc.find("stages");
       stages != nullptr && stages->type == JsonValue::Type::Array) {
@@ -450,6 +487,55 @@ std::string SweepAggregator::to_json() const {
   }
   out << (first ? "" : "\n    ") << "}\n  },\n";
 
+  // Verdict audit: per-cell and grid-level confusion matrices folded
+  // from the per-run "audit" sections (RunReport v5). The block is
+  // absent when no absorbed run carried an audit, so pre-v5 inputs
+  // serialize byte-identically to before. Ratios are derived from the
+  // integer tallies at render time; knife-edge cells (same min-|margin|
+  // criterion as the knife_edge block above) are flagged, not dropped,
+  // so CI gates can exempt them explicitly.
+  if (audit_.any()) {
+    const auto emit_audit = [&](const AuditTally& t, const std::string& ind) {
+      const auto ratio = [](std::uint64_t num, std::uint64_t den) {
+        return den == 0 ? 0.0
+                        : static_cast<double>(num) / static_cast<double>(den);
+      };
+      const std::uint64_t decided = t.tp + t.fp + t.fn + t.tn;
+      out << "\"tp\": " << t.tp << ", \"fp\": " << t.fp << ", \"fn\": "
+          << t.fn << ", \"tn\": " << t.tn << ", \"skipped\": " << t.skipped
+          << ",\n" << ind << " \"accuracy\": "
+          << json_number(ratio(t.tp + t.tn, decided))
+          << ", \"precision\": " << json_number(ratio(t.tp, t.tp + t.fp))
+          << ", \"recall\": " << json_number(ratio(t.tp, t.tp + t.fn))
+          << ",\n" << ind << " \"mismatch_reasons\": ";
+      emit_tally(out, ind + " ", t.mismatch_reasons);
+    };
+    out << "  \"audit\": {\n    \"grid\": {";
+    emit_audit(audit_, "   ");
+    out << "},\n    \"cells\": {";
+    first = true;
+    for (const auto& [cell, c] : cells_) {
+      if (!c.audit.any()) continue;
+      bool knife = false;
+      if (const auto it = c.values.find(kDecisionMarginValue);
+          it != c.values.end()) {
+        for (double v : it->second.values) {
+          if (std::abs(v) < knife_margin) {
+            knife = true;
+            break;
+          }
+        }
+      }
+      out << (first ? "\n" : ",\n") << "      \"" << json_escape(cell)
+          << "\": {";
+      emit_audit(c.audit, "     ");
+      out << ",\n       \"knife_edge\": " << (knife ? "true" : "false")
+          << "}";
+      first = false;
+    }
+    out << (first ? "" : "\n    ") << "}\n  },\n";
+  }
+
   // Cross-cell distribution of per-cell means: how a value varies across
   // the grid rather than across individual runs.
   out << "  \"cell_percentiles\": {";
@@ -608,6 +694,15 @@ std::string type_name(JsonValue::Type t) {
 }
 
 }  // namespace
+
+std::vector<std::string> flatten_keys(const JsonValue& doc) {
+  std::map<std::string, FlatValue> flat;
+  flatten(doc, "", flat);
+  std::vector<std::string> keys;
+  keys.reserve(flat.size());
+  for (const auto& [key, value] : flat) keys.push_back(key);
+  return keys;
+}
 
 CompareResult compare_reports(const JsonValue& baseline,
                               const JsonValue& candidate,

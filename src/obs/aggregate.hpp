@@ -21,6 +21,11 @@
 //                     {"poisoned_runs": N, "reasons": {...}}, ...}},
 //     "knife_edge": {"margin_threshold": X, "cells": {"<cell>":
 //                     {"min_margin": X, "runs_below": N}, ...}},
+//     "audit": {"grid": {"tp", "fp", "fn", "tn", "skipped",
+//                         "accuracy", "precision", "recall",
+//                         "mismatch_reasons": {...}},
+//               "cells": {"<cell>": {<same counts + ratios>,
+//                          "knife_edge": bool}, ...}},
 //     "cell_percentiles": {"<value>": {"cells": N, "p50", "p90", "p99"}},
 //     "percentiles": {"<histogram>": {"p50", "p90", "p99"}, ...},
 //     "metrics": {"counters": {...}, "gauges": {name: {"min", "max"}},
@@ -120,10 +125,24 @@ class SweepAggregator {
     Samples run_sums;  ///< one entry per contributing non-empty run
   };
 
+  /// Confusion-matrix counts folded from per-run "audit" sections
+  /// (RunReport v5). Purely integer tallies, so the fold is associative
+  /// and the rendered ratios are a function of the absorbed run set.
+  struct AuditTally {
+    std::uint64_t tp = 0;
+    std::uint64_t fp = 0;
+    std::uint64_t fn = 0;
+    std::uint64_t tn = 0;
+    std::uint64_t skipped = 0;
+    std::map<std::string, std::uint64_t> mismatch_reasons;
+    bool any() const { return tp + fp + fn + tn + skipped > 0; }
+  };
+
   struct CellAgg {
     std::uint64_t runs = 0;
     std::map<std::string, std::uint64_t> verdicts;
     std::map<std::string, Samples> values;
+    AuditTally audit;
     /// Runs whose verdict was the budget-exhausted (crash-equivalent)
     /// outcome, with their reason strings. A cell with
     /// >= kQuarantineThreshold poisoned runs is quarantined in the
@@ -134,6 +153,8 @@ class SweepAggregator {
 
   void tally_run(const std::string& cell, const std::string& fault_plan,
                  const std::string& verdict, const std::string& reason);
+  void absorb_audit(const std::string& cell, const std::string& classification,
+                    const std::string& mismatch_reason);
   void absorb_value(const std::string& cell, const std::string& name,
                     double v);
   void absorb_stage(const std::string& name, double sim_ms);
@@ -149,6 +170,7 @@ class SweepAggregator {
   std::map<std::string, std::uint64_t> verdicts_;
   std::map<std::string, std::uint64_t> reasons_;
   std::map<std::string, std::int64_t> injection_;
+  AuditTally audit_;
   std::map<std::string, Samples> values_;
   std::map<std::string, Samples> stages_;
   std::map<std::string, ProfileAgg> profile_;
@@ -194,6 +216,13 @@ struct CompareResult {
   /// Non-fatal remarks (keys only present on one side, ...).
   std::vector<std::string> notes;
 };
+
+/// All flattened dotted key paths of `doc`, in sorted order — the exact
+/// key space `compare_reports` matches its regexes against. Backs
+/// `wehey_cli compare --list-keys` (and mirrors bench_compare.py's
+/// --list-keys) for triaging require/min-key patterns that match
+/// nothing.
+std::vector<std::string> flatten_keys(const JsonValue& doc);
 
 /// Diff `candidate` against `baseline`: both documents are flattened to
 /// dotted key paths; numbers are compared with relative tolerance,

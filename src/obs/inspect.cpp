@@ -16,10 +16,17 @@ namespace wehey::obs {
 
 namespace {
 
+/// Containers may nest at most this deep. The parser is recursive
+/// descent, so unbounded nesting in a hostile/corrupt input would
+/// otherwise translate directly into stack exhaustion; every document
+/// the obs writers emit stays below a dozen levels.
+constexpr int kMaxParseDepth = 64;
+
 struct Parser {
   const char* p;
   const char* end;
   std::string error;
+  int depth = 0;
 
   void skip_ws() {
     while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) {
@@ -116,10 +123,12 @@ struct Parser {
 
   bool parse_array(JsonValue& out) {
     out.type = JsonValue::Type::Array;
+    if (++depth > kMaxParseDepth) return fail("nesting too deep");
     ++p;
     skip_ws();
     if (p < end && *p == ']') {
       ++p;
+      --depth;
       return true;
     }
     while (true) {
@@ -132,6 +141,7 @@ struct Parser {
       }
       if (p < end && *p == ']') {
         ++p;
+        --depth;
         return true;
       }
       return fail("expected ',' or ']'");
@@ -140,10 +150,12 @@ struct Parser {
 
   bool parse_object(JsonValue& out) {
     out.type = JsonValue::Type::Object;
+    if (++depth > kMaxParseDepth) return fail("nesting too deep");
     ++p;
     skip_ws();
     if (p < end && *p == '}') {
       ++p;
+      --depth;
       return true;
     }
     while (true) {
@@ -163,6 +175,7 @@ struct Parser {
       }
       if (p < end && *p == '}') {
         ++p;
+        --depth;
         return true;
       }
       return fail("expected ',' or '}'");
@@ -363,6 +376,50 @@ void render_report(const JsonValue& doc, std::FILE* out) {
       for (const auto& deg : degradations->array) {
         std::fprintf(out, " %s", deg.str.c_str());
       }
+      std::fputc('\n', out);
+    }
+  }
+
+  // v5 ground truth + audit. Both sections are absent-by-default, so
+  // pre-v5 reports inspect byte-identically to before.
+  const JsonValue* truth = doc.find("ground_truth");
+  if (truth != nullptr && truth->type == JsonValue::Type::Object) {
+    print_rule(out, "audit (verdict vs configured ground truth)");
+    const auto flag = [&truth](const char* key) {
+      const JsonValue* v = truth->find(key);
+      return v != nullptr && v->boolean;
+    };
+    std::fprintf(out, "  truth          %s",
+                 flag("differentiated") ? str_or(*truth, "mechanism")
+                                        : "no differentiation");
+    if (flag("differentiated")) {
+      std::fprintf(out, " @ %s (%s target area)",
+                   str_or(*truth, "placement"),
+                   flag("within_target_area") ? "within" : "outside");
+      if (const JsonValue* rate = truth->find("rate_bps");
+          rate != nullptr && rate->num_or(0) > 0) {
+        std::fprintf(out, ", rate %.4g bps", rate->num_or(0));
+      }
+      if (const JsonValue* act = truth->find("activation_bytes");
+          act != nullptr && act->num_or(0) > 0) {
+        std::fprintf(out, ", activates after %.0f bytes", act->num_or(0));
+      }
+    }
+    if (flag("sanity_check")) std::fprintf(out, "  [sanity check]");
+    std::fputc('\n', out);
+    const JsonValue* audit = doc.find("audit");
+    if (audit != nullptr && audit->type == JsonValue::Type::Object) {
+      const auto aflag = [&audit](const char* key) {
+        const JsonValue* v = audit->find(key);
+        return v != nullptr && v->boolean;
+      };
+      std::fprintf(out, "  expected       %s\n",
+                   aflag("expected_positive") ? "positive" : "negative");
+      std::fprintf(out, "  observed       %s\n",
+                   aflag("observed_positive") ? "positive" : "negative");
+      const char* reason = str_or(*audit, "mismatch_reason");
+      std::fprintf(out, "  classification %s", str_or(*audit, "classification"));
+      if (reason[0] != 0) std::fprintf(out, "  (%s)", reason);
       std::fputc('\n', out);
     }
   }
@@ -643,6 +700,46 @@ void render_sweep(const JsonValue& doc, std::FILE* out) {
                    name.c_str(),
                    min_margin != nullptr ? min_margin->num_or(0) : 0.0,
                    below != nullptr ? below->num_or(0) : 0.0);
+    }
+  }
+
+  // Verdict audit: confusion matrices vs the configured ground truth.
+  // Absent on pre-v5 sweeps, which therefore render unchanged.
+  const JsonValue* audit = doc.find("audit");
+  if (audit != nullptr && audit->type == JsonValue::Type::Object) {
+    print_rule(out, "AUDIT (verdict vs ground truth; * = knife-edge cell)");
+    std::fprintf(out, "  %-24s %5s %5s %5s %5s %5s %9s %9s %9s\n", "cell",
+                 "tp", "fp", "fn", "tn", "skip", "accuracy", "precision",
+                 "recall");
+    const auto print_matrix = [out](const std::string& label,
+                                    const JsonValue& m, bool knife) {
+      const auto field = [&m](const char* key) {
+        const JsonValue* v = m.find(key);
+        return v != nullptr ? v->num_or(0) : 0.0;
+      };
+      std::fprintf(out, "  %-24s %5.0f %5.0f %5.0f %5.0f %5.0f %9.4g %9.4g %9.4g\n",
+                   (label + (knife ? " *" : "")).c_str(), field("tp"),
+                   field("fp"), field("fn"), field("tn"), field("skipped"),
+                   field("accuracy"), field("precision"), field("recall"));
+    };
+    if (const JsonValue* acells = audit->find("cells");
+        acells != nullptr && acells->type == JsonValue::Type::Object) {
+      for (const auto& [name, m] : acells->object) {
+        const JsonValue* k = m.find("knife_edge");
+        print_matrix(name, m, k != nullptr && k->boolean);
+      }
+    }
+    if (const JsonValue* grid = audit->find("grid");
+        grid != nullptr && grid->type == JsonValue::Type::Object) {
+      print_matrix("(grid)", *grid, false);
+      if (const JsonValue* reasons = grid->find("mismatch_reasons");
+          reasons != nullptr && !reasons->object.empty()) {
+        std::fprintf(out, "  mismatches:");
+        for (const auto& [reason, n] : reasons->object) {
+          std::fprintf(out, "  %s=%.0f", reason.c_str(), n.num_or(0));
+        }
+        std::fputc('\n', out);
+      }
     }
   }
 

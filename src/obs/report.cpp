@@ -5,9 +5,56 @@
 #include <cstdlib>
 #include <sstream>
 
+#include <cmath>
+
+#include "obs/aggregate.hpp"
 #include "obs/timeline.hpp"
 
 namespace wehey::obs {
+
+AuditSection classify_audit(const GroundTruthSection& truth,
+                            bool observed_positive, bool mechanism_mismatch,
+                            bool budget_exhausted,
+                            const DecisionSection& decision) {
+  AuditSection audit;
+  if (!truth.present) return audit;
+  audit.present = true;
+  // A perfect localizer reports "evidence within the target area" exactly
+  // when a differentiating limiter sits at/behind the convergence point —
+  // unless a sanity-check third flow shares it, in which case the
+  // per-client conclusion is the wrong one by construction (§5).
+  audit.expected_positive = truth.differentiated &&
+                            truth.within_target_area && !truth.sanity_check;
+  audit.observed_positive = observed_positive;
+  if (budget_exhausted) {
+    // No analyzable verdict: excluded from the confusion ratios, never
+    // counted for or against accuracy.
+    audit.classification = "skipped";
+    audit.mismatch_reason = "budget-exhausted";
+    return audit;
+  }
+  if (audit.expected_positive) {
+    audit.classification = observed_positive ? "tp" : "fn";
+  } else {
+    audit.classification = observed_positive ? "fp" : "tn";
+  }
+  if (observed_positive == audit.expected_positive) return audit;
+  // Mismatch provenance, most-specific first. The sub-margin case shares
+  // its threshold with the sweep knife-edge gate, so a "sub-margin-miss"
+  // run is exactly one the gate would flag rather than fail.
+  if (mechanism_mismatch) {
+    audit.mismatch_reason = "mechanism-mismatch";
+  } else if (!decision.evaluated) {
+    audit.mismatch_reason = "not-evaluated";
+  } else if (!decision.has_margin) {
+    audit.mismatch_reason = "no-margin";
+  } else if (std::abs(decision.margin) < knife_edge_margin_from_env()) {
+    audit.mismatch_reason = "sub-margin-miss";
+  } else {
+    audit.mismatch_reason = "clear-miss";
+  }
+  return audit;
+}
 
 std::vector<ProfileEntry> profile_from_spans(std::vector<ProfileSpan> spans) {
   // Deterministic total order: track, then start ascending, then end
@@ -174,6 +221,30 @@ std::string RunReport::to_json(const MetricsRegistry* metrics) const {
         << json_escape(decision.degradations[i]) << "\"";
   }
   out << "]\n  },\n";
+  // v5: the ground-truth ledger and the verdict audit. Both optional —
+  // emitted only by runners that know what the simulator configured — so
+  // reports without them keep their pre-v5 bytes after the schema tag.
+  if (ground_truth.present) {
+    out << "  \"ground_truth\": {\"differentiated\": "
+        << (ground_truth.differentiated ? "true" : "false")
+        << ", \"mechanism\": \"" << json_escape(ground_truth.mechanism)
+        << "\", \"placement\": \"" << json_escape(ground_truth.placement)
+        << "\", \"within_target_area\": "
+        << (ground_truth.within_target_area ? "true" : "false")
+        << ", \"rate_bps\": " << json_number(ground_truth.rate_bps)
+        << ", \"activation_bytes\": " << ground_truth.activation_bytes
+        << ", \"sanity_check\": "
+        << (ground_truth.sanity_check ? "true" : "false") << "},\n";
+  }
+  if (audit.present) {
+    out << "  \"audit\": {\"expected_positive\": "
+        << (audit.expected_positive ? "true" : "false")
+        << ", \"observed_positive\": "
+        << (audit.observed_positive ? "true" : "false")
+        << ", \"classification\": \"" << json_escape(audit.classification)
+        << "\", \"mismatch_reason\": \"" << json_escape(audit.mismatch_reason)
+        << "\"},\n";
+  }
   out << "  \"stages\": [";
   for (std::size_t i = 0; i < stages.size(); ++i) {
     const auto& s = stages[i];

@@ -1,10 +1,10 @@
 // RunReport: the machine-readable result of one run — a session, a wild
 // test, or a whole bench binary. One shared schema
-// ("wehey.run_report.v4", JSON) replaces the ad-hoc JSON each bench used
+// ("wehey.run_report.v5", JSON) replaces the ad-hoc JSON each bench used
 // to emit:
 //
 //   {
-//     "schema": "wehey.run_report.v4",
+//     "schema": "wehey.run_report.v5",
 //     "run": "<binary or pipeline name>",
 //     "cell": "<grid-cell label, omitted when empty>",
 //     "seed": 2,
@@ -20,6 +20,23 @@
 //                                 "rho": X?, "sigma_ms": X?}, ...],
 //                  "aggregation": {...}?,   // Alg. 1 conservative count
 //                  "degradations": ["scrub", ...]},
+//     "ground_truth": {"differentiated": true|false,  // v5, optional
+//                      "mechanism": "per-client-tbf" | "collective-tbf" |
+//                                   "delayed-fixed-rate" | "per-flow-tbf" |
+//                                   "none",
+//                      "placement": "common-link" | "non-common-links" |
+//                                   "none",
+//                      "within_target_area": true|false,
+//                      "rate_bps": X,           // 0 when no limiter
+//                      "activation_bytes": N,   // 0 = immediate
+//                      "sanity_check": true|false},
+//     "audit": {"expected_positive": true|false,      // v5, optional
+//               "observed_positive": true|false,
+//               "classification": "tp"|"fp"|"fn"|"tn"|"skipped",
+//               "mismatch_reason": "" | "budget-exhausted" |
+//                                  "mechanism-mismatch" | "sub-margin-miss" |
+//                                  "clear-miss" | "no-margin" |
+//                                  "not-evaluated"},
 //     "stages": [{"name": ..., "sim_start_us": ..., "sim_end_us": ...,
 //                 "sim_ms": ..., "wall_ms": ...?}, ...],
 //     "profile": {"<stage>": {"count": N, "sim_ms": X, "self_sim_ms": X,
@@ -39,7 +56,12 @@
 // knife-edge gate aggregates). A run that never reached analysis (budget
 // exhausted, session aborted before localize) carries an empty-but-valid
 // block: {"evaluated": false, "detectors": [], "degradations": []}.
-// v1-v3 reports, which lack these sections, still validate against
+// v5 adds the optional "ground_truth" ledger (what the simulator actually
+// configured — a pure function of the run's configuration, no RNG) and the
+// derived "audit" section (verdict vs truth -> TP/FP/FN/TN with a
+// machine-readable mismatch reason that cross-references the decision
+// margin). Both are emitted only by runners that know their ground truth;
+// pre-v5 reports, which lack these sections, still validate against
 // tools/run_report_schema.json.
 //
 // Determinism contract: everything except "wall_ms" is a pure function of
@@ -61,7 +83,7 @@ namespace wehey::obs {
 /// The report schema emitted by RunReport::to_json. The single source of
 /// truth for the version string; tools/run_report_schema.json must list
 /// this value in its "schema" enum (asserted by tests/test_sweep.cpp).
-inline constexpr char kRunReportSchema[] = "wehey.run_report.v4";
+inline constexpr char kRunReportSchema[] = "wehey.run_report.v5";
 /// Older versions this codebase still reads (wehey_cli inspect,
 /// SweepAggregator::add_run_json).
 inline constexpr char kRunReportSchemaPrefix[] = "wehey.run_report.";
@@ -169,6 +191,76 @@ struct DecisionSection {
   std::vector<std::string> degradations;
 };
 
+// Canonical strings of the v5 "ground_truth" section. Emitters must use
+// these constants (the schema enums list exactly these spellings).
+inline constexpr char kMechanismPerClientTbf[] = "per-client-tbf";
+inline constexpr char kMechanismCollectiveTbf[] = "collective-tbf";
+inline constexpr char kMechanismDelayedFixedRate[] = "delayed-fixed-rate";
+inline constexpr char kMechanismPerFlowTbf[] = "per-flow-tbf";
+inline constexpr char kMechanismNone[] = "none";
+inline constexpr char kPlacementCommonLink[] = "common-link";
+inline constexpr char kPlacementNonCommonLinks[] = "non-common-links";
+inline constexpr char kPlacementNone[] = "none";
+
+/// The v5 "ground_truth" ledger: what the simulator actually configured
+/// for this run. A pure function of the run's configuration — no RNG, no
+/// measurement — so it is byte-identical across WEHEY_THREADS and
+/// trivially reproducible from the run's seed. present=false omits the
+/// section entirely (pre-v5 emitters, bench binaries without a scenario).
+struct GroundTruthSection {
+  bool present = false;
+  /// A rate limiter exists somewhere on the client's paths.
+  bool differentiated = false;
+  /// kMechanism* string: what kind of throttler was installed.
+  std::string mechanism = kMechanismNone;
+  /// kPlacement* string: where relative to the two-path convergence point.
+  std::string placement = kPlacementNone;
+  /// The throttler sits at/behind the convergence point — i.e. inside the
+  /// area WeHeY's verdict claims to localize to. NonCommonLinks
+  /// configurations are differentiated but NOT within the target area.
+  bool within_target_area = false;
+  double rate_bps = 0.0;  ///< configured token rate; 0 = no limiter
+  /// Bytes before a delayed throttler activates (ISP5); 0 = immediate.
+  std::int64_t activation_bytes = 0;
+  /// §5 sanity check: a third concurrent flow shares the limiter, so a
+  /// per-client verdict is the WRONG answer even though the limiter is
+  /// per-client by configuration.
+  bool sanity_check = false;
+};
+
+/// The v5 "audit" section: the run's verdict judged against its ground
+/// truth. Derived deterministically by classify_audit; present=false
+/// omits the section (runs without a ground truth cannot be audited).
+struct AuditSection {
+  bool present = false;
+  /// What a perfect localizer should have concluded for this run.
+  bool expected_positive = false;
+  /// What this run's verdict actually concluded.
+  bool observed_positive = false;
+  /// "tp" | "fp" | "fn" | "tn" | "skipped" (budget-exhausted runs carry
+  /// no analyzable verdict and are excluded from accuracy ratios).
+  std::string classification;
+  /// Machine-readable reason when observed != expected (empty on match):
+  /// "budget-exhausted", "mechanism-mismatch" (verdict localized but the
+  /// wrong throttling mechanism), "sub-margin-miss" (|decision margin| <
+  /// WEHEY_KNIFE_EDGE_MARGIN — a knife-edge miss, flagged not failed),
+  /// "clear-miss", "no-margin", "not-evaluated".
+  std::string mismatch_reason;
+};
+
+/// Classify a verdict against its ground truth. `observed_positive` is the
+/// runner's success predicate (e.g. localized AND per-client mechanism for
+/// the Table-1 wild tests); `mechanism_mismatch` marks a localized verdict
+/// that named the wrong mechanism; `budget_exhausted` runs classify as
+/// "skipped". The mismatch reason cross-references `decision`: a miss
+/// whose |margin| is under WEHEY_KNIFE_EDGE_MARGIN is "sub-margin-miss"
+/// (knife-edge, flagged not failed by the sweep gate). Pure function of
+/// its inputs plus that env knob — deterministic across WEHEY_THREADS.
+AuditSection classify_audit(const GroundTruthSection& truth,
+                            bool observed_positive, bool mechanism_mismatch,
+                            bool budget_exhausted,
+                            const DecisionSection& decision);
+
 struct RunReport {
   std::string run;         ///< binary / pipeline name
   std::string cell;        ///< grid-cell label ("ISP1", "Zoom", ...); may be
@@ -180,6 +272,10 @@ struct RunReport {
   /// v4: why the verdict is what it is. Always emitted; the default-
   /// constructed value is the empty-but-valid block.
   DecisionSection decision;
+  /// v5: what the simulator configured (omitted while !present).
+  GroundTruthSection ground_truth;
+  /// v5: verdict vs ground truth (omitted while !present).
+  AuditSection audit;
   std::vector<StageTiming> stages;
   /// v3: per-stage self-time profile (see profile_from_spans). Always
   /// emitted, possibly empty.

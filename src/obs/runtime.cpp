@@ -9,6 +9,8 @@
 #include <sstream>
 #include <thread>
 
+#include <unistd.h>
+
 #include "obs/aggregate.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
@@ -467,7 +469,13 @@ ProgressMeter::Mode progress_mode_from_env() {
   if (v == nullptr || v[0] == 0) return ProgressMeter::Mode::kOff;
   const std::string mode(v);
   if (mode == "plain") return ProgressMeter::Mode::kPlain;
-  if (mode == "tty") return ProgressMeter::Mode::kTty;
+  if (mode == "tty") {
+    // Carriage-return repainting only makes sense on a real terminal;
+    // redirected stderr (CI logs, tee'd files) gets the plain one-line-
+    // per-print form instead of a wall of control characters.
+    return isatty(fileno(stderr)) != 0 ? ProgressMeter::Mode::kTty
+                                       : ProgressMeter::Mode::kPlain;
+  }
   return ProgressMeter::Mode::kOff;
 }
 

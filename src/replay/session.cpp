@@ -8,6 +8,7 @@
 
 #include "common/check.hpp"
 #include "experiments/decision.hpp"
+#include "experiments/ground_truth.hpp"
 #include "faults/injector.hpp"
 #include "obs/recorder.hpp"
 #include "parallel/supervisor.hpp"
@@ -708,6 +709,16 @@ obs::RunReport make_run_report(const SessionConfig& cfg,
   // (budget-exhausted, pre-analysis aborts) carry the default trace,
   // which serializes as the empty-but-valid decision block.
   report.decision = experiments::decision_section(result.localization.trace);
+  // v5: the session's ground truth comes from its scenario's limiter
+  // placement; sessions that never reached a verdict (budget) audit as
+  // skipped.
+  report.ground_truth = experiments::ground_truth_section(
+      cfg.scenario, experiments::derive(cfg.scenario));
+  report.audit = obs::classify_audit(
+      report.ground_truth,
+      result.outcome == SessionOutcome::LocalizedWithinIsp,
+      /*mechanism_mismatch=*/false,
+      result.outcome == SessionOutcome::BudgetExhausted, report.decision);
   report.stages = result.stages;
   // v3 profile: the five stages tile the session's sim timeline on one
   // track; replay-attempt windows nest inside their stage, so a stage's

@@ -361,7 +361,7 @@ TEST(Report, SessionReportIsDeterministicAndComplete) {
   const auto jb = replay::make_run_report(cfg, b, "test_session")
                       .to_json(nullptr);
   EXPECT_EQ(ja, jb);
-  EXPECT_NE(ja.find("\"schema\": \"wehey.run_report.v4\""),
+  EXPECT_NE(ja.find("\"schema\": \"wehey.run_report.v5\""),
             std::string::npos);
   EXPECT_NE(ja.find("\"run\": \"test_session\""), std::string::npos);
   EXPECT_NE(ja.find("\"verdict\": \"localized within ISP\""),
@@ -378,6 +378,89 @@ TEST(Report, SessionReportIsDeterministicAndComplete) {
   EXPECT_NE(ja.find("\"confirmation.p1\""), std::string::npos);
   EXPECT_NE(ja.find("\"confirmation.p2\""), std::string::npos);
   EXPECT_NE(ja.find("\"margin\""), std::string::npos);
+  // v5: the ground-truth ledger and its audit rode along. The default
+  // scenario throttles on the common link, so a localized session is a
+  // true positive with no mismatch reason.
+  EXPECT_NE(ja.find("\"ground_truth\""), std::string::npos);
+  EXPECT_NE(ja.find("\"mechanism\": \"collective-tbf\""),
+            std::string::npos);
+  EXPECT_NE(ja.find("\"placement\": \"common-link\""), std::string::npos);
+  EXPECT_NE(ja.find("\"within_target_area\": true"), std::string::npos);
+  EXPECT_NE(ja.find("\"audit\""), std::string::npos);
+  EXPECT_NE(ja.find("\"classification\": \"tp\""), std::string::npos);
+  EXPECT_NE(ja.find("\"mismatch_reason\": \"\""), std::string::npos);
+}
+
+// v5 classification table: expected (from truth) x observed x budget,
+// with the mismatch reason graded against the decision margin.
+TEST(Report, ClassifyAuditCoversTheConfusionMatrix) {
+  GroundTruthSection truth;  // not present -> audit absent
+  DecisionSection decision;
+  EXPECT_FALSE(
+      classify_audit(truth, true, false, false, decision).present);
+
+  truth.present = true;
+  truth.differentiated = true;
+  truth.within_target_area = true;
+  decision.evaluated = true;
+  decision.has_margin = true;
+  decision.margin = 0.8;
+
+  const auto tp = classify_audit(truth, true, false, false, decision);
+  EXPECT_TRUE(tp.present);
+  EXPECT_TRUE(tp.expected_positive);
+  EXPECT_EQ(tp.classification, "tp");
+  EXPECT_EQ(tp.mismatch_reason, "");
+
+  const auto fn = classify_audit(truth, false, false, false, decision);
+  EXPECT_EQ(fn.classification, "fn");
+  EXPECT_EQ(fn.mismatch_reason, "clear-miss");
+
+  // A localized-but-wrong-mechanism run is a miss with its own reason.
+  const auto mech = classify_audit(truth, false, true, false, decision);
+  EXPECT_EQ(mech.classification, "fn");
+  EXPECT_EQ(mech.mismatch_reason, "mechanism-mismatch");
+
+  // Budget-exhausted runs never reached a verdict: skipped, not wrong.
+  const auto skipped = classify_audit(truth, false, false, true, decision);
+  EXPECT_EQ(skipped.classification, "skipped");
+  EXPECT_EQ(skipped.mismatch_reason, "budget-exhausted");
+
+  // Sanity-check runs expect a negative even though the network is
+  // configured to differentiate.
+  truth.sanity_check = true;
+  const auto fp = classify_audit(truth, true, false, false, decision);
+  EXPECT_FALSE(fp.expected_positive);
+  EXPECT_EQ(fp.classification, "fp");
+  EXPECT_EQ(fp.mismatch_reason, "clear-miss");
+  const auto tn = classify_audit(truth, false, false, false, decision);
+  EXPECT_EQ(tn.classification, "tn");
+  EXPECT_EQ(tn.mismatch_reason, "");
+  truth.sanity_check = false;
+
+  // Outside the target area (the NonCommonLinks scenario) a positive is
+  // a false positive by construction.
+  truth.within_target_area = false;
+  EXPECT_EQ(classify_audit(truth, true, false, false, decision)
+                .classification,
+            "fp");
+  truth.within_target_area = true;
+
+  // Miss grading: no decision at all, no margin, sub-margin (knife
+  // edge), clear.
+  DecisionSection none;
+  EXPECT_EQ(classify_audit(truth, false, false, false, none)
+                .mismatch_reason,
+            "not-evaluated");
+  none.evaluated = true;
+  EXPECT_EQ(classify_audit(truth, false, false, false, none)
+                .mismatch_reason,
+            "no-margin");
+  none.has_margin = true;
+  none.margin = -0.01;  // |margin| under the default 0.05 threshold
+  EXPECT_EQ(classify_audit(truth, false, false, false, none)
+                .mismatch_reason,
+            "sub-margin-miss");
 }
 
 TEST(Report, V2PercentilesDerivedFromHistograms) {
@@ -483,7 +566,7 @@ TEST(Obs, FullExperimentReportIsPopulatedAndDeterministic) {
     return res.report.to_json(&res.metrics);
   };
   const std::string first = run_json();
-  EXPECT_NE(first.find("\"schema\": \"wehey.run_report.v4\""),
+  EXPECT_NE(first.find("\"schema\": \"wehey.run_report.v5\""),
             std::string::npos);
   EXPECT_NE(first.find("\"run\": \"test_full\""), std::string::npos);
   EXPECT_NE(first.find("sim_original"), std::string::npos);

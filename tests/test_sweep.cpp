@@ -135,6 +135,18 @@ std::pair<RunReport, MetricsRegistry> synthetic_run(std::size_t i) {
                                ? 0.01 + 0.005 * static_cast<double>(i)
                                : 0.4 + 0.01 * static_cast<double>(i);
   r.decision.margin = i % 2 == 0 ? magnitude : -magnitude;
+  // v5 ground truth + audit: every run expects a positive; even runs
+  // observe one (tp), odd runs miss (fn) with the reason graded by their
+  // margin magnitude — so the audit fold sees multiple mismatch kinds.
+  r.ground_truth.present = true;
+  r.ground_truth.differentiated = true;
+  r.ground_truth.mechanism = kMechanismCollectiveTbf;
+  r.ground_truth.placement = kPlacementCommonLink;
+  r.ground_truth.within_target_area = true;
+  r.ground_truth.rate_bps = 1e6 + static_cast<double>(i);
+  r.audit = classify_audit(r.ground_truth, i % 2 == 0,
+                           /*mechanism_mismatch=*/false,
+                           /*budget_exhausted=*/false, r.decision);
   r.add_stage("wehe_test", 0, (1 + Time(i)) * kSecond);
   r.add_stage("analysis", (1 + Time(i)) * kSecond,
               (2 + Time(i)) * kSecond);
@@ -211,8 +223,9 @@ TEST(Sweep, KnifeEdgeFlagsOnlyCellsNearTheDecisionBoundary) {
   const std::string json = agg.to_json();
   const std::size_t start = json.find("\"knife_edge\"");
   ASSERT_NE(start, std::string::npos);
+  // The v5 audit block follows immediately, so slice up to it.
   const std::string block =
-      json.substr(start, json.find("\"cell_percentiles\"") - start);
+      json.substr(start, json.find("\"audit\"") - start);
   // cell0's minimum |margin| is 0.01 with three runs under the default
   // 0.05; the other cells never dip below 0.4 (negative margins count by
   // magnitude, so cell1's -0.41 does not flag).
@@ -231,7 +244,7 @@ TEST(Sweep, KnifeEdgeFlagsOnlyCellsNearTheDecisionBoundary) {
   const std::size_t tstart = tight.find("\"knife_edge\"");
   ASSERT_NE(tstart, std::string::npos);
   const std::string tblock =
-      tight.substr(tstart, tight.find("\"cell_percentiles\"") - tstart);
+      tight.substr(tstart, tight.find("\"audit\"") - tstart);
   EXPECT_NE(tblock.find("\"margin_threshold\": 0.001"), std::string::npos);
   EXPECT_EQ(tblock.find("\"cell0\""), std::string::npos);
 
@@ -241,6 +254,57 @@ TEST(Sweep, KnifeEdgeFlagsOnlyCellsNearTheDecisionBoundary) {
   ::setenv("WEHEY_KNIFE_EDGE_MARGIN", "-0.5", 1);
   EXPECT_DOUBLE_EQ(knife_edge_margin_from_env(), kDefaultKnifeEdgeMargin);
   ::unsetenv("WEHEY_KNIFE_EDGE_MARGIN");
+}
+
+TEST(Sweep, AuditFoldsRunClassificationsIntoConfusionMatrices) {
+  ::unsetenv("WEHEY_KNIFE_EDGE_MARGIN");
+  SweepAggregator agg("audit");
+  for (std::size_t i = 0; i < 12; ++i) {
+    const auto [r, m] = synthetic_run(i);
+    agg.add_run(r, &m);
+  }
+  const std::string json = agg.to_json();
+  const std::size_t start = json.find("\"audit\"");
+  ASSERT_NE(start, std::string::npos);
+  const std::string block =
+      json.substr(start, json.find("\"cell_percentiles\"") - start);
+  // Grid: the six even runs land tp, the six odd runs miss (fn). The one
+  // odd knife-edge run (i=3, |margin| 0.025 < 0.05) grades
+  // sub-margin-miss; the other five misses are clear.
+  EXPECT_NE(block.find("\"tp\": 6"), std::string::npos) << block;
+  EXPECT_NE(block.find("\"fn\": 6"), std::string::npos);
+  EXPECT_NE(block.find("\"accuracy\": 0.5"), std::string::npos);
+  EXPECT_NE(block.find("\"precision\": 1"), std::string::npos);
+  EXPECT_NE(block.find("\"recall\": 0.5"), std::string::npos);
+  EXPECT_NE(block.find("\"sub-margin-miss\": 1"), std::string::npos);
+  EXPECT_NE(block.find("\"clear-miss\": 5"), std::string::npos);
+  // Per-cell matrices: each cell sees 2 tp + 2 fn, and only cell0 (the
+  // sub-0.05 margins) carries the knife-edge flag.
+  const auto count = [&](const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t at = block.find(needle); at != std::string::npos;
+         at = block.find(needle, at + needle.size())) {
+      ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count("\"tp\": 2"), 3u) << block;
+  EXPECT_EQ(count("\"fn\": 2"), 3u);
+  EXPECT_EQ(count("\"knife_edge\": true"), 1u);
+  EXPECT_EQ(count("\"knife_edge\": false"), 2u);
+
+  // The audit fold obeys the same merge algebra as everything else:
+  // offline absorption of the serialized per-run reports reproduces the
+  // in-process aggregate byte for byte (audit block included).
+  SweepAggregator offline("audit");
+  for (std::size_t i = 0; i < 12; ++i) {
+    const auto [r, m] = synthetic_run(i);
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(json_parse(r.to_json(&m), doc, &error)) << error;
+    ASSERT_TRUE(offline.add_run_json(doc, &error)) << error;
+  }
+  EXPECT_EQ(json, offline.to_json());
 }
 
 TEST(Sweep, RejectsNonReportDocuments) {
@@ -480,6 +544,56 @@ TEST(Inspect, MalformedAndUnknownFilesFailWithoutPartialOutput) {
   EXPECT_TRUE(rendered.empty());
 }
 
+TEST(Inspect, ParserRejectsPathologicalDocuments) {
+  JsonValue doc;
+  std::string error;
+  // Unbounded nesting is refused at a fixed depth instead of recursing
+  // until the stack gives out.
+  EXPECT_FALSE(json_parse(std::string(100000, '['), doc, &error));
+  EXPECT_EQ(error, "nesting too deep");
+  std::string object_bomb;
+  for (int i = 0; i < 1000; ++i) object_bomb += "{\"a\":";
+  EXPECT_FALSE(json_parse(object_bomb, doc, &error));
+  EXPECT_EQ(error, "nesting too deep");
+  // Nesting inside the cap still parses.
+  std::string deep_ok(40, '[');
+  deep_ok.append(40, ']');
+  EXPECT_TRUE(json_parse(deep_ok, doc, &error)) << error;
+  // Truncated and malformed documents fail with a message, not a crash.
+  for (const char* bad :
+       {"", "{\"run\": [1, 2", "\"unterminated", "{\"a\" 1}", "{} trailing",
+        "tru", "nul", "{\"a\":}", "[1,]", "{\"a\": \"\\x\"}"}) {
+    EXPECT_FALSE(json_parse(bad, doc, &error)) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+
+  // The same failures surface file-level: a pathological report file
+  // inspects to false without emitting partial output.
+  const std::string dir = ::testing::TempDir();
+  const std::string deep = dir + "/deep.json";
+  ASSERT_TRUE(write_report_file(deep, std::string(100000, '[')));
+  const std::string sink_path = dir + "/deep_sink.txt";
+  std::FILE* sink = std::fopen(sink_path.c_str(), "w");
+  ASSERT_NE(sink, nullptr);
+  EXPECT_FALSE(inspect_file(deep, sink));
+  std::fclose(sink);
+  std::string rendered;
+  ASSERT_TRUE(read_file(sink_path, rendered));
+  EXPECT_TRUE(rendered.empty());
+}
+
+TEST(Compare, FlattenKeysListsTheComparableKeySpace) {
+  // Backs the --list-keys discovery flow in wehey_cli compare and
+  // bench_compare.py: sorted dotted paths, arrays indexed, every leaf
+  // type included.
+  const JsonValue doc = parse(
+      "{\"b\": {\"y\": 1.5, \"x\": [2, \"s\"]}, \"a\": true, "
+      "\"c\": null, \"d\": {}}");
+  const std::vector<std::string> expected = {"a", "b.x[0]", "b.x[1]", "b.y",
+                                             "c"};
+  EXPECT_EQ(flatten_keys(doc), expected);
+}
+
 TEST(Inspect, DegradesGracefullyOnMissingOptionalSections) {
   // A v1-era report: no percentiles, no profile, no cell, no metrics.
   const std::string dir = ::testing::TempDir();
@@ -520,6 +634,9 @@ TEST(Inspect, RendersSweepReports) {
   EXPECT_NE(rendered.find("render_me"), std::string::npos);
   EXPECT_NE(rendered.find("cell0"), std::string::npos);
   EXPECT_NE(rendered.find("stage profile"), std::string::npos);
+  // The v5 confusion-matrix table renders alongside the older sections.
+  EXPECT_NE(rendered.find("AUDIT"), std::string::npos);
+  EXPECT_NE(rendered.find("(grid)"), std::string::npos);
 }
 
 // ---------------------------------------------------- frozen fixtures
@@ -533,6 +650,8 @@ TEST(Inspect, FrozenFixtureReportsStillRender) {
       "/tests/data/run_report_v1.json",
       "/tests/data/run_report_v2.json",
       "/tests/data/run_report_v3.json",
+      "/tests/data/run_report_v4.json",
+      "/tests/data/run_report_v5.json",
       "/tests/data/sweep_report_v1.json",
   };
   const std::string dir = ::testing::TempDir();
@@ -563,13 +682,43 @@ TEST(Sweep, FrozenRunReportFixturesStillAbsorb) {
   }
   EXPECT_EQ(agg.runs(), 3u);
   // Pre-v4 reports carry no decision margin, so the knife_edge block is
-  // present but empty.
+  // present but empty — and with no v5 audit sections absorbed, the audit
+  // block is absent entirely (absent-by-default).
   const std::string json = agg.to_json();
   const std::size_t start = json.find("\"knife_edge\"");
   ASSERT_NE(start, std::string::npos);
   const std::string block =
       json.substr(start, json.find("\"cell_percentiles\"") - start);
   EXPECT_EQ(block.find("min_margin"), std::string::npos);
+  EXPECT_EQ(json.find("\"audit\""), std::string::npos);
+}
+
+TEST(Sweep, FrozenV4AndV5FixturesAbsorbMarginsAndAudit) {
+  const std::string root = WEHEY_SOURCE_DIR;
+  SweepAggregator agg("fixtures_v45");
+  for (const char* fixture : {"/tests/data/run_report_v4.json",
+                              "/tests/data/run_report_v5.json"}) {
+    std::string text;
+    ASSERT_TRUE(read_file(root + fixture, text)) << fixture;
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(json_parse(text, doc, &error)) << error;
+    ASSERT_TRUE(agg.add_run_json(doc, &error)) << fixture << ": " << error;
+  }
+  EXPECT_EQ(agg.runs(), 2u);
+  const std::string json = agg.to_json();
+  // Both eras contribute decision margins to the value summaries...
+  EXPECT_NE(json.find("\"decision_margin\""), std::string::npos);
+  // ...but only the v5 report carries an audit section, so the audit
+  // block holds exactly its one true positive.
+  const std::size_t start = json.find("\"audit\"");
+  ASSERT_NE(start, std::string::npos);
+  const std::string block =
+      json.substr(start, json.find("\"cell_percentiles\"") - start);
+  EXPECT_NE(block.find("\"tp\": 1"), std::string::npos) << block;
+  EXPECT_NE(block.find("\"fn\": 0"), std::string::npos);
+  EXPECT_NE(block.find("\"skipped\": 0"), std::string::npos);
+  EXPECT_NE(block.find("\"accuracy\": 1"), std::string::npos);
 }
 
 // ----------------------------------------------------- report mode env

@@ -19,12 +19,17 @@ Stdlib-only mirror of `wehey_cli compare` (src/obs/aggregate.cpp):
     engine) but still counts as a pattern match;
   * --require-key REGEX fails unless at least one flattened candidate key
     (of any type, ignored keys included) matches — guards CI gates
-    against a renamed section silently turning the gate into a no-op.
+    against a renamed section silently turning the gate into a no-op;
+  * --list-keys prints every flattened candidate key (the exact strings
+    the regex flags match against) and exits 0 without comparing — the
+    triage aid for a --require-key/--min-key pattern that matches
+    nothing.
 
 Usage:
   tools/bench_compare.py BASELINE CANDIDATE [--tol 0.05]
       [--tol-key REGEX=TOL]... [--ignore REGEX]... [--min-key REGEX=BOUND]...
-      [--require-key REGEX]...
+      [--require-key REGEX]... [--list-keys]
+  tools/bench_compare.py --list-keys REPORT     # single-file key listing
 
 Exit status: 0 within tolerance, 1 on drift, 2 on usage errors.
 """
@@ -132,7 +137,9 @@ def compare(base, cand, tol, key_tols, ignore, min_keys, require_keys=()):
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", help="committed baseline JSON")
-    parser.add_argument("candidate", help="freshly produced JSON")
+    parser.add_argument("candidate", nargs="?",
+                        help="freshly produced JSON (optional with "
+                             "--list-keys, which reads the last file given)")
     parser.add_argument("--tol", type=float, default=0.05,
                         help="default relative tolerance (default 0.05)")
     parser.add_argument("--tol-key", action="append", default=[],
@@ -146,16 +153,26 @@ def main():
     parser.add_argument("--require-key", action="append", default=[],
                         metavar="REGEX",
                         help="fail unless some candidate key matches")
+    parser.add_argument("--list-keys", action="store_true",
+                        help="print all flattened candidate keys and exit")
     args = parser.parse_args()
+    if args.candidate is None and not args.list_keys:
+        parser.error("the following arguments are required: candidate")
 
     docs = []
-    for path in (args.baseline, args.candidate):
+    paths = [p for p in (args.baseline, args.candidate) if p is not None]
+    for path in paths:
         try:
             with open(path) as f:
                 docs.append(flatten(json.load(f)))
         except (OSError, json.JSONDecodeError) as err:
             print(f"bench_compare: {path}: {err}", file=sys.stderr)
             return 2
+
+    if args.list_keys:
+        for key in sorted(docs[-1]):
+            print(key)
+        return 0
 
     key_tols = [parse_key_value(a, "--tol-key") for a in args.tol_key]
     min_keys = [parse_key_value(a, "--min-key") for a in args.min_key]

@@ -181,7 +181,8 @@ def check_report(path, schemas, forced=None):
         # Cross-wired writer check: a runtime sidecar carrying sections of
         # the deterministic reports means wall-clock data is about to leak
         # into (or masquerade as) the byte-identical report contract.
-        crossed = [k for k in ("decision", "cells") if k in report]
+        crossed = [k for k in ("decision", "ground_truth", "audit", "cells")
+                   if k in report]
         if crossed:
             print(f"{path}: runtime sidecar embeds deterministic-report "
                   f"section(s) {crossed} — cross-wired writer",
